@@ -1,0 +1,121 @@
+// Command ecnspider runs the full measurement campaign of McQuistin &
+// Perkins, "Is Explicit Congestion Notification usable with UDP?" (IMC
+// 2015) over a generated Internet: pool discovery via DNS, then the
+// four-measurement trace (UDP ±ECT(0), TCP ±ECN) from each vantage
+// point, writing the dataset as JSON lines.
+//
+// Usage:
+//
+//	ecnspider [-seed N] [-scale paper|small] [-traces N] [-discover] [-o dataset.jsonl]
+//
+// -traces N overrides the per-vantage trace count (0 = the paper's
+// 210-trace plan at paper scale, 2 per vantage at small scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2015, "simulation seed (same seed → identical dataset)")
+		scale    = flag.String("scale", "small", "world scale: paper (2500 servers) or small (120)")
+		traces   = flag.Int("traces", 0, "traces per vantage (0 = scale default)")
+		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
+		out      = flag.String("o", "dataset.jsonl", "output dataset path (- for stdout)")
+		pcapPath = flag.String("pcap", "", "capture the first vantage's traffic to this pcap file (last 100k packets)")
+	)
+	flag.Parse()
+
+	cfg := topology.SmallConfig()
+	perVantage := 2
+	if *scale == "paper" {
+		cfg = topology.DefaultConfig()
+		perVantage = 0 // use the paper plan
+	}
+
+	start := time.Now()
+	sim := netsim.NewSim(*seed)
+	world, err := topology.Build(sim, cfg)
+	if err != nil {
+		fatal("build world: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "world: %s (%.2fs)\n", world, time.Since(start).Seconds())
+
+	plan := core.PaperTracePlan()
+	if perVantage > 0 || *traces > 0 {
+		n := perVantage
+		if *traces > 0 {
+			n = *traces
+		}
+		plan = map[string]int{}
+		for _, v := range world.Vantages {
+			plan[v.Name] = n
+		}
+	}
+
+	// Optional tcpdump-style capture on the first vantage, like the
+	// parallel capture sessions the paper ran beside its prober.
+	var recorder *capture.Recorder
+	if *pcapPath != "" {
+		recorder = capture.NewRecorder(100_000)
+		world.Vantages[0].Host.AddTap(recorder.Tap)
+	}
+
+	campaign := core.NewCampaign(world, core.CampaignConfig{
+		TracesPerVantage: plan,
+		DiscoverServers:  *discover,
+	})
+
+	var result *dataset.Dataset
+	campaign.Run(func(d *dataset.Dataset) { result = d })
+	sim.Run()
+	if result == nil {
+		fatal("campaign did not complete")
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d traces over %d servers, %d events, %v virtual, %.2fs real\n",
+		len(result.Traces), len(campaign.Servers), sim.Executed(), sim.Now().Round(time.Second), time.Since(start).Seconds())
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.Write(w, result); err != nil {
+		fatal("write dataset: %v", err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fatal("create %s: %v", *pcapPath, err)
+		}
+		defer f.Close()
+		if err := capture.WritePcap(f, recorder.Records()); err != nil {
+			fatal("write pcap: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pcap: %d packets written to %s (%d displaced by ring)\n",
+			recorder.Len(), *pcapPath, recorder.Overwritten())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ecnspider: "+format+"\n", args...)
+	os.Exit(1)
+}

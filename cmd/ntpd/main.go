@@ -1,0 +1,97 @@
+// Command ntpd runs the repository's NTP responder on a real UDP socket
+// — the same codec and response logic the simulated pool servers use,
+// demonstrating wire compatibility outside the simulator. With -query it
+// acts as a one-shot client instead.
+//
+// Usage:
+//
+//	ntpd -listen 127.0.0.1:11123         # serve
+//	ntpd -query 127.0.0.1:11123          # ask once and print the offset
+//
+// Note: real-socket mode cannot set the ECN bits (that needs raw-socket
+// or x/net TOS access, unavailable to a stdlib-only build), which is
+// precisely why the ECN measurements run over the simulator. See
+// DESIGN.md §2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/ntp"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "", "serve NTP on this UDP address")
+		query  = flag.String("query", "", "query an NTP server once and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		serve(*listen)
+	case *query != "":
+		ask(*query)
+	default:
+		fmt.Fprintln(os.Stderr, "ntpd: need -listen ADDR or -query ADDR")
+		os.Exit(2)
+	}
+}
+
+func serve(addr string) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	defer pc.Close()
+	fmt.Fprintf(os.Stderr, "ntpd: serving on %s (stratum 2)\n", pc.LocalAddr())
+	srv := ntp.NewServer(0x7F000001)
+	if err := srv.ServePacketConn(pc, func() uint64 {
+		return ntp.TimestampFromTime(time.Now())
+	}); err != nil {
+		fatal("serve: %v", err)
+	}
+}
+
+func ask(addr string) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		fatal("dial: %v", err)
+	}
+	defer conn.Close()
+
+	t1 := time.Now()
+	req := ntp.NewRequest(ntp.TimestampFromTime(t1))
+	if _, err := conn.Write(req.Marshal(nil)); err != nil {
+		fatal("send: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		fatal("no response: %v", err)
+	}
+	t4 := time.Now()
+	resp, err := ntp.Parse(buf[:n])
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	if err := ntp.ValidateResponse(req, resp); err != nil {
+		fatal("validate: %v", err)
+	}
+	// RFC 5905 on-wire clock offset: ((T2-T1) + (T3-T4)) / 2.
+	t2 := ntp.TimeFromTimestamp(resp.RecvTS)
+	t3 := ntp.TimeFromTimestamp(resp.XmitTS)
+	offset := (t2.Sub(t1) + t3.Sub(t4)) / 2
+	rtt := t4.Sub(t1) - t3.Sub(t2)
+	fmt.Printf("server %s stratum %d offset %v rtt %v\n", addr, resp.Stratum, offset, rtt)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntpd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces McQuistin & Perkins, "Is Explicit Congestion
+// Notification usable with UDP?" (ACM IMC 2015), as a self-contained Go
+// system: a deterministic packet-level Internet simulator, the paper's
+// four-measurement prober, the traceroute-quotation transparency
+// analysis, and the full figure/table pipeline.
+//
+// The root package holds only the benchmark harness (bench_test.go),
+// which regenerates every artefact of the paper's evaluation; the
+// library lives under internal/ and the runnable tools under cmd/ and
+// examples/. Start with README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,84 @@
+// rtp-ecn: the paper's closing question, made executable. The study
+// ends: "Whether the use of ECN with UDP offers any benefit has not
+// been determined, but it seems to cause no significant harm." This
+// example runs the same interactive-media session (RTP over UDP with a
+// NADA-flavoured rate controller) across a congested hop expressed two
+// ways — as ECN CE-marking and as packet loss — and compares what the
+// application experiences.
+//
+//	go run ./examples/rtp-ecn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/middlebox"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rtp"
+)
+
+// buildPath wires sender — r1 — r2 — receiver and returns the pieces.
+func buildPath(seed int64) (*netsim.Sim, *netsim.Host, *netsim.Host, *netsim.Router, *netsim.Router) {
+	sim := netsim.NewSim(seed)
+	n := netsim.NewNetwork(sim)
+	r1 := n.AddRouter("r1", packet.AddrFrom4(10, 255, 0, 1), 64500)
+	r2 := n.AddRouter("r2", packet.AddrFrom4(10, 255, 1, 1), 64501)
+	n.Connect(r1, r2, 10*time.Millisecond, 0)
+	a, _ := n.AddHost("sender", packet.AddrFrom4(10, 0, 0, 1))
+	b, _ := n.AddHost("receiver", packet.AddrFrom4(10, 0, 1, 1))
+	n.Attach(a, r1, 2*time.Millisecond, 0)
+	n.Attach(b, r2, 2*time.Millisecond, 0)
+	if err := n.ComputeRoutes(); err != nil {
+		log.Fatal(err)
+	}
+	return sim, a, b, r1, r2
+}
+
+func main() {
+	fmt.Println("30s interactive media session across a congested hop, three ways:")
+	fmt.Println()
+
+	sims := []struct {
+		name   string
+		useECN bool
+		setup  func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host)
+	}{
+		{"ECN + AQM: CE-marked, no drops", true, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
+			r2.AddPolicy(&middlebox.CEMarker{Probability: 0.08, RNG: sim.RNG()})
+		}},
+		{"no ECN: congestion = 8% loss", false, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
+			recv.Uplink().SetLoss(r2, 0.08)
+		}},
+		{"ECN requested, path bleaches", true, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
+			r1.AddPolicy(&middlebox.ECNBleacher{Probability: 1})
+			recv.Uplink().SetLoss(r2, 0.08) // congestion falls back to loss
+		}},
+	}
+	for _, sc := range sims {
+		sim, senderHost, receiverHost, r1, r2 := buildPath(7)
+		sc.setup(sim, r1, r2, receiverHost)
+		recv, _ := rtp.NewReceiver(receiverHost, 5004, 42)
+		snd, _ := rtp.NewSender(senderHost, receiverHost.Addr(), 5004, rtp.SenderConfig{
+			SSRC: 42, PayloadType: 96, UseECN: sc.useECN,
+		})
+		var stats rtp.SenderStats
+		snd.Start(30*time.Second, func(s rtp.SenderStats) { stats = s })
+		sim.Run()
+		rs := recv.Stats()
+		lossPct := 0.0
+		if stats.PacketsSent > 0 {
+			lossPct = 100 * float64(stats.PacketsSent-rs.PacketsReceived) / float64(stats.PacketsSent)
+		}
+		fmt.Printf("%-34s sent %4d  delivered %4d  lost %5.1f%%  CE %3d  final rate %6.0f B/s  decreases %2d\n",
+			sc.name, stats.PacketsSent, rs.PacketsReceived, lossPct, rs.CE, stats.FinalRate, stats.RateDecreases)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: with ECN + AQM the sender adapts with zero loss (no visible glitches);")
+	fmt.Println("without ECN the same congestion costs ~8% of the media; when a middlebox")
+	fmt.Println("bleaches ECT(0), the session silently degrades to the loss-based behaviour —")
+	fmt.Println("which is why the paper's reachability and §4.2 transparency results matter.")
+}

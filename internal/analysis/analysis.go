@@ -1,0 +1,384 @@
+// Package analysis reduces campaign datasets to the paper's figures and
+// tables, and renders them as text. Each experiment has a Compute
+// function returning a typed result (consumed by tests and benchmarks)
+// and a Render function producing the human-readable artefact that
+// cmd/ecnreport prints.
+//
+// Experiment index (see DESIGN.md §4): Table 1 and Figure 1 describe the
+// server population; Figures 2 and 3 cover UDP reachability with and
+// without ECT(0); Figure 4 covers path transparency from traceroutes;
+// Figure 5 and Table 2 cover TCP; Figure 6 places the TCP result in its
+// historical series.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/packet"
+	"repro/internal/stats"
+)
+
+// --- Table 1 / Figure 1 ---------------------------------------------------
+
+// Table1 is the geographic distribution of the probed servers.
+type Table1 struct {
+	Rows  []Table1Row
+	Total int
+}
+
+// Table1Row is one region's count.
+type Table1Row struct {
+	Region geo.Region
+	Count  int
+}
+
+// ComputeTable1 tallies server regions via the geo database.
+func ComputeTable1(servers []packet.Addr, db *geo.DB) Table1 {
+	counts := db.RegionCounts(servers)
+	var t Table1
+	for _, r := range geo.Regions() {
+		t.Rows = append(t.Rows, Table1Row{Region: r, Count: counts[r]})
+		t.Total += counts[r]
+	}
+	return t
+}
+
+// RenderTable1 prints the paper's Table 1 layout.
+func RenderTable1(t Table1) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Geographic distribution of NTP pool servers\n")
+	b.WriteString(fmt.Sprintf("%-16s %s\n", "Region", "NTP Server Count"))
+	for _, row := range t.Rows {
+		b.WriteString(fmt.Sprintf("%-16s %d\n", row.Region, row.Count))
+	}
+	b.WriteString(fmt.Sprintf("%-16s %d\n", "Total", t.Total))
+	return b.String()
+}
+
+// Figure1 is the world map of server locations.
+type Figure1 struct {
+	Points []geo.Point
+}
+
+// ComputeFigure1 locates every server.
+func ComputeFigure1(servers []packet.Addr, db *geo.DB) Figure1 {
+	return Figure1{Points: db.Locate(servers)}
+}
+
+// RenderFigure1 draws an ASCII world scatter (longitude × latitude,
+// density as digits) — the textual analogue of the paper's map.
+func RenderFigure1(f Figure1) string {
+	const w, h = 72, 18
+	grid := make([][]int, h)
+	for i := range grid {
+		grid[i] = make([]int, w)
+	}
+	for _, p := range f.Points {
+		if p.Loc.Region == geo.Unknown {
+			continue
+		}
+		x := int((p.Loc.Lon + 180) / 360 * float64(w-1))
+		y := int((90 - p.Loc.Lat) / 180 * float64(h-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		grid[y][x]++
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1: Geographic locations of NTP pool servers (digit = log10 density)\n")
+	for _, row := range grid {
+		for _, n := range row {
+			switch {
+			case n == 0:
+				b.WriteByte('.')
+			case n < 10:
+				b.WriteByte('1')
+			case n < 100:
+				b.WriteByte('2')
+			default:
+				b.WriteByte('3')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- Figure 2 --------------------------------------------------------------
+
+// TracePoint is one trace's percentage for a Figure 2 style plot.
+type TracePoint struct {
+	Vantage string
+	Index   int
+	Batch   int
+	Pct     float64
+}
+
+// Figure2 is the per-trace reachability comparison.
+type Figure2 struct {
+	// Points in campaign order, one per trace.
+	Points []TracePoint
+	// Average over traces (the paper's 98.97% / 99.45%).
+	Average float64
+	Minimum float64
+	// AvgUDPReachable is the §4.1 prose statistic (paper: 2253).
+	AvgUDPReachable float64
+	// AvgECTReachable is the ECT(0) counterpart.
+	AvgECTReachable float64
+	// PooledCILow/High bound the pooled proportion with a 95% Wilson
+	// interval (percent).
+	PooledCILow  float64
+	PooledCIHigh float64
+}
+
+// ComputeFigure2a: of the servers reachable with not-ECT marked UDP, the
+// percentage also reachable with ECT(0) marked UDP, per trace.
+func ComputeFigure2a(d *dataset.Dataset) Figure2 {
+	return computeFigure2(d, func(o dataset.Observation) (denom, num bool) {
+		return o.UDPReachable, o.UDPReachable && o.UDPECTReachable
+	})
+}
+
+// ComputeFigure2b: the converse — of the servers reachable with ECT(0)
+// marked UDP, the percentage also reachable with not-ECT UDP.
+func ComputeFigure2b(d *dataset.Dataset) Figure2 {
+	return computeFigure2(d, func(o dataset.Observation) (denom, num bool) {
+		return o.UDPECTReachable, o.UDPECTReachable && o.UDPReachable
+	})
+}
+
+func computeFigure2(d *dataset.Dataset, classify func(dataset.Observation) (bool, bool)) Figure2 {
+	var f Figure2
+	var pcts, udpCounts, ectCounts []float64
+	for _, t := range d.Traces {
+		denomN, numN := 0, 0
+		udpN, ectN := 0, 0
+		for _, o := range t.Observations {
+			denom, num := classify(o)
+			if denom {
+				denomN++
+			}
+			if num {
+				numN++
+			}
+			if o.UDPReachable {
+				udpN++
+			}
+			if o.UDPECTReachable {
+				ectN++
+			}
+		}
+		pct := 100.0
+		if denomN > 0 {
+			pct = 100 * float64(numN) / float64(denomN)
+		}
+		f.Points = append(f.Points, TracePoint{Vantage: t.Vantage, Index: t.Index, Batch: t.Batch, Pct: pct})
+		pcts = append(pcts, pct)
+		udpCounts = append(udpCounts, float64(udpN))
+		ectCounts = append(ectCounts, float64(ectN))
+	}
+	f.Average = stats.Mean(pcts)
+	f.Minimum = stats.Min(pcts)
+	f.AvgUDPReachable = stats.Mean(udpCounts)
+	f.AvgECTReachable = stats.Mean(ectCounts)
+	// 95% Wilson interval over the pooled counts: the uncertainty the
+	// paper's single headline number carries.
+	totalDenom, totalNum := 0, 0
+	for _, t := range d.Traces {
+		for _, o := range t.Observations {
+			denom, num := classify(o)
+			if denom {
+				totalDenom++
+			}
+			if num {
+				totalNum++
+			}
+		}
+	}
+	lo, hi := stats.WilsonInterval(totalNum, totalDenom)
+	f.PooledCILow, f.PooledCIHigh = 100*lo, 100*hi
+	return f
+}
+
+// RenderFigure2 draws the per-trace bars, grouped by vantage, on the
+// paper's 90–100% scale.
+func RenderFigure2(f Figure2, caption string) string {
+	var b strings.Builder
+	b.WriteString(caption + "\n")
+	b.WriteString(fmt.Sprintf("average = %.2f%%   minimum = %.2f%%   pooled 95%% CI [%.2f%%, %.2f%%]   scale: 90%%..100%%\n",
+		f.Average, f.Minimum, f.PooledCILow, f.PooledCIHigh))
+
+	// Group points by vantage, preserving first-seen order.
+	order := []string{}
+	byVantage := map[string][]TracePoint{}
+	for _, p := range f.Points {
+		if _, ok := byVantage[p.Vantage]; !ok {
+			order = append(order, p.Vantage)
+		}
+		byVantage[p.Vantage] = append(byVantage[p.Vantage], p)
+	}
+	for _, v := range order {
+		pts := byVantage[v]
+		b.WriteString(fmt.Sprintf("%-22s ", v))
+		for _, p := range pts {
+			b.WriteByte(barGlyph(p.Pct))
+		}
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p.Pct
+		}
+		b.WriteString(fmt.Sprintf("  avg %.2f%%\n", stats.Mean(vals)))
+	}
+	return b.String()
+}
+
+// barGlyph maps a 90–100% value onto a 10-level bar character.
+func barGlyph(pct float64) byte {
+	levels := []byte("0123456789#")
+	idx := int(pct) - 90
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 10 {
+		idx = 10
+	}
+	return levels[idx]
+}
+
+// --- Figure 3 --------------------------------------------------------------
+
+// ServerDifferential is one server's differential reachability from one
+// vantage: the fraction of traces where it was reachable one way but not
+// the other.
+type ServerDifferential struct {
+	Server packet.Addr
+	// Fraction in [0, 1].
+	Fraction float64
+}
+
+// Figure3 is the per-server differential reachability analysis.
+type Figure3 struct {
+	// PerVantage maps vantage → per-server differential fractions
+	// (sorted by server address).
+	PerVantage map[string][]ServerDifferential
+	// SpikesOver50 counts servers with >50% differential per vantage
+	// (paper 3a: "between 9 and 14, depending on the location").
+	SpikesOver50 map[string]int
+	// TransientPerVantage counts servers with non-zero differential at
+	// or below 50% from that vantage — the paper's "around 4× more
+	// servers that are transiently unreachable" population, which is
+	// meaningful per location (lossy access links inflate it globally).
+	TransientPerVantage map[string]int
+	// GlobalSpikes counts servers >50% from at least one vantage.
+	GlobalSpikes int
+	// TransientServers counts servers with non-zero differential that
+	// never cross 50% anywhere.
+	TransientServers int
+}
+
+// ComputeFigure3a measures servers reachable via not-ECT but not ECT(0).
+func ComputeFigure3a(d *dataset.Dataset) Figure3 {
+	return computeFigure3(d, func(o dataset.Observation) bool {
+		return o.UDPReachable && !o.UDPECTReachable
+	})
+}
+
+// ComputeFigure3b measures the converse.
+func ComputeFigure3b(d *dataset.Dataset) Figure3 {
+	return computeFigure3(d, func(o dataset.Observation) bool {
+		return o.UDPECTReachable && !o.UDPReachable
+	})
+}
+
+func computeFigure3(d *dataset.Dataset, differential func(dataset.Observation) bool) Figure3 {
+	f := Figure3{
+		PerVantage:          map[string][]ServerDifferential{},
+		SpikesOver50:        map[string]int{},
+		TransientPerVantage: map[string]int{},
+	}
+	type key struct {
+		vantage string
+		server  packet.Addr
+	}
+	diffCount := map[key]int{}
+	traceCount := map[string]int{}
+	servers := map[packet.Addr]bool{}
+	for _, t := range d.Traces {
+		traceCount[t.Vantage]++
+		for _, o := range t.Observations {
+			servers[o.Server] = true
+			if differential(o) {
+				diffCount[key{t.Vantage, o.Server}]++
+			}
+		}
+	}
+	sortedServers := make([]packet.Addr, 0, len(servers))
+	for s := range servers {
+		sortedServers = append(sortedServers, s)
+	}
+	sort.Slice(sortedServers, func(i, j int) bool { return sortedServers[i].Less(sortedServers[j]) })
+
+	spikeAnywhere := map[packet.Addr]bool{}
+	transient := map[packet.Addr]bool{}
+	for vantage, n := range traceCount {
+		list := make([]ServerDifferential, 0, len(sortedServers))
+		for _, s := range sortedServers {
+			frac := float64(diffCount[key{vantage, s}]) / float64(n)
+			list = append(list, ServerDifferential{Server: s, Fraction: frac})
+			if frac > 0.5 {
+				f.SpikesOver50[vantage]++
+				spikeAnywhere[s] = true
+			} else if frac > 0 {
+				f.TransientPerVantage[vantage]++
+				transient[s] = true
+			}
+		}
+		f.PerVantage[vantage] = list
+	}
+	f.GlobalSpikes = len(spikeAnywhere)
+	for s := range transient {
+		if !spikeAnywhere[s] {
+			f.TransientServers++
+		}
+	}
+	return f
+}
+
+// RenderFigure3 summarises the differential plot: spike counts per
+// vantage plus the global transient/persistent split.
+func RenderFigure3(f Figure3, caption string) string {
+	var b strings.Builder
+	b.WriteString(caption + "\n")
+	vantages := make([]string, 0, len(f.SpikesOver50))
+	for v := range f.PerVantage {
+		vantages = append(vantages, v)
+	}
+	sort.Strings(vantages)
+	for _, v := range vantages {
+		b.WriteString(fmt.Sprintf("%-22s servers with differential >50%%: %-4d transient (0<f≤50%%): %d\n",
+			v, f.SpikesOver50[v], f.TransientPerVantage[v]))
+	}
+	b.WriteString(fmt.Sprintf("servers >50%% from some vantage: %d;  transiently differential only: %d (%.1fx)\n",
+		f.GlobalSpikes, f.TransientServers, ratio(f.TransientServers, f.GlobalSpikes)))
+	return b.String()
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/iptable"
+	"repro/internal/packet"
+)
+
+func addr(i int) packet.Addr { return packet.AddrFrom4(16, 9, byte(i>>8), byte(i)) }
+
+// synthDataset builds a deterministic dataset: 2 vantages × 4 traces ×
+// 10 servers. Server 0 is ECT-UDP-firewalled (differential in every
+// trace), server 1 flaps once per vantage, server 2 has no web server,
+// server 3 refuses TCP ECN.
+func synthDataset() *dataset.Dataset {
+	d := &dataset.Dataset{}
+	idx := 0
+	for _, v := range []string{"Perkins home", "EC2 Tokyo"} {
+		for ti := 0; ti < 4; ti++ {
+			tr := dataset.Trace{Vantage: v, Batch: 1 + ti/2, Index: idx}
+			idx++
+			for si := 0; si < 10; si++ {
+				o := dataset.Observation{
+					Server:          addr(si),
+					UDPReachable:    true,
+					UDPECTReachable: true,
+					TCPReachable:    true,
+					TCPECN:          true,
+					HTTPStatus:      302,
+				}
+				switch si {
+				case 0: // persistent ECT block; still negotiates TCP ECN
+					o.UDPECTReachable = false
+				case 1: // transient: differential in trace 0 only
+					if ti == 0 {
+						o.UDPECTReachable = false
+					}
+				case 2: // no web server
+					o.TCPReachable = false
+					o.TCPECN = false
+					o.HTTPStatus = 0
+				case 3: // refuses ECN with TCP
+					o.TCPECN = false
+				case 4: // offline in batch 2
+					if ti >= 2 {
+						o = dataset.Observation{Server: addr(si)}
+					}
+				case 5: // converse differential: ECT yes, not-ECT no
+					o.UDPReachable = false
+				}
+				tr.Observations = append(tr.Observations, o)
+			}
+			d.Traces = append(d.Traces, tr)
+		}
+	}
+	return d
+}
+
+func TestComputeFigure2a(t *testing.T) {
+	f := ComputeFigure2a(synthDataset())
+	if len(f.Points) != 8 {
+		t.Fatalf("points = %d", len(f.Points))
+	}
+	// Trace 0: denominators: servers with UDPReachable: 9 (server 5
+	// excluded); differential: servers 0 and 1 → 7/9.
+	want0 := 100 * 7.0 / 9.0
+	if diff := f.Points[0].Pct - want0; diff < -0.01 || diff > 0.01 {
+		t.Errorf("trace 0 pct = %.3f, want %.3f", f.Points[0].Pct, want0)
+	}
+	// Later traces: only server 0 differential → 8/9 among batch-1.
+	want1 := 100 * 8.0 / 9.0
+	if diff := f.Points[1].Pct - want1; diff < -0.01 || diff > 0.01 {
+		t.Errorf("trace 1 pct = %.3f, want %.3f", f.Points[1].Pct, want1)
+	}
+	if f.AvgUDPReachable <= 0 || f.AvgECTReachable <= 0 {
+		t.Error("prose averages missing")
+	}
+	if f.Average <= 0 || f.Average > 100 {
+		t.Errorf("average = %v", f.Average)
+	}
+}
+
+func TestComputeFigure2b(t *testing.T) {
+	f := ComputeFigure2b(synthDataset())
+	// Server 5 is the only converse-differential; trace 0 has servers
+	// with ECT reachable: 8 (server 0 and... server 0 ECT no, server 1
+	// ECT no in trace 0, server 4 online, server 5 ECT yes) → count:
+	// servers 2,3,4,5,6,7,8,9 → 8; differential server 5 → 7/8.
+	want := 100 * 7.0 / 8.0
+	if diff := f.Points[0].Pct - want; diff < -0.01 || diff > 0.01 {
+		t.Errorf("trace 0 pct = %.3f, want %.3f", f.Points[0].Pct, want)
+	}
+}
+
+func TestComputeFigure3a(t *testing.T) {
+	f := ComputeFigure3a(synthDataset())
+	for _, v := range []string{"Perkins home", "EC2 Tokyo"} {
+		if got := f.SpikesOver50[v]; got != 1 {
+			t.Errorf("%s spikes = %d, want 1 (the firewalled server)", v, got)
+		}
+		// Per-server fractions: server 0 = 100%, server 1 = 25%.
+		list := f.PerVantage[v]
+		if list[0].Fraction != 1.0 {
+			t.Errorf("server 0 fraction = %v", list[0].Fraction)
+		}
+		if list[1].Fraction != 0.25 {
+			t.Errorf("server 1 fraction = %v", list[1].Fraction)
+		}
+	}
+	if f.GlobalSpikes != 1 {
+		t.Errorf("global spikes = %d", f.GlobalSpikes)
+	}
+	if f.TransientServers != 1 {
+		t.Errorf("transient servers = %d", f.TransientServers)
+	}
+}
+
+func TestComputeFigure3b(t *testing.T) {
+	f := ComputeFigure3b(synthDataset())
+	if f.GlobalSpikes != 1 {
+		t.Errorf("converse global spikes = %d, want 1 (server 5)", f.GlobalSpikes)
+	}
+}
+
+func TestComputeFigure5(t *testing.T) {
+	f := ComputeFigure5(synthDataset())
+	// Per trace (batch 1): TCP reachable = 9 − server2 = 9? servers: 10
+	// minus server 2 (no web) = 9; negotiated = 9 − server 3 = 8.
+	p := f.Points[0]
+	if p.Reachable != 9 || p.Negotiated != 8 {
+		t.Errorf("trace 0 = %d/%d, want 9/8", p.Reachable, p.Negotiated)
+	}
+	if f.NegotiationRate < 85 || f.NegotiationRate > 92 {
+		t.Errorf("negotiation rate = %.1f", f.NegotiationRate)
+	}
+}
+
+func TestComputeTable2(t *testing.T) {
+	tbl := ComputeTable2(synthDataset())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		// Avg unreachable: server 0 every trace + server 1 once = (4+1)/4.
+		if r.AvgUnreachableECT != 1.25 {
+			t.Errorf("%s avg unreachable = %v, want 1.25", r.Vantage, r.AvgUnreachableECT)
+		}
+		// Of those, fail TCP ECN: server 0 negotiates, server 1
+		// negotiates → 0.
+		if r.AvgAlsoFailTCPECN != 0 {
+			t.Errorf("%s also-fail = %v, want 0", r.Vantage, r.AvgAlsoFailTCPECN)
+		}
+	}
+	if tbl.Phi > 0.3 || tbl.Phi < -0.3 {
+		t.Errorf("phi = %v; synthetic data has weak association", tbl.Phi)
+	}
+}
+
+func TestComputeTable1AndFigure1(t *testing.T) {
+	db := &geo.DB{}
+	db.Add(iptable.MustParsePrefix("16.9.0.0/24"), geo.Location{Region: geo.Europe, Country: "GB", Lat: 55, Lon: -4})
+	db.Add(iptable.MustParsePrefix("16.9.1.0/24"), geo.Location{Region: geo.Asia, Country: "JP", Lat: 35, Lon: 139})
+	servers := []packet.Addr{addr(0), addr(1), addr(256), packet.AddrFrom4(99, 0, 0, 1)}
+
+	t1 := ComputeTable1(servers, db)
+	if t1.Total != 4 {
+		t.Errorf("total = %d", t1.Total)
+	}
+	counts := map[geo.Region]int{}
+	for _, r := range t1.Rows {
+		counts[r.Region] = r.Count
+	}
+	if counts[geo.Europe] != 2 || counts[geo.Asia] != 1 || counts[geo.Unknown] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+
+	f1 := ComputeFigure1(servers, db)
+	if len(f1.Points) != 4 {
+		t.Errorf("points = %d", len(f1.Points))
+	}
+	out := RenderFigure1(f1)
+	if !strings.Contains(out, "Figure 1") {
+		t.Error("missing caption")
+	}
+}
+
+func TestComputeFigure6(t *testing.T) {
+	f5 := ComputeFigure5(synthDataset())
+	f6 := ComputeFigure6(f5)
+	if len(f6.Series) != len(HistoricalECN) {
+		t.Error("series truncated")
+	}
+	if f6.Measured.Pct != f5.NegotiationRate {
+		t.Error("measured point mismatch")
+	}
+	// Trend: our point must extend the rising series.
+	last := f6.Series[len(f6.Series)-1]
+	if f6.Measured.Pct <= last.Pct {
+		t.Errorf("measured %.1f%% does not extend trend beyond %.1f%%", f6.Measured.Pct, last.Pct)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	d := synthDataset()
+	f2 := ComputeFigure2a(d)
+	f3 := ComputeFigure3a(d)
+	f5 := ComputeFigure5(d)
+	f6 := ComputeFigure6(f5)
+	t2 := ComputeTable2(d)
+
+	outputs := map[string]string{
+		"fig2": RenderFigure2(f2, "Figure 2a"),
+		"fig3": RenderFigure3(f3, "Figure 3a"),
+		"fig5": RenderFigure5(f5),
+		"fig6": RenderFigure6(f6),
+		"tab2": RenderTable2(t2),
+	}
+	for name, out := range outputs {
+		if len(out) < 40 || !strings.Contains(out, "\n") {
+			t.Errorf("%s output suspiciously small: %q", name, out)
+		}
+	}
+	// Figure 2 must contain both vantages.
+	if !strings.Contains(outputs["fig2"], "Perkins home") || !strings.Contains(outputs["fig2"], "EC2 Tokyo") {
+		t.Error("figure 2 missing vantage rows")
+	}
+	// Table 2 rows preserve vantage order.
+	if strings.Index(outputs["tab2"], "Perkins home") > strings.Index(outputs["tab2"], "EC2 Tokyo") {
+		t.Error("table 2 ordering wrong")
+	}
+}
+
+func TestBarGlyphRange(t *testing.T) {
+	if barGlyph(89) != '0' || barGlyph(90) != '0' {
+		t.Error("low clamp wrong")
+	}
+	if barGlyph(100) != '#' || barGlyph(150) != '#' {
+		t.Error("high clamp wrong")
+	}
+	if barGlyph(95.5) != '5' {
+		t.Errorf("mid glyph = %c", barGlyph(95.5))
+	}
+}

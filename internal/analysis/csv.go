@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV emitters: every figure and table can be exported as CSV for
+// external plotting (the paper's figures are bar/scatter plots that a
+// spreadsheet or gnuplot reproduces directly from these rows).
+
+// WriteTable1CSV emits region,count rows.
+func WriteTable1CSV(w io.Writer, t Table1) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"region", "servers"}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write([]string{string(r.Region), strconv.Itoa(r.Count)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure2CSV emits one row per trace: vantage, index, batch, pct.
+func WriteFigure2CSV(w io.Writer, f Figure2) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vantage", "trace", "batch", "pct"}); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		err := cw.Write([]string{
+			p.Vantage,
+			strconv.Itoa(p.Index),
+			strconv.Itoa(p.Batch),
+			strconv.FormatFloat(p.Pct, 'f', 4, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure3CSV emits one row per (vantage, server): the differential
+// fraction — the exact data behind the paper's per-server bar plots.
+func WriteFigure3CSV(w io.Writer, f Figure3) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vantage", "server", "differential"}); err != nil {
+		return err
+	}
+	vantages := make([]string, 0, len(f.PerVantage))
+	for v := range f.PerVantage {
+		vantages = append(vantages, v)
+	}
+	sort.Strings(vantages)
+	for _, v := range vantages {
+		for _, sd := range f.PerVantage[v] {
+			err := cw.Write([]string{
+				v,
+				sd.Server.String(),
+				strconv.FormatFloat(sd.Fraction, 'f', 4, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits the summary statistics as key,value rows plus
+// one row per sample path.
+func WriteFigure4CSV(w io.Writer, f Figure4) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{
+		{"metric", "value"},
+		{"hop_observations", strconv.Itoa(f.TotalObservations)},
+		{"responded", strconv.Itoa(f.RespondedObservations)},
+		{"preserved", strconv.Itoa(f.PreservedObservations)},
+		{"modified", strconv.Itoa(f.ModifiedObservations)},
+		{"ce_marks", strconv.Itoa(f.CEObservations)},
+		{"strip_location_routers", strconv.Itoa(f.StripLocationRouters)},
+		{"always_strip", strconv.Itoa(f.AlwaysStripRouters)},
+		{"sometimes_strip", strconv.Itoa(f.SometimesStrip)},
+		{"boundary_strips", strconv.Itoa(f.BoundaryStrips)},
+		{"determinable_strips", strconv.Itoa(f.DeterminableStrips)},
+		{"boundary_fraction", strconv.FormatFloat(f.BoundaryFraction, 'f', 4, 64)},
+		{"ases_seen", strconv.Itoa(f.ASesSeen)},
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits one row per trace: vantage, index, reachable,
+// negotiated.
+func WriteFigure5CSV(w io.Writer, f Figure5) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vantage", "trace", "tcp_reachable", "ecn_negotiated"}); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		err := cw.Write([]string{
+			p.Vantage,
+			strconv.Itoa(p.Index),
+			strconv.Itoa(p.Reachable),
+			strconv.Itoa(p.Negotiated),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure6CSV emits year,pct,source rows (literature + measured).
+func WriteFigure6CSV(w io.Writer, f Figure6) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"year", "pct", "source"}); err != nil {
+		return err
+	}
+	all := append(append([]HistoricalPoint{}, f.Series...), f.Measured)
+	for _, p := range all {
+		err := cw.Write([]string{
+			strconv.FormatFloat(p.Year, 'f', 1, 64),
+			strconv.FormatFloat(p.Pct, 'f', 2, 64),
+			p.Source,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits one row per location.
+func WriteTable2CSV(w io.Writer, t Table2) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"location", "avg_unreachable_udp_ect", "avg_also_fail_tcp_ecn"}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		err := cw.Write([]string{
+			r.Vantage,
+			strconv.FormatFloat(r.AvgUnreachableECT, 'f', 2, 64),
+			strconv.FormatFloat(r.AvgAlsoFailTCPECN, 'f', 2, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"phi", strconv.FormatFloat(t.Phi, 'f', 4, 64), ""}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

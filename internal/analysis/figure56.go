@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// --- Figure 5 --------------------------------------------------------------
+
+// Figure5Point is one trace's TCP reachability split.
+type Figure5Point struct {
+	Vantage string
+	Index   int
+	// Reachable servers over TCP; of those, how many negotiated ECN.
+	Reachable  int
+	Negotiated int
+}
+
+// Figure5 is the TCP/ECN reachability analysis of Section 4.3.
+type Figure5 struct {
+	Points []Figure5Point
+	// Paper averages: 1334 reachable, 1095 negotiating (82.0%).
+	AvgReachable    float64
+	AvgNegotiated   float64
+	NegotiationRate float64 // percentage
+}
+
+// ComputeFigure5 reduces per-trace TCP outcomes.
+func ComputeFigure5(d *dataset.Dataset) Figure5 {
+	var f Figure5
+	var reach, nego []float64
+	for _, t := range d.Traces {
+		r, n := 0, 0
+		for _, o := range t.Observations {
+			if o.TCPReachable {
+				r++
+				if o.TCPECN {
+					n++
+				}
+			}
+		}
+		f.Points = append(f.Points, Figure5Point{Vantage: t.Vantage, Index: t.Index, Reachable: r, Negotiated: n})
+		reach = append(reach, float64(r))
+		nego = append(nego, float64(n))
+	}
+	f.AvgReachable = stats.Mean(reach)
+	f.AvgNegotiated = stats.Mean(nego)
+	if f.AvgReachable > 0 {
+		f.NegotiationRate = 100 * f.AvgNegotiated / f.AvgReachable
+	}
+	return f
+}
+
+// RenderFigure5 prints per-vantage stacked counts.
+func RenderFigure5(f Figure5) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Reachability of web servers using TCP and TCP with ECN\n")
+	b.WriteString(fmt.Sprintf("average reachable %.0f, negotiating ECN %.0f (%.1f%%)\n",
+		f.AvgReachable, f.AvgNegotiated, f.NegotiationRate))
+
+	order := []string{}
+	byVantage := map[string][]Figure5Point{}
+	for _, p := range f.Points {
+		if _, ok := byVantage[p.Vantage]; !ok {
+			order = append(order, p.Vantage)
+		}
+		byVantage[p.Vantage] = append(byVantage[p.Vantage], p)
+	}
+	for _, v := range order {
+		pts := byVantage[v]
+		var r, n float64
+		for _, p := range pts {
+			r += float64(p.Reachable)
+			n += float64(p.Negotiated)
+		}
+		r /= float64(len(pts))
+		n /= float64(len(pts))
+		b.WriteString(fmt.Sprintf("%-22s reachable %5.0f  | ECN yes %5.0f  | ECN no %5.0f\n", v, r, n, r-n))
+	}
+	return b.String()
+}
+
+// --- Figure 6 --------------------------------------------------------------
+
+// HistoricalPoint is a literature measurement of TCP ECN negotiation.
+type HistoricalPoint struct {
+	Year   float64
+	Pct    float64
+	Source string
+}
+
+// HistoricalECN is the literature series the paper plots in Figure 6:
+// Medina et al. (2000, 2004), Langley (2008), Bauer et al. (2011),
+// Kühlewind et al. (April and August 2012), and Trammell et al. (2014).
+var HistoricalECN = []HistoricalPoint{
+	{2000.5, 0.2, "Medina"},
+	{2004.5, 1.1, "Medina"},
+	{2008.7, 1.07, "Langley"},
+	{2011.5, 17.2, "Bauer"},
+	{2012.3, 25.16, "Kuhlewind"},
+	{2012.6, 29.48, "Kuhlewind"},
+	{2014.7, 56.17, "Trammell"},
+}
+
+// Figure6 is the ECN deployment trend with our measured point appended.
+type Figure6 struct {
+	Series   []HistoricalPoint
+	Measured HistoricalPoint
+}
+
+// ComputeFigure6 combines the literature series with the campaign's
+// negotiation rate.
+func ComputeFigure6(f5 Figure5) Figure6 {
+	return Figure6{
+		Series:   HistoricalECN,
+		Measured: HistoricalPoint{Year: 2015.6, Pct: f5.NegotiationRate, Source: "measured"},
+	}
+}
+
+// RenderFigure6 draws the trend as an ASCII scatter, year × percentage.
+func RenderFigure6(f Figure6) string {
+	const w, h = 64, 20
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	all := append(append([]HistoricalPoint{}, f.Series...), f.Measured)
+	minYear, maxYear := 2000.0, 2016.0
+	plot := func(p HistoricalPoint, glyph byte) {
+		x := int((p.Year - minYear) / (maxYear - minYear) * float64(w-1))
+		y := int((100 - p.Pct) / 100 * float64(h-1))
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return
+		}
+		grid[y][x] = glyph
+	}
+	for _, p := range f.Series {
+		plot(p, 'o')
+	}
+	plot(f.Measured, '*')
+
+	var b strings.Builder
+	b.WriteString("Figure 6: Trends in ECN TCP capability (o = literature, * = this campaign)\n")
+	for i, row := range grid {
+		pct := 100 - i*100/(h-1)
+		b.WriteString(fmt.Sprintf("%3d%% |%s|\n", pct, string(row)))
+	}
+	b.WriteString("      " + strings.Repeat("-", w) + "\n")
+	b.WriteString("      2000" + strings.Repeat(" ", w-12) + "2016\n")
+	sort.Slice(all, func(i, j int) bool { return all[i].Year < all[j].Year })
+	for _, p := range all {
+		b.WriteString(fmt.Sprintf("  %.1f  %6.2f%%  %s\n", p.Year, p.Pct, p.Source))
+	}
+	return b.String()
+}
+
+// --- Table 2 --------------------------------------------------------------
+
+// Table2Row is one vantage's UDP/TCP correlation numbers.
+type Table2Row struct {
+	Vantage string
+	// AvgUnreachableECT: servers reachable via not-ECT UDP but not via
+	// ECT(0) UDP, averaged over the vantage's traces.
+	AvgUnreachableECT float64
+	// AvgAlsoFailTCPECN: of those, how many were reachable over TCP yet
+	// refused to negotiate ECN — the genuinely cross-protocol failures.
+	// Servers with no web server at all are excluded: nothing can be
+	// said about their TCP ECN stance.
+	AvgAlsoFailTCPECN float64
+}
+
+// Table2 is the correlation analysis of Section 4.4.
+type Table2 struct {
+	Rows []Table2Row
+	// Phi is the association between "UDP-ECT unreachable" and "refuses
+	// TCP ECN" over all (trace, server) pairs where the server was TCP
+	// reachable. The paper reports only weak correlation.
+	Phi float64
+}
+
+// ComputeTable2 reduces the cross-protocol comparison.
+func ComputeTable2(d *dataset.Dataset) Table2 {
+	var t Table2
+	type acc struct {
+		traces   int
+		unreach  int
+		alsoFail int
+	}
+	accs := map[string]*acc{}
+	order := []string{}
+	var n11, n10, n01, n00 int
+	for _, tr := range d.Traces {
+		a := accs[tr.Vantage]
+		if a == nil {
+			a = &acc{}
+			accs[tr.Vantage] = a
+			order = append(order, tr.Vantage)
+		}
+		a.traces++
+		for _, o := range tr.Observations {
+			udpECTFail := o.UDPReachable && !o.UDPECTReachable
+			if udpECTFail {
+				a.unreach++
+				if o.TCPReachable && !o.TCPECN {
+					a.alsoFail++
+				}
+			}
+			// Contingency over TCP-reachable servers.
+			if o.TCPReachable {
+				refusesECN := !o.TCPECN
+				switch {
+				case udpECTFail && refusesECN:
+					n11++
+				case udpECTFail && !refusesECN:
+					n10++
+				case !udpECTFail && refusesECN:
+					n01++
+				default:
+					n00++
+				}
+			}
+		}
+	}
+	for _, v := range order {
+		a := accs[v]
+		t.Rows = append(t.Rows, Table2Row{
+			Vantage:           v,
+			AvgUnreachableECT: float64(a.unreach) / float64(a.traces),
+			AvgAlsoFailTCPECN: float64(a.alsoFail) / float64(a.traces),
+		})
+	}
+	t.Phi = stats.Phi(n11, n10, n01, n00)
+	return t
+}
+
+// RenderTable2 prints the paper's Table 2 layout.
+func RenderTable2(t Table2) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Correlation between UDP and TCP reachability\n")
+	b.WriteString(fmt.Sprintf("%-22s %-24s %s\n", "Location", "Avg unreachable UDP+ECT", "of those, fail ECN w/TCP"))
+	for _, r := range t.Rows {
+		b.WriteString(fmt.Sprintf("%-22s %-24.0f %.0f\n", r.Vantage, r.AvgUnreachableECT, r.AvgAlsoFailTCPECN))
+	}
+	b.WriteString(fmt.Sprintf("phi coefficient (UDP-ECT fail vs TCP-ECN refusal): %.3f (weak correlation)\n", t.Phi))
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Prose captures the Section 4.1 narrative statistics that accompany
+// Figure 2 in the paper but appear only in its text: overall not-ECT
+// reachability, the drop between collection batches (pool churn), and
+// the per-vantage spread that singles out the congested home access
+// link and the noisy wireless network.
+type Prose struct {
+	// AvgUDPReachable across all traces (paper: 2253 of 2500).
+	AvgUDPReachable float64
+	// Batch1/Batch2 average not-ECT reachability ("the early traces …
+	// show higher reachability than the later traces").
+	Batch1Avg float64
+	Batch2Avg float64
+	// PerVantage rows, in first-seen order.
+	PerVantage []ProseVantage
+}
+
+// ProseVantage is one location's reachability summary.
+type ProseVantage struct {
+	Vantage string
+	Traces  int
+	// Mean and standard deviation of per-trace not-ECT-reachable counts.
+	Mean, StdDev float64
+}
+
+// ComputeProse reduces the dataset to the §4.1 narrative numbers.
+func ComputeProse(d *dataset.Dataset) Prose {
+	var p Prose
+	var all, b1, b2 []float64
+	order := []string{}
+	perV := map[string][]float64{}
+	for _, t := range d.Traces {
+		udp, _, _, _ := t.CountReachable()
+		v := float64(udp)
+		all = append(all, v)
+		switch t.Batch {
+		case 1:
+			b1 = append(b1, v)
+		case 2:
+			b2 = append(b2, v)
+		}
+		if _, ok := perV[t.Vantage]; !ok {
+			order = append(order, t.Vantage)
+		}
+		perV[t.Vantage] = append(perV[t.Vantage], v)
+	}
+	p.AvgUDPReachable = stats.Mean(all)
+	p.Batch1Avg = stats.Mean(b1)
+	p.Batch2Avg = stats.Mean(b2)
+	for _, v := range order {
+		xs := perV[v]
+		p.PerVantage = append(p.PerVantage, ProseVantage{
+			Vantage: v,
+			Traces:  len(xs),
+			Mean:    stats.Mean(xs),
+			StdDev:  stats.StdDev(xs),
+		})
+	}
+	return p
+}
+
+// WorstVantage returns the location with the lowest mean reachability
+// (the paper: "we note poor reachability from McQuistin's home").
+func (p Prose) WorstVantage() (ProseVantage, bool) {
+	if len(p.PerVantage) == 0 {
+		return ProseVantage{}, false
+	}
+	worst := p.PerVantage[0]
+	for _, v := range p.PerVantage[1:] {
+		if v.Mean < worst.Mean {
+			worst = v
+		}
+	}
+	return worst, true
+}
+
+// NoisiestVantage returns the location with the highest per-trace
+// standard deviation ("more variation in the wireless traces").
+func (p Prose) NoisiestVantage() (ProseVantage, bool) {
+	if len(p.PerVantage) == 0 {
+		return ProseVantage{}, false
+	}
+	noisiest := p.PerVantage[0]
+	for _, v := range p.PerVantage[1:] {
+		if v.StdDev > noisiest.StdDev {
+			noisiest = v
+		}
+	}
+	return noisiest, true
+}
+
+// RenderProse prints the narrative summary.
+func RenderProse(p Prose) string {
+	var b strings.Builder
+	b.WriteString("Section 4.1 prose statistics\n")
+	b.WriteString(fmt.Sprintf("avg servers reachable via not-ECT UDP: %.0f\n", p.AvgUDPReachable))
+	b.WriteString(fmt.Sprintf("batch 1 (early) avg %.0f  vs  batch 2 (late) avg %.0f — pool churn\n",
+		p.Batch1Avg, p.Batch2Avg))
+
+	rows := append([]ProseVantage(nil), p.PerVantage...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Vantage < rows[j].Vantage })
+	for _, v := range rows {
+		b.WriteString(fmt.Sprintf("%-22s traces %-3d mean %7.1f  σ %6.1f\n",
+			v.Vantage, v.Traces, v.Mean, v.StdDev))
+	}
+	if worst, ok := p.WorstVantage(); ok {
+		b.WriteString(fmt.Sprintf("poorest reachability: %s (%.0f)\n", worst.Vantage, worst.Mean))
+	}
+	if noisiest, ok := p.NoisiestVantage(); ok {
+		b.WriteString(fmt.Sprintf("most variable: %s (σ %.1f)\n", noisiest.Vantage, noisiest.StdDev))
+	}
+	return b.String()
+}

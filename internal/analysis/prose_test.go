@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/packet"
+)
+
+// proseDataset: two vantages, two batches; vantage B is flaky, batch 2
+// loses a server (churn).
+func proseDataset() *dataset.Dataset {
+	d := &dataset.Dataset{}
+	mk := func(vantage string, batch, reachable int, idx int) dataset.Trace {
+		tr := dataset.Trace{Vantage: vantage, Batch: batch, Index: idx}
+		for i := 0; i < 10; i++ {
+			o := dataset.Observation{Server: packet.AddrFrom4(16, 9, 0, byte(i))}
+			if i < reachable {
+				o.UDPReachable = true
+				o.UDPECTReachable = true
+			}
+			tr.Observations = append(tr.Observations, o)
+		}
+		return tr
+	}
+	d.Traces = append(d.Traces,
+		mk("steady", 1, 10, 0), mk("steady", 1, 10, 1),
+		mk("steady", 2, 9, 2), mk("steady", 2, 9, 3),
+		mk("flaky", 1, 10, 4), mk("flaky", 1, 6, 5),
+		mk("flaky", 2, 9, 6), mk("flaky", 2, 5, 7),
+	)
+	return d
+}
+
+func TestComputeProse(t *testing.T) {
+	p := ComputeProse(proseDataset())
+	if p.AvgUDPReachable != 8.5 {
+		t.Errorf("avg = %v", p.AvgUDPReachable)
+	}
+	if p.Batch1Avg != 9.0 || p.Batch2Avg != 8.0 {
+		t.Errorf("batch avgs = %v / %v", p.Batch1Avg, p.Batch2Avg)
+	}
+	if p.Batch1Avg <= p.Batch2Avg {
+		t.Error("early batch must exceed late batch")
+	}
+	if len(p.PerVantage) != 2 {
+		t.Fatalf("vantages = %d", len(p.PerVantage))
+	}
+
+	worst, ok := p.WorstVantage()
+	if !ok || worst.Vantage != "flaky" {
+		t.Errorf("worst = %+v", worst)
+	}
+	noisiest, ok := p.NoisiestVantage()
+	if !ok || noisiest.Vantage != "flaky" {
+		t.Errorf("noisiest = %+v", noisiest)
+	}
+}
+
+func TestComputeProseEmpty(t *testing.T) {
+	p := ComputeProse(&dataset.Dataset{})
+	if p.AvgUDPReachable != 0 || len(p.PerVantage) != 0 {
+		t.Errorf("empty prose = %+v", p)
+	}
+	if _, ok := p.WorstVantage(); ok {
+		t.Error("worst on empty dataset")
+	}
+	if _, ok := p.NoisiestVantage(); ok {
+		t.Error("noisiest on empty dataset")
+	}
+}
+
+func TestRenderProse(t *testing.T) {
+	out := RenderProse(ComputeProse(proseDataset()))
+	for _, want := range []string{"batch 1", "flaky", "steady", "poorest reachability: flaky", "most variable: flaky"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

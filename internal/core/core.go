@@ -1,0 +1,329 @@
+// Package core implements the paper's measurement application — the
+// custom prober that Section 3 describes. It is the primary contribution
+// of the reproduction: everything else in this repository is substrate
+// for it.
+//
+// For each server in the discovered pool, a trace performs four
+// measurements in order, exactly as the paper does:
+//
+//  1. NTP request in a not-ECT marked UDP packet (1 s timeout, up to
+//     five retransmissions);
+//  2. the same with an ECT(0) marked UDP packet — ECT(0) rather than
+//     ECT(1), to match the marking TCP stacks use;
+//  3. HTTP GET for the server's root page over TCP without ECN;
+//  4. the same with an ECN-setup SYN, recording whether an ECN-setup
+//     SYN-ACK comes back.
+//
+// A campaign runs a configured number of such traces from each of the 13
+// vantage points across two batches, rolling pool churn and access-line
+// conditions between traces, and emits a dataset.Dataset. A separate
+// traceroute campaign (Section 4.2) probes every vantage→server path
+// with TTL-limited ECT(0) UDP packets.
+package core
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dnspool"
+	"repro/internal/ecn"
+	"repro/internal/httpmin"
+	"repro/internal/ntp"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+)
+
+// ProbeServer runs the paper's four measurements from a vantage point
+// against one server, invoking done with the observation. Measurements
+// run strictly in sequence, as the paper's prober did.
+func ProbeServer(v *topology.Vantage, server packet.Addr, done func(dataset.Observation)) {
+	obs := dataset.Observation{Server: server}
+
+	// Measurement 4: HTTP GET with an ECN-setup SYN.
+	step4 := func() {
+		httpmin.Get(v.Stack, server, httpmin.Port, "/", true, func(r httpmin.GetResult) {
+			obs.TCPECNReachable = r.Err == nil && r.Response != nil
+			obs.TCPECN = r.ECNNegotiated
+			done(obs)
+		})
+	}
+	// Measurement 3: HTTP GET without ECN.
+	step3 := func() {
+		httpmin.Get(v.Stack, server, httpmin.Port, "/", false, func(r httpmin.GetResult) {
+			obs.TCPReachable = r.Err == nil && r.Response != nil
+			if r.Response != nil {
+				obs.HTTPStatus = r.Response.StatusCode
+			}
+			step4()
+		})
+	}
+	// Measurement 2: NTP over ECT(0)-marked UDP.
+	step2 := func() {
+		ntp.Probe(v.Host, server, ntp.ProbeConfig{ECN: ecn.ECT0}, func(r ntp.ProbeResult) {
+			obs.UDPECTReachable = r.Reachable
+			obs.UDPECTAttempts = r.Attempts
+			step3()
+		})
+	}
+	// Measurement 1: NTP over not-ECT UDP.
+	ntp.Probe(v.Host, server, ntp.ProbeConfig{ECN: ecn.NotECT}, func(r ntp.ProbeResult) {
+		obs.UDPReachable = r.Reachable
+		obs.UDPAttempts = r.Attempts
+		step2()
+	})
+}
+
+// RunTrace probes every server in order from one vantage point and
+// invokes done with the completed trace. Server conditions (churn,
+// congestion, vantage loss) must already be applied.
+func RunTrace(v *topology.Vantage, servers []packet.Addr, batch topology.Batch, index int, done func(dataset.Trace)) {
+	sim := v.Host.Sim()
+	trace := dataset.Trace{
+		Vantage: v.Name,
+		Batch:   int(batch),
+		Index:   index,
+		Started: sim.Now(),
+	}
+	trace.Observations = make([]dataset.Observation, 0, len(servers))
+
+	var next func(i int)
+	next = func(i int) {
+		if i == len(servers) {
+			done(trace)
+			return
+		}
+		ProbeServer(v, servers[i], func(obs dataset.Observation) {
+			trace.Observations = append(trace.Observations, obs)
+			// Yield through the event loop: keeps the call stack flat
+			// across 2500 sequential servers.
+			sim.After(0, func() { next(i + 1) })
+		})
+	}
+	next(0)
+}
+
+// CampaignConfig sizes a measurement campaign.
+type CampaignConfig struct {
+	// TracesPerVantage maps vantage name → number of traces. Vantages
+	// absent from the map are skipped. Use PaperTracePlan for the full
+	// 210-trace campaign.
+	TracesPerVantage map[string]int
+	// Batch2Fraction is the share of each vantage's traces that run
+	// under batch-2 (July/August) conditions. Default 0.5.
+	Batch2Fraction float64
+	// SettleTime separates consecutive traces (virtual time).
+	SettleTime time.Duration
+	// DiscoverServers uses pool DNS discovery to enumerate targets.
+	// When false the campaign probes the world's ground-truth list —
+	// faster for tests; discovery itself is exercised separately.
+	DiscoverServers bool
+	// DiscoveryRounds overrides the DNS polling rounds (default 50,
+	// enough to enumerate the full pool through round-robin answers).
+	DiscoveryRounds int
+}
+
+// PaperTracePlan allocates the paper's 210 traces across the 13 vantage
+// points: the homes and the Glasgow wireless network collected both
+// batches, EC2 only the later one. The exact split is not given in the
+// paper; this plan preserves the total and the batch structure.
+func PaperTracePlan() map[string]int {
+	plan := map[string]int{
+		"Perkins home":        25,
+		"McQuistin home":      25,
+		"U. Glasgow wired":    14,
+		"U. Glasgow wireless": 20,
+	}
+	for _, name := range []string{
+		"EC2 California", "EC2 Frankfurt", "EC2 Ireland", "EC2 Oregon",
+		"EC2 Sao Paulo", "EC2 Singapore", "EC2 Sydney", "EC2 Tokyo",
+		"EC2 Virginia",
+	} {
+		plan[name] = 14 // 9 × 14 = 126; 126 + 84 = 210
+	}
+	return plan
+}
+
+// Campaign drives a full measurement campaign over a generated world.
+type Campaign struct {
+	World *topology.World
+	Cfg   CampaignConfig
+
+	// Servers is the probed target list (discovered or ground truth).
+	Servers []packet.Addr
+	// Dataset accumulates completed traces.
+	Dataset dataset.Dataset
+}
+
+// NewCampaign prepares a campaign.
+func NewCampaign(w *topology.World, cfg CampaignConfig) *Campaign {
+	if cfg.Batch2Fraction == 0 {
+		cfg.Batch2Fraction = 0.5
+	}
+	if cfg.SettleTime == 0 {
+		cfg.SettleTime = time.Minute
+	}
+	if cfg.DiscoveryRounds == 0 {
+		cfg.DiscoveryRounds = 50
+	}
+	return &Campaign{World: w, Cfg: cfg}
+}
+
+// Run executes discovery (optionally) and all traces, then invokes done.
+// Drive the simulation to completion for the result.
+func (c *Campaign) Run(done func(*dataset.Dataset)) {
+	start := func(servers []packet.Addr) {
+		c.Servers = servers
+		c.runTraces(done)
+	}
+	if !c.Cfg.DiscoverServers {
+		start(c.World.ServerAddrs())
+		return
+	}
+	// The paper discovered servers from the authors' institution; any
+	// vantage works, the first is as good as any.
+	v := c.World.Vantages[0]
+	dnspool.Discover(v.Host, dnspool.DiscoverConfig{
+		Resolver:      c.World.DNSAddr,
+		Zones:         c.World.CountryZones,
+		Rounds:        c.Cfg.DiscoveryRounds,
+		QueryGap:      100 * time.Millisecond,
+		RoundInterval: time.Minute,
+	}, func(r dnspool.DiscoverResult) {
+		start(r.Servers)
+	})
+}
+
+// runTraces iterates the trace plan: for each vantage in paper order,
+// batch 1 then batch 2.
+func (c *Campaign) runTraces(done func(*dataset.Dataset)) {
+	type job struct {
+		v     *topology.Vantage
+		batch topology.Batch
+		index int
+	}
+	var jobs []job
+	index := 0
+	for _, v := range c.World.Vantages {
+		n := c.Cfg.TracesPerVantage[v.Name]
+		if n == 0 {
+			continue
+		}
+		batch2 := int(float64(n) * c.Cfg.Batch2Fraction)
+		for i := 0; i < n; i++ {
+			b := topology.Batch1
+			if i >= n-batch2 {
+				b = topology.Batch2
+			}
+			jobs = append(jobs, job{v: v, batch: b, index: index})
+			index++
+		}
+	}
+
+	sim := c.World.Sim
+	var next func(i int)
+	next = func(i int) {
+		if i == len(jobs) {
+			done(&c.Dataset)
+			return
+		}
+		j := jobs[i]
+		c.World.ApplyTraceConditions(j.v, j.batch, sim.RNG())
+		RunTrace(j.v, c.Servers, j.batch, j.index, func(t dataset.Trace) {
+			c.Dataset.Traces = append(c.Dataset.Traces, t)
+			sim.After(c.Cfg.SettleTime, func() { next(i + 1) })
+		})
+	}
+	next(0)
+}
+
+// --- traceroute campaign (Section 4.2) ----------------------------------
+
+// PathObservation aliases the traceroute row type for campaign callers.
+type PathObservation = traceroute.PathObservation
+
+// TracerouteCampaignConfig sizes the path-transparency campaign.
+type TracerouteCampaignConfig struct {
+	// Vantages to trace from; nil means all.
+	Vantages []string
+	// TargetStride samples every Nth server (1 = all).
+	TargetStride int
+	// Parallelism bounds concurrent traceroutes per vantage (default 64).
+	Parallelism int
+	// Config is the per-trace configuration (ECT(0) probes by default).
+	Config traceroute.Config
+}
+
+// RunTracerouteCampaign traces paths from the selected vantages to the
+// sampled servers and returns all hop observations via done.
+func RunTracerouteCampaign(w *topology.World, cfg TracerouteCampaignConfig, done func([]PathObservation)) {
+	if cfg.TargetStride <= 0 {
+		cfg.TargetStride = 1
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 64
+	}
+	want := map[string]bool{}
+	for _, n := range cfg.Vantages {
+		want[n] = true
+	}
+	var vantages []*topology.Vantage
+	for _, v := range w.Vantages {
+		if len(want) == 0 || want[v.Name] {
+			vantages = append(vantages, v)
+		}
+	}
+	var targets []packet.Addr
+	all := w.ServerAddrs()
+	for i := 0; i < len(all); i += cfg.TargetStride {
+		targets = append(targets, all[i])
+	}
+
+	// The paper ran its traceroute campaign separately from the
+	// reachability traces; model that by clearing transient conditions
+	// (vantage and flaky-server access loss) first. Persistent
+	// middleboxes stay, of course — they are the measurement target.
+	for _, s := range w.Servers {
+		if s.Flaky {
+			s.Host.Uplink().SetLossBoth(0)
+		}
+	}
+
+	var out []PathObservation
+	var nextVantage func(vi int)
+	nextVantage = func(vi int) {
+		if vi == len(vantages) {
+			done(out)
+			return
+		}
+		v := vantages[vi]
+		v.Host.Uplink().SetLossBoth(0)
+		mux := traceroute.NewMux(v.Host)
+		pending := 0
+		idx := 0
+		var pump func()
+		pump = func() {
+			for pending < cfg.Parallelism && idx < len(targets) {
+				target := targets[idx]
+				idx++
+				pending++
+				mux.Run(target, cfg.Config, func(r traceroute.Result) {
+					for _, o := range r.Observations {
+						out = append(out, PathObservation{Vantage: v.Name, Target: r.Target, Observation: o})
+					}
+					pending--
+					pump()
+				})
+			}
+			if pending == 0 && idx == len(targets) {
+				w.Sim.After(0, func() { nextVantage(vi + 1) })
+			}
+		}
+		pump()
+	}
+	nextVantage(0)
+}
+
+// Run drains the world's simulator — a convenience so callers don't need
+// to import netsim.
+func Run(w *topology.World) { w.Sim.Run() }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+)
+
+func smallWorld(t *testing.T, seed int64) *topology.World {
+	t.Helper()
+	sim := netsim.NewSim(seed)
+	w, err := topology.Build(sim, topology.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestProbeServerFourMeasurements(t *testing.T) {
+	w := smallWorld(t, 1)
+	v := w.Vantages[0]
+
+	// Find an online web+ECN server with no middlebox quirks.
+	var target *topology.Server
+	for _, s := range w.Servers {
+		if s.Web && s.WebECN && !s.ECTUDPFirewalled && !s.NotECTFirewalled && !s.ScopedECT && !s.ScopedNotECT {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no suitable server")
+	}
+
+	var got dataset.Observation
+	ProbeServer(v, target.Addr, func(o dataset.Observation) { got = o })
+	w.Sim.Run()
+
+	if !got.UDPReachable || !got.UDPECTReachable {
+		t.Errorf("UDP reachability = %v/%v", got.UDPReachable, got.UDPECTReachable)
+	}
+	if !got.TCPReachable || !got.TCPECN || !got.TCPECNReachable {
+		t.Errorf("TCP = %v ECN = %v", got.TCPReachable, got.TCPECN)
+	}
+	if got.HTTPStatus != 302 {
+		t.Errorf("HTTP status = %d, want pool redirect", got.HTTPStatus)
+	}
+	if got.UDPAttempts != 1 {
+		t.Errorf("UDP attempts = %d", got.UDPAttempts)
+	}
+}
+
+func TestProbeServerECTFirewalled(t *testing.T) {
+	w := smallWorld(t, 2)
+	v := w.Vantages[0]
+	var target *topology.Server
+	for _, s := range w.Servers {
+		if s.ECTUDPFirewalled {
+			target = s
+			break
+		}
+	}
+	var got dataset.Observation
+	ProbeServer(v, target.Addr, func(o dataset.Observation) { got = o })
+	w.Sim.Run()
+
+	if !got.UDPReachable {
+		t.Error("not-ECT UDP should reach")
+	}
+	if got.UDPECTReachable {
+		t.Error("ECT UDP should be blocked")
+	}
+	if got.UDPECTAttempts != 6 {
+		t.Errorf("ECT attempts = %d, want all 6", got.UDPECTAttempts)
+	}
+	// The firewall only drops UDP: TCP (and TCP ECN, if the server
+	// negotiates) still works — Table 2's key observation.
+	if target.Web && !got.TCPReachable {
+		t.Error("TCP blocked despite UDP-only firewall")
+	}
+}
+
+func TestProbeServerOffline(t *testing.T) {
+	w := smallWorld(t, 3)
+	v := w.Vantages[0]
+	target := w.Servers[0]
+	target.Host.SetOnline(false)
+
+	var got dataset.Observation
+	ProbeServer(v, target.Addr, func(o dataset.Observation) { got = o })
+	w.Sim.Run()
+	if got.UDPReachable || got.UDPECTReachable || got.TCPReachable || got.TCPECN {
+		t.Errorf("offline server shows reachability: %+v", got)
+	}
+}
+
+func TestRunTraceCoversAllServers(t *testing.T) {
+	w := smallWorld(t, 4)
+	v := w.Vantages[0]
+	// All online, clean conditions.
+	var tr dataset.Trace
+	servers := w.ServerAddrs()[:30]
+	RunTrace(v, servers, topology.Batch1, 7, func(t dataset.Trace) { tr = t })
+	w.Sim.Run()
+
+	if len(tr.Observations) != 30 {
+		t.Fatalf("observations = %d", len(tr.Observations))
+	}
+	if tr.Vantage != v.Name || tr.Batch != 1 || tr.Index != 7 {
+		t.Errorf("trace meta = %+v", tr)
+	}
+	for i, o := range tr.Observations {
+		if o.Server != servers[i] {
+			t.Fatalf("observation %d out of order", i)
+		}
+	}
+}
+
+func TestCampaignMini(t *testing.T) {
+	w := smallWorld(t, 5)
+	c := NewCampaign(w, CampaignConfig{
+		TracesPerVantage: map[string]int{
+			"Perkins home": 2,
+			"EC2 Tokyo":    2,
+		},
+	})
+	var got *dataset.Dataset
+	c.Run(func(d *dataset.Dataset) { got = d })
+	w.Sim.Run()
+
+	if got == nil {
+		t.Fatal("campaign never completed")
+	}
+	if len(got.Traces) != 4 {
+		t.Fatalf("traces = %d", len(got.Traces))
+	}
+	vantages := got.Vantages()
+	if len(vantages) != 2 {
+		t.Errorf("vantages = %v", vantages)
+	}
+	// Batch structure: first half batch 1, second half batch 2.
+	perkins := got.TracesFrom("Perkins home")
+	if perkins[0].Batch != 1 || perkins[1].Batch != 2 {
+		t.Errorf("batches = %d,%d", perkins[0].Batch, perkins[1].Batch)
+	}
+	// Reachability sanity: most servers answer not-ECT UDP.
+	udp, udpECT, tcp, _ := perkins[0].CountReachable()
+	n := len(perkins[0].Observations)
+	if udp < n*3/4 {
+		t.Errorf("UDP reachable = %d of %d", udp, n)
+	}
+	if udpECT > udp {
+		t.Errorf("ECT reachable (%d) exceeds not-ECT (%d)", udpECT, udp)
+	}
+	if tcp >= udp {
+		t.Errorf("TCP reachable (%d) should trail UDP (%d): not all hosts run web servers", tcp, udp)
+	}
+}
+
+func TestCampaignWithDiscovery(t *testing.T) {
+	w := smallWorld(t, 6)
+	c := NewCampaign(w, CampaignConfig{
+		TracesPerVantage: map[string]int{"U. Glasgow wired": 1},
+		DiscoverServers:  true,
+		DiscoveryRounds:  12,
+	})
+	var got *dataset.Dataset
+	c.Run(func(d *dataset.Dataset) { got = d })
+	w.Sim.Run()
+	if got == nil {
+		t.Fatal("campaign never completed")
+	}
+	// Round-robin discovery over 12 rounds must find most of the pool.
+	if len(c.Servers) < len(w.Servers)*8/10 {
+		t.Errorf("discovered %d of %d servers", len(c.Servers), len(w.Servers))
+	}
+	if len(got.Traces[0].Observations) != len(c.Servers) {
+		t.Error("trace does not cover discovered set")
+	}
+}
+
+func TestTracerouteCampaign(t *testing.T) {
+	w := smallWorld(t, 7)
+	var obs []PathObservation
+	RunTracerouteCampaign(w, TracerouteCampaignConfig{
+		Vantages:     []string{"EC2 Ireland", "Perkins home"},
+		TargetStride: 3,
+		Config:       traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
+	}, func(o []PathObservation) { obs = o })
+	w.Sim.Run()
+
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	preserved, bleached := 0, 0
+	vantagesSeen := map[string]bool{}
+	for _, o := range obs {
+		vantagesSeen[o.Vantage] = true
+		if !o.Responded {
+			continue
+		}
+		switch o.Transition {
+		case ecn.Preserved:
+			preserved++
+		case ecn.Bleached:
+			bleached++
+		}
+	}
+	if len(vantagesSeen) != 2 {
+		t.Errorf("vantages = %v", vantagesSeen)
+	}
+	if preserved == 0 {
+		t.Error("no preserved hops")
+	}
+	if bleached == 0 {
+		t.Error("no bleached hops despite bleaching stubs in topology")
+	}
+	frac := float64(preserved) / float64(preserved+bleached)
+	if frac < 0.80 {
+		t.Errorf("preserved fraction = %.3f; bleaching should be rare", frac)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() *dataset.Dataset {
+		w := smallWorld(t, 99)
+		c := NewCampaign(w, CampaignConfig{
+			TracesPerVantage: map[string]int{"EC2 Sydney": 2},
+		})
+		var got *dataset.Dataset
+		c.Run(func(d *dataset.Dataset) { got = d })
+		w.Sim.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatal("trace counts differ")
+	}
+	for i := range a.Traces {
+		ta, tb := a.Traces[i], b.Traces[i]
+		for j := range ta.Observations {
+			if ta.Observations[j] != tb.Observations[j] {
+				t.Fatalf("trace %d observation %d differs:\n%+v\n%+v",
+					i, j, ta.Observations[j], tb.Observations[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// A complete miniature reproduction: build a world, run a one-vantage
+// campaign, and read off the headline comparison.
+func Example() {
+	sim := netsim.NewSim(2015)
+	world, err := topology.Build(sim, topology.SmallConfig())
+	if err != nil {
+		panic(err)
+	}
+
+	campaign := core.NewCampaign(world, core.CampaignConfig{
+		TracesPerVantage: map[string]int{"EC2 Ireland": 1},
+	})
+	var d *dataset.Dataset
+	campaign.Run(func(got *dataset.Dataset) { d = got })
+	sim.Run()
+
+	udp, udpECT, _, _ := d.Traces[0].CountReachable()
+	fmt.Printf("ECT(0) reachability is within a few percent of not-ECT: %v\n",
+		float64(udpECT)/float64(udp) > 0.9)
+	// Output: ECT(0) reachability is within a few percent of not-ECT: true
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunECNUsability(t *testing.T) {
+	w := smallWorld(t, 21)
+	v, _ := w.VantageByName("EC2 Ireland")
+
+	// Ground truth: negotiating servers that are not ECE-broken.
+	broken := 0
+	negotiating := 0
+	for _, s := range w.Servers {
+		if s.Web && s.WebECN {
+			negotiating++
+			if s.BrokenECE {
+				broken++
+			}
+		}
+	}
+	if broken == 0 {
+		t.Skip("seed produced no broken-ECE servers; usability would trivially be 100%")
+	}
+
+	var got ECNUsabilityResult
+	RunECNUsability(v, w.ServerAddrs(), 1, func(r ECNUsabilityResult) { got = r })
+	w.Sim.Run()
+
+	if got.Negotiated == 0 {
+		t.Fatal("no ECN connections negotiated")
+	}
+	if got.Usable >= got.Negotiated {
+		t.Errorf("usable %d of %d: broken-ECE servers undetected", got.Usable, got.Negotiated)
+	}
+	if got.Usable == 0 {
+		t.Error("no usable servers at all")
+	}
+	// Kühlewind found ≈90% usable; our world plants 10% broken. Allow a
+	// generous band for the small population and churn.
+	if rate := got.Rate(); rate < 70 || rate > 98 {
+		t.Errorf("usability rate = %.1f%%, want ≈90%%", rate)
+	}
+}
+
+func TestRunArrivalCensus(t *testing.T) {
+	w := smallWorld(t, 22)
+	v, _ := w.VantageByName("U. Glasgow wired")
+
+	var got ArrivalCensus
+	RunArrivalCensus(w, v, func(c ArrivalCensus) { got = c })
+	w.Sim.Run()
+
+	total := got.ArrivedECT0 + got.ArrivedBleached + got.ArrivedCE + got.NoArrival
+	if total != len(w.Servers) {
+		t.Fatalf("census covers %d of %d servers", total, len(w.Servers))
+	}
+	if got.ArrivedCE != 0 {
+		t.Errorf("CE arrivals = %d; no AQM marking in the default world", got.ArrivedCE)
+	}
+	// Bleached arrivals: servers behind always-bleaching stubs arrive
+	// not-ECT; those behind sometimes-bleachers (probability 0.5) may
+	// arrive intact, so ground truth is a band.
+	cfg := topology.SmallConfig()
+	wantBleached := 0
+	for _, s := range w.Servers {
+		if s.BleachedPath && !s.ECTUDPFirewalled && !s.ScopedECT {
+			wantBleached++
+		}
+	}
+	sometimesMax := cfg.SometimesBleachedStubs * cfg.ServersPerStub
+	if got.ArrivedBleached > wantBleached || got.ArrivedBleached < wantBleached-sometimesMax {
+		t.Errorf("bleached arrivals = %d, ground truth band [%d, %d]",
+			got.ArrivedBleached, wantBleached-sometimesMax, wantBleached)
+	}
+	// No-arrivals: the ECT-UDP firewalled population (scoped ones pass
+	// for this vantage — Glasgow is out of scope).
+	if got.NoArrival != cfg.ECTUDPFirewalledServers {
+		t.Errorf("no-arrival = %d, want %d firewalled", got.NoArrival, cfg.ECTUDPFirewalledServers)
+	}
+	if got.ArrivedECT0 == 0 {
+		t.Error("no intact arrivals")
+	}
+}
+
+func TestRunECT1Sweep(t *testing.T) {
+	w := smallWorld(t, 23)
+	v, _ := w.VantageByName("EC2 Tokyo")
+
+	var got ECT1SweepResult
+	RunECT1Sweep(v, w.ServerAddrs(), func(r ECT1SweepResult) { got = r })
+	w.Sim.Run()
+
+	// The modelled middleboxes treat ECT(0) and ECT(1) identically
+	// (both are "ECT"), so the sweeps must agree server by server.
+	if got.Disagree != 0 {
+		t.Errorf("ECT(0)/ECT(1) disagree on %d servers", got.Disagree)
+	}
+	if got.ReachableECT0 != got.ReachableECT1 {
+		t.Errorf("reachable: ECT0 %d vs ECT1 %d", got.ReachableECT0, got.ReachableECT1)
+	}
+	if got.ReachableECT0 == 0 {
+		t.Error("nothing reachable")
+	}
+}

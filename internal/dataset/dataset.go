@@ -1,0 +1,148 @@
+// Package dataset defines the measurement study's data model and its
+// persistence format: the schema of one server observation, one trace
+// (all 2500 servers × four measurements from one vantage point), and the
+// campaign dataset the analysis package consumes.
+//
+// The original study published its traces at
+// doi:10.5525/gla.researchdata.207; this package is the analogue, using
+// JSON-lines so datasets stream and diff cleanly.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Observation is the outcome of the four measurements against one server
+// within one trace (Section 3 of the paper).
+type Observation struct {
+	Server packet.Addr `json:"server"`
+
+	// UDP (NTP) reachability with not-ECT and ECT(0) marked requests.
+	UDPReachable    bool `json:"udp"`
+	UDPECTReachable bool `json:"udp_ect"`
+	// Attempts used (≤ 6: one initial + up to five retransmissions).
+	UDPAttempts    int `json:"udp_attempts,omitempty"`
+	UDPECTAttempts int `json:"udp_ect_attempts,omitempty"`
+
+	// TCP (HTTP) reachability without ECN, and ECN negotiation outcome
+	// when requested with an ECN-setup SYN.
+	TCPReachable    bool `json:"tcp"`
+	TCPECNReachable bool `json:"tcp_ecn"`        // reachable when ECN requested
+	TCPECN          bool `json:"tcp_ecn_nego"`   // ECN-setup SYN-ACK received
+	HTTPStatus      int  `json:"http,omitempty"` // status code without ECN
+}
+
+// Trace is one pass over the full server list from one vantage point.
+type Trace struct {
+	// Vantage is the location name (paper Table 2 vocabulary).
+	Vantage string `json:"vantage"`
+	// Batch is 1 (April/May) or 2 (July/August).
+	Batch int `json:"batch"`
+	// Index is the trace's sequence number within the campaign.
+	Index int `json:"index"`
+	// Started is the virtual start time.
+	Started time.Duration `json:"started"`
+	// Observations, one per server probed.
+	Observations []Observation `json:"observations"`
+}
+
+// CountReachable tallies the four reachability dimensions of a trace.
+func (t *Trace) CountReachable() (udp, udpECT, tcp, tcpECN int) {
+	for _, o := range t.Observations {
+		if o.UDPReachable {
+			udp++
+		}
+		if o.UDPECTReachable {
+			udpECT++
+		}
+		if o.TCPReachable {
+			tcp++
+		}
+		if o.TCPECN {
+			tcpECN++
+		}
+	}
+	return
+}
+
+// Dataset is a campaign's full output.
+type Dataset struct {
+	Traces []Trace
+}
+
+// Vantages returns the distinct vantage names in first-seen order.
+func (d *Dataset) Vantages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range d.Traces {
+		if !seen[t.Vantage] {
+			seen[t.Vantage] = true
+			out = append(out, t.Vantage)
+		}
+	}
+	return out
+}
+
+// TracesFrom filters traces by vantage.
+func (d *Dataset) TracesFrom(vantage string) []Trace {
+	var out []Trace
+	for _, t := range d.Traces {
+		if t.Vantage == vantage {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Servers returns the union of server addresses observed, in stable
+// (address) order of first appearance within the first trace.
+func (d *Dataset) Servers() []packet.Addr {
+	if len(d.Traces) == 0 {
+		return nil
+	}
+	seen := map[packet.Addr]bool{}
+	var out []packet.Addr
+	for _, t := range d.Traces {
+		for _, o := range t.Observations {
+			if !seen[o.Server] {
+				seen[o.Server] = true
+				out = append(out, o.Server)
+			}
+		}
+	}
+	return out
+}
+
+// Write streams the dataset as JSON lines, one trace per line.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Traces {
+		if err := enc.Encode(&d.Traces[i]); err != nil {
+			return fmt.Errorf("dataset: encode trace %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines dataset.
+func Read(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var t Trace
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				return d, nil
+			}
+			return nil, fmt.Errorf("dataset: decode trace %d: %w", len(d.Traces), err)
+		}
+		d.Traces = append(d.Traces, t)
+	}
+}

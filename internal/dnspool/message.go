@@ -1,0 +1,243 @@
+// Package dnspool implements the server-discovery stage of the study: a
+// DNS wire-format codec, a pool.ntp.org-style round-robin directory
+// server, and the discovery client that repeatedly queries the pool's
+// global and country zones to enumerate servers.
+//
+// The real NTP pool balances clients by answering each query for
+// pool.ntp.org (or a country sub-zone such as uk.pool.ntp.org) with a
+// small rotating set of A records and short TTLs. Discovering "all"
+// servers therefore requires polling the zones repeatedly over time —
+// the paper ran its discovery script at ten-minute intervals for several
+// weeks. The simulated directory reproduces the rotation so the client
+// has the same job to do.
+package dnspool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// DNS constants (RFC 1035) for the subset in use.
+const (
+	TypeA   uint16 = 1
+	ClassIN uint16 = 1
+
+	// Flag bits within the header flags word.
+	FlagQR uint16 = 1 << 15 // response
+	FlagAA uint16 = 1 << 10 // authoritative
+	FlagRD uint16 = 1 << 8  // recursion desired
+	FlagRA uint16 = 1 << 7  // recursion available
+
+	// RCodes.
+	RCodeNoError  uint16 = 0
+	RCodeNXDomain uint16 = 3
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncated = errors.New("dnspool: truncated message")
+	ErrBadName   = errors.New("dnspool: malformed name")
+)
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// ResourceRecord is an answer-section record; only A records carry data
+// the pool needs.
+type ResourceRecord struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Addr is the A record address (Type == TypeA).
+	Addr packet.Addr
+}
+
+// Message is a DNS message restricted to one question plus answers.
+type Message struct {
+	ID        uint16
+	Flags     uint16
+	RCode     uint16
+	Questions []Question
+	Answers   []ResourceRecord
+}
+
+// IsResponse reports whether the QR bit is set.
+func (m *Message) IsResponse() bool { return m.Flags&FlagQR != 0 }
+
+// appendName encodes a domain name as length-prefixed labels. Compression
+// is not emitted (always legal); the parser below accepts it anyway.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes a possibly compressed domain name starting at off,
+// returning the name and the offset just past it in the original stream.
+func parseName(data []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("%w: compression loop", ErrBadName)
+		}
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xC0 == 0xC0: // compression pointer
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := (l&0x3F)<<8 | int(data[off+1])
+			if !jumped {
+				end = off + 2
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			off = ptr
+			jumped = true
+		case l&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrBadName)
+		default:
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(data[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	b := make([]byte, 12)
+	put16 := func(off int, v uint16) { b[off], b[off+1] = byte(v>>8), byte(v) }
+	put16(0, m.ID)
+	put16(2, m.Flags|m.RCode&0xF)
+	put16(4, uint16(len(m.Questions)))
+	put16(6, uint16(len(m.Answers)))
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = append(b, byte(q.Type>>8), byte(q.Type), byte(q.Class>>8), byte(q.Class))
+	}
+	for _, rr := range m.Answers {
+		if b, err = appendName(b, rr.Name); err != nil {
+			return nil, err
+		}
+		b = append(b,
+			byte(rr.Type>>8), byte(rr.Type),
+			byte(rr.Class>>8), byte(rr.Class),
+			byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+		if rr.Type == TypeA {
+			b = append(b, 0, 4)
+			b = append(b, rr.Addr[:]...)
+		} else {
+			b = append(b, 0, 0)
+		}
+	}
+	return b, nil
+}
+
+// Parse decodes a DNS message (question + answer sections; authority and
+// additional sections are not used by the pool protocol and are ignored
+// if the counts are zero, rejected otherwise).
+func Parse(data []byte) (Message, error) {
+	var m Message
+	if len(data) < 12 {
+		return m, ErrTruncated
+	}
+	get16 := func(off int) uint16 { return uint16(data[off])<<8 | uint16(data[off+1]) }
+	m.ID = get16(0)
+	flags := get16(2)
+	m.Flags = flags &^ 0xF
+	m.RCode = flags & 0xF
+	qd, an, ns, ar := get16(4), get16(6), get16(8), get16(10)
+	if ns != 0 || ar != 0 {
+		return m, fmt.Errorf("dnspool: authority/additional sections unsupported (%d/%d)", ns, ar)
+	}
+	off := 12
+	for i := 0; i < int(qd); i++ {
+		name, next, err := parseName(data, off)
+		if err != nil {
+			return m, err
+		}
+		off = next
+		if off+4 > len(data) {
+			return m, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  get16(off),
+			Class: get16(off + 2),
+		})
+		off += 4
+	}
+	for i := 0; i < int(an); i++ {
+		name, next, err := parseName(data, off)
+		if err != nil {
+			return m, err
+		}
+		off = next
+		if off+10 > len(data) {
+			return m, ErrTruncated
+		}
+		rr := ResourceRecord{
+			Name:  name,
+			Type:  get16(off),
+			Class: get16(off + 2),
+			TTL: uint32(data[off+4])<<24 | uint32(data[off+5])<<16 |
+				uint32(data[off+6])<<8 | uint32(data[off+7]),
+		}
+		rdlen := int(get16(off + 8))
+		off += 10
+		if off+rdlen > len(data) {
+			return m, ErrTruncated
+		}
+		if rr.Type == TypeA {
+			if rdlen != 4 {
+				return m, fmt.Errorf("dnspool: A record with %d-byte rdata", rdlen)
+			}
+			copy(rr.Addr[:], data[off:off+4])
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+// NewQuery builds an A query for name.
+func NewQuery(id uint16, name string) Message {
+	return Message{
+		ID:        id,
+		Flags:     FlagRD,
+		Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+	}
+}

@@ -1,0 +1,183 @@
+package dnspool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "uk.pool.ntp.org")
+	wire, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.IsResponse() {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "uk.pool.ntp.org" ||
+		got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Errorf("question = %+v", got.Questions)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	m := Message{
+		ID:        7,
+		Flags:     FlagQR | FlagAA,
+		Questions: []Question{{Name: "pool.ntp.org", Type: TypeA, Class: ClassIN}},
+		Answers: []ResourceRecord{
+			{Name: "pool.ntp.org", Type: TypeA, Class: ClassIN, TTL: 150, Addr: packet.MustParseAddr("192.0.2.1")},
+			{Name: "pool.ntp.org", Type: TypeA, Class: ClassIN, TTL: 150, Addr: packet.MustParseAddr("192.0.2.2")},
+		},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsResponse() || len(got.Answers) != 2 {
+		t.Fatalf("parsed = %+v", got)
+	}
+	if got.Answers[1].Addr != packet.MustParseAddr("192.0.2.2") {
+		t.Errorf("answer addr = %s", got.Answers[1].Addr)
+	}
+	if got.Answers[0].TTL != 150 {
+		t.Errorf("TTL = %d", got.Answers[0].TTL)
+	}
+}
+
+func TestRCodeRoundTrip(t *testing.T) {
+	m := Message{ID: 1, Flags: FlagQR, RCode: RCodeNXDomain,
+		Questions: []Question{{Name: "nope.pool.ntp.org", Type: TypeA, Class: ClassIN}}}
+	wire, _ := m.Marshal()
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RCode != RCodeNXDomain {
+		t.Errorf("rcode = %d", got.RCode)
+	}
+}
+
+func TestParseCompressedName(t *testing.T) {
+	// Hand-build a response whose answer name is a pointer to the
+	// question name, the classic compression real resolvers emit.
+	q := NewQuery(9, "pool.ntp.org")
+	wire, _ := q.Marshal()
+	// Patch header: QR bit, ancount = 1.
+	wire[2] |= 0x80
+	wire[7] = 1
+	// Answer: pointer to offset 12 (question name), type A, class IN,
+	// TTL 60, rdlen 4, addr.
+	wire = append(wire,
+		0xC0, 12,
+		0, 1, 0, 1,
+		0, 0, 0, 60,
+		0, 4,
+		203, 0, 113, 5)
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Name != "pool.ntp.org" {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	if got.Answers[0].Addr != packet.AddrFrom4(203, 0, 113, 5) {
+		t.Errorf("addr = %s", got.Answers[0].Addr)
+	}
+}
+
+func TestParseRejectsPointerLoop(t *testing.T) {
+	q := NewQuery(9, "pool.ntp.org")
+	wire, _ := q.Marshal()
+	wire[2] |= 0x80
+	wire[7] = 1
+	// Pointer to itself at the answer name position.
+	self := len(wire)
+	wire = append(wire, 0xC0, byte(self), 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 1, 2, 3, 4)
+	if _, err := Parse(wire); err == nil {
+		t.Error("self-pointing name accepted")
+	}
+}
+
+func TestMarshalRejectsBadLabels(t *testing.T) {
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, name := range []string{"..pool.ntp.org", string(long) + ".org"} {
+		m := NewQuery(1, name)
+		if _, err := m.Marshal(); err == nil {
+			t.Errorf("Marshal accepted name %q", name)
+		}
+	}
+}
+
+func TestParseTruncations(t *testing.T) {
+	q := NewQuery(3, "pool.ntp.org")
+	wire, _ := q.Marshal()
+	for cut := 1; cut < len(wire); cut += 3 {
+		if _, err := Parse(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseRootName(t *testing.T) {
+	m := NewQuery(4, ".")
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "" {
+		t.Errorf("root name = %q", got.Questions[0].Name)
+	}
+}
+
+// Property: names composed of safe labels round-trip.
+func TestNameRoundTripProperty(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyz0123456789-"
+	f := func(seedLabels []uint8) bool {
+		name := ""
+		for i, s := range seedLabels {
+			if i == 4 {
+				break
+			}
+			l := int(s%20) + 1
+			label := ""
+			for j := 0; j < l; j++ {
+				label += string(letters[(int(s)+j)%len(letters)])
+			}
+			if name != "" {
+				name += "."
+			}
+			name += label
+		}
+		if name == "" {
+			name = "x"
+		}
+		m := NewQuery(1, name)
+		wire, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(wire)
+		return err == nil && got.Questions[0].Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package ecn_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecn"
+)
+
+// The TOS-byte algebra: set and read ECN codepoints without touching
+// the DSCP bits.
+func ExampleSetTOS() {
+	tos := uint8(0b1011_1000) // DSCP EF, no ECN
+	tos = ecn.SetTOS(tos, ecn.ECT0)
+	fmt.Printf("tos=%#08b ecn=%s\n", tos, ecn.FromTOS(tos))
+	// Output: tos=0b10111010 ecn=ECT(0)
+}
+
+// Classifying what a middlebox did to a packet's ECN field — the unit
+// of the paper's Section 4.2 analysis.
+func ExampleClassify() {
+	fmt.Println(ecn.Classify(ecn.ECT0, ecn.ECT0))
+	fmt.Println(ecn.Classify(ecn.ECT0, ecn.NotECT))
+	fmt.Println(ecn.Classify(ecn.ECT0, ecn.CE))
+	fmt.Println(ecn.Classify(ecn.NotECT, ecn.ECT1))
+	// Output:
+	// preserved
+	// bleached
+	// CE-marked
+	// mangled
+}

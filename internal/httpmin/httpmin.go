@@ -1,0 +1,215 @@
+// Package httpmin is a small HTTP/1.1 implementation sufficient for the
+// study's TCP measurement: a GET client and a server, running over the
+// tcpsim stack.
+//
+// Hosts in the NTP pool are encouraged to run a web server that redirects
+// to www.pool.ntp.org; the paper issues "an HTTP GET request for the root
+// page of the server" and records whether and what the server answers.
+// PoolHandler reproduces the redirect behaviour; Get reproduces the
+// probe, reporting both the HTTP outcome and whether the underlying TCP
+// connection negotiated ECN.
+package httpmin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrMalformed  = errors.New("httpmin: malformed message")
+	ErrIncomplete = errors.New("httpmin: incomplete message")
+)
+
+// Request is an HTTP request (only GET is exercised).
+type Request struct {
+	Method  string
+	Path    string
+	Headers map[string]string
+}
+
+// Response is an HTTP response.
+type Response struct {
+	StatusCode int
+	Status     string
+	Headers    map[string]string
+	Body       []byte
+}
+
+// Marshal renders the request on the wire.
+func (r *Request) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	writeHeaders(&b, r.Headers)
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// Marshal renders the response on the wire, always emitting an accurate
+// Content-Length so the peer can find the message end.
+func (r *Response) Marshal() []byte {
+	var b strings.Builder
+	status := r.Status
+	if status == "" {
+		status = defaultStatusText(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, status)
+	h := make(map[string]string, len(r.Headers)+1)
+	for k, v := range r.Headers {
+		h[k] = v
+	}
+	h["Content-Length"] = strconv.Itoa(len(r.Body))
+	writeHeaders(&b, h)
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return []byte(b.String())
+}
+
+// writeHeaders emits headers in sorted order for deterministic wire
+// output (the simulator's reproducibility guarantee extends to payload
+// bytes).
+func writeHeaders(b *strings.Builder, h map[string]string) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+}
+
+func defaultStatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 302:
+		return "Found"
+	case 404:
+		return "Not Found"
+	default:
+		return "Status"
+	}
+}
+
+// ParseRequest decodes a request once fully buffered. It returns
+// ErrIncomplete while more bytes are needed.
+func ParseRequest(data []byte) (*Request, error) {
+	head, _, ok := splitHead(data)
+	if !ok {
+		return nil, ErrIncomplete
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+	}
+	headers, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: parts[0], Path: parts[1], Headers: headers}, nil
+}
+
+// ParseResponse decodes a response. It returns ErrIncomplete until the
+// header block and the Content-Length-delimited body have arrived.
+func ParseResponse(data []byte) (*Response, error) {
+	head, rest, ok := splitHead(data)
+	if !ok {
+		return nil, ErrIncomplete
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+	}
+	status := ""
+	if len(parts) == 3 {
+		status = parts[2]
+	}
+	headers, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	bodyLen := 0
+	if cl, ok := headers["Content-Length"]; ok {
+		bodyLen, err = strconv.Atoi(cl)
+		if err != nil || bodyLen < 0 {
+			return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+		}
+	}
+	if len(rest) < bodyLen {
+		return nil, ErrIncomplete
+	}
+	return &Response{
+		StatusCode: code,
+		Status:     status,
+		Headers:    headers,
+		Body:       append([]byte(nil), rest[:bodyLen]...),
+	}, nil
+}
+
+// splitHead separates the header block from the body at the first blank
+// line.
+func splitHead(data []byte) (head string, rest []byte, ok bool) {
+	idx := strings.Index(string(data), "\r\n\r\n")
+	if idx < 0 {
+		return "", nil, false
+	}
+	return string(data[:idx]), data[idx+4:], true
+}
+
+// parseHeaders decodes "Key: Value" lines, canonicalising the key's
+// first letters (enough for the handful of headers in play).
+func parseHeaders(lines []string) (map[string]string, error) {
+	h := make(map[string]string, len(lines))
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		key := canonicalKey(strings.TrimSpace(line[:colon]))
+		h[key] = strings.TrimSpace(line[colon+1:])
+	}
+	return h, nil
+}
+
+// canonicalKey title-cases dash-separated tokens: content-length →
+// Content-Length.
+func canonicalKey(k string) string {
+	parts := strings.Split(k, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// RedirectTarget is where pool-member web servers redirect.
+const RedirectTarget = "http://www.pool.ntp.org/"
+
+// PoolHandler answers as a pool host's web server does: a 302 redirect
+// to the pool website for any path.
+func PoolHandler(req *Request) *Response {
+	return &Response{
+		StatusCode: 302,
+		Headers: map[string]string{
+			"Location":   RedirectTarget,
+			"Connection": "close",
+			"Server":     "pool-member/1.0",
+		},
+		Body: []byte("<a href=\"" + RedirectTarget + "\">Moved</a>\n"),
+	}
+}

@@ -1,0 +1,168 @@
+package httpmin
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/tcpsim"
+)
+
+// Port is the well-known HTTP port.
+const Port = 80
+
+// Handler computes a response for a request.
+type Handler func(*Request) *Response
+
+// Serve attaches an HTTP server to a TCP stack and returns its listener
+// (whose ECN/BrokenECE knobs model the server-side properties the
+// paper's Section 4.3 and the Kühlewind usability extension measure).
+func Serve(stack *tcpsim.Stack, port uint16, ecnCapable bool, handler Handler) (*tcpsim.Listener, error) {
+	l, err := stack.Listen(port, ecnCapable, func(c *tcpsim.Conn) {
+		var buf []byte
+		c.OnData(func(b []byte) {
+			buf = append(buf, b...)
+			req, err := ParseRequest(buf)
+			if err == ErrIncomplete {
+				return
+			}
+			if err != nil {
+				c.Abort()
+				return
+			}
+			buf = nil
+			resp := handler(req)
+			c.Write(resp.Marshal())
+			c.Close() // Connection: close semantics, as pool hosts use
+		})
+	})
+	return l, err
+}
+
+// GetResult is the outcome of an HTTP probe.
+type GetResult struct {
+	// Err is nil when an HTTP response was received. ErrRefused /
+	// ErrTimeout from tcpsim indicate no web server / dead host.
+	Err error
+	// Response is the parsed response when Err is nil.
+	Response *Response
+	// ECNRequested and ECNNegotiated record the TCP-level ECN handshake
+	// outcome (the paper's "ECN-setup SYN-ACK received" test).
+	ECNRequested  bool
+	ECNNegotiated bool
+	// ECESeen counts ECE-flagged segments received — non-zero means the
+	// peer echoed congestion for our CE-marked probe segments (the
+	// usability criterion of the Kühlewind extension).
+	ECESeen uint64
+	// Elapsed is the virtual time from SYN to response.
+	Elapsed time.Duration
+}
+
+// GetTimeout bounds an entire Get exchange. A probe tool needs its own
+// deadline: a peer that completes the handshake but dies mid-response
+// tears down silently on its side, and without an application timeout
+// the client would wait forever.
+const GetTimeout = 90 * time.Second
+
+// GetConfig controls an HTTP probe beyond the plain/ECN split.
+type GetConfig struct {
+	// RequestECN sends an ECN-setup SYN.
+	RequestECN bool
+	// MarkCE sends the request's data segments CE-marked on a
+	// negotiated connection (Kühlewind-style usability probe). The
+	// GetResult's ECESeen reports whether the server echoed congestion.
+	MarkCE bool
+}
+
+// Get issues "GET path" to dst:port from the given stack, optionally
+// requesting ECN on the connection, and invokes done exactly once.
+func Get(stack *tcpsim.Stack, dst packet.Addr, port uint16, path string, requestECN bool, done func(GetResult)) {
+	GetWithConfig(stack, dst, port, path, GetConfig{RequestECN: requestECN}, done)
+}
+
+// GetWithConfig is Get with full probe control.
+func GetWithConfig(stack *tcpsim.Stack, dst packet.Addr, port uint16, path string, gcfg GetConfig, done func(GetResult)) {
+	requestECN := gcfg.RequestECN
+	sim := stack.Host().Sim()
+	start := sim.Now()
+	res := GetResult{ECNRequested: requestECN}
+	finished := false
+	var conn *tcpsim.Conn
+	var deadline *netsim.Timer
+	finish := func() {
+		if !finished {
+			finished = true
+			if deadline != nil {
+				deadline.Stop()
+			}
+			if conn != nil {
+				res.ECESeen = conn.ECESeen
+			}
+			res.Elapsed = sim.Now() - start
+			done(res)
+		}
+	}
+	deadline = sim.After(GetTimeout, func() {
+		if finished {
+			return
+		}
+		res.Err = tcpsim.ErrTimeout
+		finish()
+		if conn != nil {
+			conn.Abort()
+		}
+		// A dial still in flight cleans itself up via its SYN timer.
+	})
+
+	stack.Dial(dst, port, tcpsim.DialConfig{RequestECN: requestECN, MarkCE: gcfg.MarkCE}, func(c *tcpsim.Conn, err error) {
+		if finished {
+			if c != nil {
+				c.Abort() // deadline already fired; drop the late connection
+			}
+			return
+		}
+		if err != nil {
+			res.Err = err
+			finish()
+			return
+		}
+		conn = c
+		res.ECNNegotiated = c.ECNNegotiated()
+		var buf []byte
+		c.OnData(func(b []byte) {
+			buf = append(buf, b...)
+			resp, perr := ParseResponse(buf)
+			if perr == ErrIncomplete {
+				return
+			}
+			if perr != nil {
+				res.Err = perr
+				c.Abort()
+				finish()
+				return
+			}
+			res.Response = resp
+			finish()
+			c.Close()
+		})
+		c.OnClose(func(cerr error) {
+			if res.Response == nil && res.Err == nil {
+				if cerr == nil {
+					cerr = tcpsim.ErrClosed
+				}
+				res.Err = cerr
+			}
+			finish()
+		})
+		req := Request{
+			Method: "GET",
+			Path:   path,
+			Headers: map[string]string{
+				"Host":       dst.String(),
+				"User-Agent": "ecnspider/1.0",
+				"Connection": "close",
+			},
+		}
+		c.Write(req.Marshal())
+	})
+}

@@ -1,0 +1,31 @@
+package iptable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// BenchmarkLookup measures longest-prefix matching over a table sized
+// like a generated paper-scale topology (a few hundred prefixes across
+// /16 and /24 lengths).
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table[int]
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 320; i++ {
+		tbl.Insert(MakePrefix(packet.AddrFromUint32(0x10000000+uint32(i)<<16), 16), i)
+	}
+	for i := 0; i < 260; i++ {
+		tbl.Insert(MakePrefix(packet.AddrFromUint32(0x10000000+uint32(i)<<16+0x0200), 24), i)
+	}
+	addrs := make([]packet.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = packet.AddrFromUint32(0x10000000 + uint32(rng.Intn(320))<<16 + uint32(rng.Intn(1024)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}

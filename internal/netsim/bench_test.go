@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := NewSim(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkForwardingPath measures one packet crossing a five-router
+// path: the simulator's hottest loop (parse, TTL, checksum, route).
+func BenchmarkForwardingPath(b *testing.B) {
+	sim := NewSim(1)
+	n := NewNetwork(sim)
+	routers := make([]*Router, 5)
+	for i := range routers {
+		routers[i] = n.AddRouter("r", packet.AddrFrom4(10, 255, byte(i), 1), uint32(i))
+	}
+	for i := 0; i+1 < len(routers); i++ {
+		n.Connect(routers[i], routers[i+1], 0, 0)
+	}
+	h1, _ := n.AddHost("h1", packet.AddrFrom4(10, 0, 0, 1))
+	h2, _ := n.AddHost("h2", packet.AddrFrom4(10, 0, 1, 1))
+	n.Attach(h1, routers[0], 0, 0)
+	n.Attach(h2, routers[4], 0, 0)
+	if err := n.ComputeRoutes(); err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	h2.BindUDP(9, func(*Host, packet.IPv4Header, packet.UDPHeader, []byte) { delivered++ })
+
+	payload := make([]byte, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.SendUDP(h2.Addr(), 1, 9, 64, ecn.ECT0, payload)
+		sim.Run()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+func BenchmarkComputeRoutes(b *testing.B) {
+	sim := NewSim(1)
+	n := NewNetwork(sim)
+	const nr = 200
+	routers := make([]*Router, nr)
+	for i := range routers {
+		routers[i] = n.AddRouter("r", packet.AddrFrom4(10, byte(i>>8), byte(i), 1), uint32(i))
+	}
+	for i := 1; i < nr; i++ {
+		n.Connect(routers[i], routers[i/2], 0, 0) // binary-tree fabric
+		if i%7 == 0 {
+			n.Connect(routers[i], routers[(i*3)%nr], 0, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.ComputeRoutes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

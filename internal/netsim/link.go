@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"time"
+)
+
+// Node is anything attached to the network that can receive packets:
+// hosts and routers.
+type Node interface {
+	// Receive handles a delivered wire-format IPv4 datagram. The slice is
+	// owned by the receiver.
+	Receive(wire []byte, from *Link)
+	// Label names the node for reports and traces.
+	Label() string
+}
+
+// Link is a bidirectional point-to-point link with independent delay and
+// loss in each direction. Loss is decided at transmission time from the
+// simulation PRNG, which keeps runs reproducible.
+type Link struct {
+	sim  *Sim
+	a, b Node
+	// Directional properties, indexed by direction (a→b = 0, b→a = 1).
+	delay [2]time.Duration
+	loss  [2]float64
+
+	// Counters for analysis and capacity tests.
+	sent    [2]uint64
+	dropped [2]uint64
+}
+
+// newLink wires two nodes together. Use Network helpers instead of
+// constructing links directly.
+func newLink(sim *Sim, a, b Node, delay time.Duration, loss float64) *Link {
+	return &Link{
+		sim:   sim,
+		a:     a,
+		b:     b,
+		delay: [2]time.Duration{delay, delay},
+		loss:  [2]float64{loss, loss},
+	}
+}
+
+// Peer returns the node on the other end from n.
+func (l *Link) Peer(n Node) Node {
+	if n == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+// SetLoss sets the loss probability for packets transmitted by from. The
+// campaign uses this to model per-trace variation (wireless jitter, the
+// congested home access link).
+func (l *Link) SetLoss(from Node, p float64) {
+	l.loss[l.dir(from)] = p
+}
+
+// SetLossBoth sets loss in both directions.
+func (l *Link) SetLossBoth(p float64) {
+	l.loss[0], l.loss[1] = p, p
+}
+
+// SetDelay sets the one-way delay for packets transmitted by from.
+func (l *Link) SetDelay(from Node, d time.Duration) {
+	l.delay[l.dir(from)] = d
+}
+
+// Loss returns the loss probability for packets transmitted by from.
+func (l *Link) Loss(from Node) float64 { return l.loss[l.dir(from)] }
+
+// Delay returns the one-way delay for packets transmitted by from.
+func (l *Link) Delay(from Node) time.Duration { return l.delay[l.dir(from)] }
+
+// Stats returns packets sent and dropped in the from→peer direction.
+func (l *Link) Stats(from Node) (sent, dropped uint64) {
+	d := l.dir(from)
+	return l.sent[d], l.dropped[d]
+}
+
+func (l *Link) dir(from Node) int {
+	if from == l.a {
+		return 0
+	}
+	if from == l.b {
+		return 1
+	}
+	panic("netsim: node not on link " + from.Label())
+}
+
+// Send transmits wire from the given endpoint. The packet is delivered to
+// the peer after the link delay unless the loss draw discards it. Send
+// takes ownership of wire.
+func (l *Link) Send(from Node, wire []byte) {
+	d := l.dir(from)
+	l.sent[d]++
+	if l.loss[d] > 0 && l.sim.rng.Float64() < l.loss[d] {
+		l.dropped[d]++
+		return
+	}
+	to := l.b
+	if d == 1 {
+		to = l.a
+	}
+	l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
+}

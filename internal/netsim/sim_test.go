@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestSimFIFOWithinTimestamp(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Error("same-timestamp events must run FIFO")
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	var fired []time.Duration
+	s.After(time.Second, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewSim(1)
+	ran := false
+	tm := s.After(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("Stop should report pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report dead timer")
+	}
+	s.Run()
+	if ran {
+		t.Error("cancelled timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Error("nil timer Stop should be false")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSim(1)
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative delay handling: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	var fired []int
+	s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(30*time.Millisecond, func() { fired = append(fired, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Errorf("fired = %v, want only first", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("now = %v, want 20ms", s.Now())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Errorf("remaining event lost: %v", fired)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	s := NewSim(1)
+	tm := s.After(5*time.Millisecond, func() {})
+	tm.Stop()
+	s.RunUntil(time.Second)
+	if s.Now() != time.Second {
+		t.Errorf("now = %v", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := NewSim(1)
+	if s.Step() {
+		t.Error("Step on empty queue must be false")
+	}
+}
+
+func TestAtClampsToPast(t *testing.T) {
+	s := NewSim(1)
+	s.After(time.Second, func() {
+		// Scheduling in the past must clamp to now, not rewind the clock.
+		s.At(0, func() {
+			if s.Now() != time.Second {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for nil fn")
+		}
+	}()
+	NewSim(1).After(0, nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewSim(42)
+		var times []time.Duration
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			d := time.Duration(s.RNG().Intn(1000)) * time.Microsecond
+			s.After(d, func() {
+				times = append(times, s.Now())
+				schedule(depth - 1)
+			})
+		}
+		schedule(50)
+		s.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: the event heap pops in nondecreasing (at, seq) order for any
+// insertion sequence.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var q eventHeap
+		for i, d := range delays {
+			q.push(&event{at: time.Duration(d), seq: uint64(i), fn: func() {}})
+		}
+		var prev *event
+		for {
+			ev, ok := q.pop()
+			if !ok {
+				return true
+			}
+			if prev != nil {
+				if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
+					return false
+				}
+			}
+			prev = ev
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	s := NewSim(7)
+	rng := rand.New(rand.NewSource(99))
+	count := 0
+	for i := 0; i < 10000; i++ {
+		s.After(time.Duration(rng.Intn(1_000_000))*time.Microsecond, func() { count++ })
+	}
+	var last time.Duration
+	for s.events.len() > 0 {
+		before := s.Now()
+		if !s.Step() {
+			break
+		}
+		if s.Now() < before {
+			t.Fatal("time went backwards")
+		}
+		last = s.Now()
+	}
+	if count != 10000 {
+		t.Errorf("executed %d of 10000", count)
+	}
+	_ = last
+}
+
+func (q *eventHeap) len() int { return len(q.h) }

@@ -1,0 +1,65 @@
+package ntp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := NewRequest(0x1234567890)
+	buf := make([]byte, 0, PacketLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkPacketParse(b *testing.B) {
+	p := NewRequest(42)
+	wire := p.Marshal(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeRoundTrip measures the paper's UDP measurement unit: one
+// NTP reachability probe across a two-router path.
+func BenchmarkProbeRoundTrip(b *testing.B) {
+	sim := netsim.NewSim(1)
+	n := netsim.NewNetwork(sim)
+	r1 := n.AddRouter("r1", packet.AddrFrom4(10, 255, 0, 1), 64500)
+	r2 := n.AddRouter("r2", packet.AddrFrom4(10, 255, 1, 1), 64501)
+	n.Connect(r1, r2, time.Microsecond, 0)
+	client, _ := n.AddHost("client", packet.AddrFrom4(10, 0, 0, 1))
+	server, _ := n.AddHost("server", packet.AddrFrom4(10, 0, 1, 1))
+	n.Attach(client, r1, time.Microsecond, 0)
+	n.Attach(server, r2, time.Microsecond, 0)
+	if err := n.ComputeRoutes(); err != nil {
+		b.Fatal(err)
+	}
+	if err := NewServer(1).AttachSim(server); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reached := false
+		Probe(client, server.Addr(), ProbeConfig{ECN: ecn.ECT0}, func(r ProbeResult) {
+			reached = r.Reachable
+		})
+		sim.Run()
+		if !reached {
+			b.Fatal("probe failed")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package ntp
+
+import (
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Probe parameters from Section 3 of the paper: an NTP request is sent
+// and, if no response arrives within one second, retransmitted up to five
+// times before the server is declared unreachable.
+const (
+	DefaultTimeout         = time.Second
+	DefaultRetransmissions = 5
+)
+
+// ProbeConfig controls one reachability probe.
+type ProbeConfig struct {
+	// ECN is the codepoint to mark the request packets with: the study
+	// compares not-ECT against ECT(0).
+	ECN ecn.Codepoint
+	// Timeout per attempt; DefaultTimeout when zero.
+	Timeout time.Duration
+	// Retransmissions after the initial request. Zero selects the
+	// paper's default of five; a negative value disables retransmission
+	// (single attempt).
+	Retransmissions int
+	// TTL for request packets; 64 when zero.
+	TTL uint8
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Timeout == 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Retransmissions == 0 {
+		c.Retransmissions = DefaultRetransmissions
+	} else if c.Retransmissions < 0 {
+		c.Retransmissions = 0
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+	return c
+}
+
+// ProbeResult reports the outcome of a reachability probe.
+type ProbeResult struct {
+	Server    packet.Addr
+	ECN       ecn.Codepoint // codepoint the requests carried
+	Reachable bool
+	Attempts  int           // requests transmitted
+	RTT       time.Duration // of the successful exchange
+	// ResponseECN is the codepoint observed on the response packet. The
+	// paper could not probe the return path (servers send not-ECT); the
+	// field exists so the simulator's ground truth can be checked.
+	ResponseECN ecn.Codepoint
+	Response    Packet
+}
+
+// Probe performs the paper's UDP reachability measurement from a
+// simulated host against one NTP server, invoking done exactly once. It
+// drives itself on the host's simulator; the caller must run the
+// simulation for progress.
+func Probe(h *netsim.Host, server packet.Addr, cfg ProbeConfig, done func(ProbeResult)) {
+	cfg = cfg.withDefaults()
+	sim := h.Sim()
+
+	res := ProbeResult{Server: server, ECN: cfg.ECN}
+	var (
+		port     uint16
+		timer    *netsim.Timer
+		finished bool
+		// sent records (transmit timestamp, send time) per attempt. A
+		// response is accepted if its origin matches ANY attempt: the
+		// paper marks a server reachable "if an NTP response is received
+		// after any request".
+		sent []sentAttempt
+	)
+
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		if timer != nil {
+			timer.Stop()
+		}
+		h.UnbindUDP(port)
+		done(res)
+	}
+
+	var attempt func()
+
+	var err error
+	port, err = h.BindUDP(0, func(host *netsim.Host, ip packet.IPv4Header, udp packet.UDPHeader, payload []byte) {
+		if finished || ip.Src != server {
+			return
+		}
+		resp, perr := Parse(payload)
+		if perr != nil || resp.Mode != ModeServer {
+			return
+		}
+		for _, s := range sent {
+			if resp.OriginTS == s.xmitTS {
+				res.Reachable = true
+				res.RTT = sim.Now() - s.at
+				res.ResponseECN = ip.ECN()
+				res.Response = resp
+				finish()
+				return
+			}
+		}
+	})
+	if err != nil {
+		done(res)
+		return
+	}
+
+	attempt = func() {
+		if finished {
+			return
+		}
+		if res.Attempts > cfg.Retransmissions {
+			finish() // all attempts timed out: unreachable
+			return
+		}
+		res.Attempts++
+		now := sim.Now()
+		// Perturb the timestamp fraction by the attempt number so each
+		// retransmission is distinguishable even when the virtual clock
+		// has not advanced.
+		ts := TimestampFromSim(now) | uint64(res.Attempts)
+		sent = append(sent, sentAttempt{xmitTS: ts, at: now})
+		req := NewRequest(ts)
+		// Send errors cannot occur for fixed-size NTP requests; if one
+		// did, the timeout path retries regardless.
+		_ = h.SendUDP(server, port, Port, cfg.TTL, cfg.ECN, req.Marshal(nil))
+		timer = sim.After(cfg.Timeout, attempt)
+	}
+	attempt()
+}
+
+// sentAttempt pairs a request's transmit timestamp with its send time.
+type sentAttempt struct {
+	xmitTS uint64
+	at     time.Duration
+}

@@ -1,0 +1,72 @@
+package ntp
+
+import (
+	"net"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Port is the well-known NTP UDP port.
+const Port = 123
+
+// Server is a stratum-2 pool-style NTP responder. The zero value is not
+// usable; construct with NewServer.
+type Server struct {
+	Stratum uint8
+	RefID   uint32
+
+	// Served counts requests answered (for tests and campaign stats).
+	Served uint64
+}
+
+// NewServer returns a responder with pool-typical parameters.
+func NewServer(refID uint32) *Server {
+	return &Server{Stratum: 2, RefID: refID}
+}
+
+// AttachSim binds the server to UDP port 123 on a simulated host. The
+// response is sent not-ECT: NTP servers do not use ECN in normal
+// operation, which is why the paper can only probe the forward path.
+func (s *Server) AttachSim(h *netsim.Host) error {
+	_, err := h.BindUDP(Port, func(host *netsim.Host, ip packet.IPv4Header, udp packet.UDPHeader, payload []byte) {
+		req, err := Parse(payload)
+		if err != nil {
+			return
+		}
+		now := TimestampFromSim(host.Sim().Now())
+		resp, err := Respond(req, s.Stratum, s.RefID, now, now)
+		if err != nil {
+			return // non-client modes are ignored, as real servers do
+		}
+		s.Served++
+		host.SendUDP(ip.Src, udp.DstPort, udp.SrcPort, 64, 0 /* not-ECT */, resp.Marshal(nil))
+	})
+	return err
+}
+
+// ServePacketConn answers NTP requests on a real UDP socket until the
+// connection is closed or a read fails. It backs cmd/ntpd, demonstrating
+// that the codec is wire-compatible with actual NTP clients.
+func (s *Server) ServePacketConn(pc net.PacketConn, now func() uint64) error {
+	buf := make([]byte, 1024)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		req, err := Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		ts := now()
+		resp, err := Respond(req, s.Stratum, s.RefID, ts, ts)
+		if err != nil {
+			continue
+		}
+		s.Served++
+		if _, err := pc.WriteTo(resp.Marshal(nil), addr); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/ecn"
+)
+
+func BenchmarkChecksum1500(b *testing.B) {
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Checksum(data)
+	}
+}
+
+func BenchmarkBuildUDP(b *testing.B) {
+	src := MustParseAddr("10.0.0.1")
+	dst := MustParseAddr("10.0.0.2")
+	payload := make([]byte, 48) // NTP-sized
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUDP(src, dst, 123, 123, 64, ecn.ECT0, uint16(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeUDP(b *testing.B) {
+	src := MustParseAddr("10.0.0.1")
+	dst := MustParseAddr("10.0.0.2")
+	wire, _ := BuildUDP(src, dst, 123, 123, 64, ecn.ECT0, 7, make([]byte, 48))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrementWireTTL(b *testing.B) {
+	src := MustParseAddr("10.0.0.1")
+	dst := MustParseAddr("10.0.0.2")
+	wire, _ := BuildUDP(src, dst, 123, 123, 255, ecn.ECT0, 7, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire[8] = 255 // reset so decrement never exhausts
+		if _, err := DecrementWireTTL(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSetWireECN(b *testing.B) {
+	src := MustParseAddr("10.0.0.1")
+	dst := MustParseAddr("10.0.0.2")
+	wire, _ := BuildUDP(src, dst, 123, 123, 64, ecn.ECT0, 7, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := ecn.ECT0
+		if i%2 == 1 {
+			cp = ecn.NotECT
+		}
+		if err := SetWireECN(wire, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

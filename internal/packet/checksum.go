@@ -1,0 +1,48 @@
+package packet
+
+// Checksum computes the Internet checksum (RFC 1071) over data: the ones'
+// complement of the ones'-complement sum of the data taken as big-endian
+// 16-bit words, with a trailing odd byte padded with zero.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumWords(0, data))
+}
+
+// sumWords folds data into an ongoing 32-bit ones'-complement accumulator.
+func sumWords(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// finishChecksum folds the carries and complements the accumulator.
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum seeds a checksum accumulator with the IPv4 pseudo-header
+// used by the UDP and TCP checksums (RFC 768, RFC 793): source address,
+// destination address, zero, protocol, and transport segment length.
+func pseudoHeaderSum(src, dst Addr, proto Protocol, segLen int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(segLen)
+	return sum
+}
+
+// transportChecksum computes the checksum of a UDP datagram or TCP segment
+// including its pseudo-header. seg must have its checksum field zeroed.
+func transportChecksum(src, dst Addr, proto Protocol, seg []byte) uint16 {
+	return finishChecksum(sumWords(pseudoHeaderSum(src, dst, proto, len(seg)), seg))
+}

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/ecn"
+)
+
+// Datagram is a fully decoded IPv4 datagram: the IP header plus exactly
+// one transport layer. It is the unit that hosts and analysis code work
+// with; routers work on the raw wire bytes instead.
+type Datagram struct {
+	IP IPv4Header
+	// Exactly one of UDP, TCP, ICMP is non-nil, matching IP.Protocol.
+	UDP     *UDPHeader
+	TCP     *TCPHeader
+	ICMP    *ICMPMessage
+	Payload []byte // transport payload (echo body for ICMP errors: quotation)
+}
+
+// Decode parses wire bytes into a Datagram. Unknown transports yield an
+// error but the IP header is still returned for diagnostic use.
+func Decode(wire []byte) (Datagram, error) {
+	var d Datagram
+	ip, body, err := ParseIPv4(wire)
+	if err != nil {
+		return d, err
+	}
+	d.IP = ip
+	switch ip.Protocol {
+	case ProtoUDP:
+		u, payload, err := ParseUDP(body, ip.Src, ip.Dst)
+		if err != nil {
+			return d, err
+		}
+		d.UDP = &u
+		d.Payload = payload
+	case ProtoTCP:
+		t, payload, err := ParseTCP(body, ip.Src, ip.Dst)
+		if err != nil {
+			return d, err
+		}
+		d.TCP = &t
+		d.Payload = payload
+	case ProtoICMP:
+		m, err := ParseICMP(body)
+		if err != nil {
+			return d, err
+		}
+		d.ICMP = &m
+		d.Payload = m.Body
+	default:
+		return d, fmt.Errorf("packet: unsupported protocol %v", ip.Protocol)
+	}
+	return d, nil
+}
+
+// BuildUDP serializes a complete IPv4+UDP datagram.
+func BuildUDP(src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
+	udp := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	seg, err := udp.Marshal(nil, src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	ip := IPv4Header{
+		TOS:      ecn.SetTOS(0, cp),
+		ID:       id,
+		Flags:    FlagDF,
+		TTL:      ttl,
+		Protocol: ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	if err != nil {
+		return nil, err
+	}
+	return append(wire, seg...), nil
+}
+
+// BuildTCP serializes a complete IPv4+TCP datagram.
+func BuildTCP(src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
+	seg, err := hdr.Marshal(nil, src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	ip := IPv4Header{
+		TOS:      ecn.SetTOS(0, cp),
+		ID:       id,
+		Flags:    FlagDF,
+		TTL:      ttl,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	if err != nil {
+		return nil, err
+	}
+	return append(wire, seg...), nil
+}
+
+// BuildICMP serializes a complete IPv4+ICMP datagram. ICMP messages are
+// always sent not-ECT, as real stacks do for control traffic.
+func BuildICMP(src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) ([]byte, error) {
+	seg, err := msg.Marshal(nil)
+	if err != nil {
+		return nil, err
+	}
+	ip := IPv4Header{
+		ID:       id,
+		TTL:      ttl,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      dst,
+	}
+	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	if err != nil {
+		return nil, err
+	}
+	return append(wire, seg...), nil
+}
+
+// Flow is a transport 5-tuple in one direction. Flows are comparable, so
+// they serve directly as map keys for demultiplexing, in the style of
+// gopacket's Flow/Endpoint types.
+type Flow struct {
+	Proto            Protocol
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the flow of the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// String renders the flow in "proto src:port > dst:port" form.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s %s:%d > %s:%d", f.Proto, f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// FlowOf extracts the flow of a decoded datagram. ICMP datagrams have
+// port-less flows (ports zero).
+func FlowOf(d *Datagram) Flow {
+	f := Flow{Proto: d.IP.Protocol, Src: d.IP.Src, Dst: d.IP.Dst}
+	switch {
+	case d.UDP != nil:
+		f.SrcPort, f.DstPort = d.UDP.SrcPort, d.UDP.DstPort
+	case d.TCP != nil:
+		f.SrcPort, f.DstPort = d.TCP.SrcPort, d.TCP.DstPort
+	}
+	return f
+}

@@ -1,0 +1,52 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+// Building and decoding a complete ECT(0)-marked UDP datagram — the
+// probe packet at the heart of the study.
+func ExampleBuildUDP() {
+	wire, err := packet.BuildUDP(
+		packet.MustParseAddr("192.0.2.1"),
+		packet.MustParseAddr("203.0.113.9"),
+		54321, 123, // src/dst ports (NTP)
+		64, ecn.ECT0, 7, []byte("ntp request"))
+	if err != nil {
+		panic(err)
+	}
+	d, err := packet.Decode(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.IP.String())
+	fmt.Println(d.UDP.String())
+	// Output:
+	// IPv4 192.0.2.1 > 203.0.113.9 UDP ttl=64 tos=0x02(ECT(0)) len=39
+	// UDP 54321 > 123 len=19
+}
+
+// Routers rewrite wire bytes in place: a bleaching middlebox resets the
+// ECN field and repairs the header checksum.
+func ExampleSetWireECN() {
+	wire, _ := packet.BuildUDP(
+		packet.MustParseAddr("10.0.0.1"), packet.MustParseAddr("10.0.0.2"),
+		1, 2, 64, ecn.ECT0, 1, nil)
+	_ = packet.SetWireECN(wire, ecn.NotECT)
+	cp, _ := packet.WireECN(wire)
+	_, _, err := packet.ParseIPv4(wire) // checksum still valid
+	fmt.Println(cp, err)
+	// Output: not-ECT <nil>
+}
+
+// The ECN-setup handshake flags of RFC 3168, as the paper's TCP
+// measurement classifies them.
+func ExampleTCPHeader_IsECNSetupSYN() {
+	syn := packet.TCPHeader{Flags: packet.TCPSyn | packet.TCPEce | packet.TCPCwr}
+	synAck := packet.TCPHeader{Flags: packet.TCPSyn | packet.TCPAck | packet.TCPEce}
+	fmt.Println(syn.IsECNSetupSYN(), synAck.IsECNSetupSYNACK())
+	// Output: true true
+}

@@ -1,0 +1,147 @@
+// Package rtp implements the media-transport use case that motivates
+// the paper: RTP over UDP with ECN, as WebRTC uses it (RFC 3550 packet
+// format, RFC 6679-style ECN feedback, and a NADA-flavoured sender rate
+// controller that reacts to CE marks).
+//
+// The paper's introduction argues ECN matters for interactive media
+// because routers can signal congestion *before* dropping packets:
+// lower queue occupancy, lower latency, no visible glitches. Its
+// conclusion leaves open "whether the use of ECN with UDP offers any
+// benefit". This package, together with examples/rtp-ecn, makes that
+// question executable on the simulated network: a media session across
+// a CE-marking (AQM) hop adapts its rate without losing packets, while
+// the same session across a loss-based hop pays in dropped frames.
+//
+// Scope: enough of RTP for measurement work — the fixed header, a
+// compact ECN feedback report (modelled on RFC 6679's RTCP XR ECN
+// summary), and sender/receiver endpoints for the simulator. No
+// payload formats, no full RTCP stack.
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the RTP protocol version (RFC 3550 §5.1).
+const Version = 2
+
+// HeaderLen is the fixed RTP header length without CSRCs.
+const HeaderLen = 12
+
+// Errors returned by the codec.
+var (
+	ErrTruncated  = errors.New("rtp: packet too short")
+	ErrBadVersion = errors.New("rtp: wrong version")
+)
+
+// Header is the fixed RTP header. CSRC lists, padding and extensions
+// are not used by the measurement sessions.
+type Header struct {
+	Marker      bool
+	PayloadType uint8 // 7 bits
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+}
+
+// Marshal appends the header and payload to b.
+func (h *Header) Marshal(b []byte, payload []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, HeaderLen)...)
+	w := b[off:]
+	w[0] = Version << 6
+	w[1] = h.PayloadType & 0x7F
+	if h.Marker {
+		w[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(w[2:], h.Seq)
+	binary.BigEndian.PutUint32(w[4:], h.Timestamp)
+	binary.BigEndian.PutUint32(w[8:], h.SSRC)
+	return append(b, payload...)
+}
+
+// Parse decodes an RTP packet, returning header and payload.
+func Parse(data []byte) (Header, []byte, error) {
+	var h Header
+	if len(data) < HeaderLen {
+		return h, nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if v := data[0] >> 6; v != Version {
+		return h, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if cc := data[0] & 0x0F; cc != 0 {
+		// CSRCs unsupported; reject rather than misparse.
+		return h, nil, fmt.Errorf("rtp: %d CSRCs unsupported", cc)
+	}
+	h.Marker = data[1]&0x80 != 0
+	h.PayloadType = data[1] & 0x7F
+	h.Seq = binary.BigEndian.Uint16(data[2:])
+	h.Timestamp = binary.BigEndian.Uint32(data[4:])
+	h.SSRC = binary.BigEndian.Uint32(data[8:])
+	return h, data[HeaderLen:], nil
+}
+
+// FeedbackMagic distinguishes feedback datagrams from media on the
+// shared port pair.
+const FeedbackMagic = 0xECF1
+
+// Feedback is the receiver's periodic ECN summary, modelled on the RFC
+// 6679 RTCP XR ECN summary report: per-interval counts of each
+// codepoint observed on arriving media plus a loss estimate.
+type Feedback struct {
+	SSRC    uint32
+	Seq     uint16 // feedback sequence number
+	ECT0    uint32 // packets arriving ECT(0)
+	ECT1    uint32
+	CE      uint32 // packets arriving CE: congestion!
+	NotECT  uint32
+	Lost    uint32 // gap-based loss estimate
+	HighSeq uint16 // highest media sequence seen
+}
+
+// FeedbackLen is the wire size of a feedback report.
+const FeedbackLen = 2 + 4 + 2 + 4*5 + 2
+
+// Marshal appends the wire form.
+func (f *Feedback) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, FeedbackLen)...)
+	w := b[off:]
+	binary.BigEndian.PutUint16(w[0:], FeedbackMagic)
+	binary.BigEndian.PutUint32(w[2:], f.SSRC)
+	binary.BigEndian.PutUint16(w[6:], f.Seq)
+	binary.BigEndian.PutUint32(w[8:], f.ECT0)
+	binary.BigEndian.PutUint32(w[12:], f.ECT1)
+	binary.BigEndian.PutUint32(w[16:], f.CE)
+	binary.BigEndian.PutUint32(w[20:], f.NotECT)
+	binary.BigEndian.PutUint32(w[24:], f.Lost)
+	binary.BigEndian.PutUint16(w[28:], f.HighSeq)
+	return b
+}
+
+// ParseFeedback decodes a feedback report.
+func ParseFeedback(data []byte) (Feedback, error) {
+	var f Feedback
+	if len(data) < FeedbackLen {
+		return f, fmt.Errorf("%w: feedback %d bytes", ErrTruncated, len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:]) != FeedbackMagic {
+		return f, errors.New("rtp: not a feedback packet")
+	}
+	f.SSRC = binary.BigEndian.Uint32(data[2:])
+	f.Seq = binary.BigEndian.Uint16(data[6:])
+	f.ECT0 = binary.BigEndian.Uint32(data[8:])
+	f.ECT1 = binary.BigEndian.Uint32(data[12:])
+	f.CE = binary.BigEndian.Uint32(data[16:])
+	f.NotECT = binary.BigEndian.Uint32(data[20:])
+	f.Lost = binary.BigEndian.Uint32(data[24:])
+	f.HighSeq = binary.BigEndian.Uint16(data[28:])
+	return f, nil
+}
+
+// IsFeedback sniffs whether a datagram is a feedback report.
+func IsFeedback(data []byte) bool {
+	return len(data) >= 2 && binary.BigEndian.Uint16(data) == FeedbackMagic
+}

@@ -1,0 +1,256 @@
+package rtp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/middlebox"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Marker: true, PayloadType: 96, Seq: 1234, Timestamp: 0xDEADBEEF, SSRC: 0xCAFEBABE}
+	payload := []byte("media slice")
+	wire := h.Marshal(nil, payload)
+	got, body, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header = %+v", got)
+	}
+	if string(body) != "media slice" {
+		t.Errorf("payload = %q", body)
+	}
+	// Wire shape: version 2 in the top bits, marker+PT in byte 1.
+	if wire[0] != 0x80 {
+		t.Errorf("first byte = %#02x", wire[0])
+	}
+	if wire[1] != 0x80|96 {
+		t.Errorf("second byte = %#02x", wire[1])
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32, plen uint8) bool {
+		h := Header{Marker: marker, PayloadType: pt & 0x7F, Seq: seq, Timestamp: ts, SSRC: ssrc}
+		got, body, err := Parse(h.Marshal(nil, make([]byte, plen)))
+		return err == nil && got == h && len(body) == int(plen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, _, err := Parse([]byte{0x80, 0}); err == nil {
+		t.Error("short packet accepted")
+	}
+	bad := Header{}.MarshalBad()
+	if _, _, err := Parse(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// CSRC count != 0 rejected.
+	h := Header{}
+	wire := h.Marshal(nil, nil)
+	wire[0] |= 0x03
+	if _, _, err := Parse(wire); err == nil {
+		t.Error("CSRC packet accepted")
+	}
+}
+
+// MarshalBad builds a version-1 packet for the negative test.
+func (h Header) MarshalBad() []byte {
+	w := h.Marshal(nil, nil)
+	w[0] = 1 << 6
+	return w
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	fb := Feedback{SSRC: 7, Seq: 9, ECT0: 100, ECT1: 1, CE: 5, NotECT: 2, Lost: 3, HighSeq: 4242}
+	wire := fb.Marshal(nil)
+	if !IsFeedback(wire) {
+		t.Fatal("feedback not recognised")
+	}
+	got, err := ParseFeedback(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fb {
+		t.Errorf("feedback = %+v", got)
+	}
+	if IsFeedback([]byte{0, 1}) {
+		t.Error("garbage recognised as feedback")
+	}
+	if _, err := ParseFeedback(wire[:10]); err == nil {
+		t.Error("short feedback accepted")
+	}
+}
+
+// mediaFixture wires sender — r1 — r2 — receiver.
+type mediaFixture struct {
+	sim      *netsim.Sim
+	sender   *netsim.Host
+	receiver *netsim.Host
+	r1, r2   *netsim.Router
+}
+
+func newMediaFixture(t *testing.T, seed int64) *mediaFixture {
+	t.Helper()
+	sim := netsim.NewSim(seed)
+	n := netsim.NewNetwork(sim)
+	r1 := n.AddRouter("r1", packet.AddrFrom4(10, 255, 0, 1), 64500)
+	r2 := n.AddRouter("r2", packet.AddrFrom4(10, 255, 1, 1), 64501)
+	n.Connect(r1, r2, 5*time.Millisecond, 0)
+	a, _ := n.AddHost("sender", packet.AddrFrom4(10, 0, 0, 1))
+	b, _ := n.AddHost("receiver", packet.AddrFrom4(10, 0, 1, 1))
+	n.Attach(a, r1, time.Millisecond, 0)
+	n.Attach(b, r2, time.Millisecond, 0)
+	if err := n.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return &mediaFixture{sim: sim, sender: a, receiver: b, r1: r1, r2: r2}
+}
+
+func TestMediaSessionCleanPath(t *testing.T) {
+	f := newMediaFixture(t, 1)
+	recv, err := NewReceiver(f.receiver, 5004, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := NewSender(f.sender, f.receiver.Addr(), 5004, SenderConfig{SSRC: 42, UseECN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats SenderStats
+	snd.Start(5*time.Second, func(s SenderStats) { stats = s })
+	f.sim.Run()
+
+	rs := recv.Stats()
+	if rs.PacketsReceived != stats.PacketsSent {
+		t.Errorf("received %d of %d on a clean path", rs.PacketsReceived, stats.PacketsSent)
+	}
+	if rs.ECT0 != rs.PacketsReceived {
+		t.Errorf("ECT0 arrivals = %d of %d", rs.ECT0, rs.PacketsReceived)
+	}
+	if rs.CE != 0 || rs.Lost != 0 {
+		t.Errorf("CE/loss on clean path: %d/%d", rs.CE, rs.Lost)
+	}
+	if stats.RateDecreases != 0 {
+		t.Errorf("rate decreased %d times without congestion", stats.RateDecreases)
+	}
+	// Additive increase must have pushed the rate up.
+	if stats.FinalRate <= 64_000 {
+		t.Errorf("final rate = %.0f, want growth", stats.FinalRate)
+	}
+}
+
+func TestMediaSessionCEMarking(t *testing.T) {
+	f := newMediaFixture(t, 2)
+	// A congested AQM hop CE-marks 20% of ECT packets.
+	f.r2.AddPolicy(&middlebox.CEMarker{Probability: 0.2, RNG: f.sim.RNG()})
+
+	recv, _ := NewReceiver(f.receiver, 5004, 42)
+	snd, _ := NewSender(f.sender, f.receiver.Addr(), 5004, SenderConfig{SSRC: 42, UseECN: true})
+	var stats SenderStats
+	snd.Start(5*time.Second, func(s SenderStats) { stats = s })
+	f.sim.Run()
+
+	rs := recv.Stats()
+	if rs.CE == 0 {
+		t.Fatal("no CE marks observed")
+	}
+	// Crucially: congestion signalled WITHOUT loss.
+	if rs.Lost != 0 {
+		t.Errorf("lost %d packets despite ECN signalling", rs.Lost)
+	}
+	if stats.RateDecreases == 0 {
+		t.Error("sender never reacted to CE")
+	}
+	if stats.MinRateObserved >= 64_000 {
+		t.Errorf("rate never dropped below initial: %.0f", stats.MinRateObserved)
+	}
+	if rs.PacketsReceived != stats.PacketsSent {
+		t.Errorf("delivery gap: %d of %d", rs.PacketsReceived, stats.PacketsSent)
+	}
+}
+
+func TestMediaSessionLossPath(t *testing.T) {
+	// The counterfactual: same congestion expressed as loss (no ECN).
+	f := newMediaFixture(t, 3)
+	f.receiver.Uplink().SetLoss(f.r2, 0.2) // drop toward receiver
+
+	recv, _ := NewReceiver(f.receiver, 5004, 42)
+	snd, _ := NewSender(f.sender, f.receiver.Addr(), 5004, SenderConfig{SSRC: 42, UseECN: false})
+	var stats SenderStats
+	snd.Start(5*time.Second, func(s SenderStats) { stats = s })
+	f.sim.Run()
+
+	rs := recv.Stats()
+	if rs.Lost == 0 {
+		t.Fatal("no loss observed on a lossy path")
+	}
+	if rs.PacketsReceived >= stats.PacketsSent {
+		t.Error("every packet delivered despite loss")
+	}
+	if stats.RateDecreases == 0 {
+		t.Error("sender never reacted to loss feedback")
+	}
+	// Media arrived not-ECT: the session did not request ECN.
+	if rs.ECT0 != 0 || rs.NotECT == 0 {
+		t.Errorf("codepoints: ect0=%d notect=%d", rs.ECT0, rs.NotECT)
+	}
+}
+
+func TestMediaSessionBleachedPath(t *testing.T) {
+	// A bleacher strips ECT(0): media still flows, but the congestion
+	// channel is gone (CE can never be signalled) — the operational
+	// consequence of the paper's §4.2 findings.
+	f := newMediaFixture(t, 4)
+	f.r1.AddPolicy(&middlebox.ECNBleacher{Probability: 1})
+	f.r2.AddPolicy(&middlebox.CEMarker{Probability: 0.2, RNG: f.sim.RNG()})
+
+	recv, _ := NewReceiver(f.receiver, 5004, 42)
+	snd, _ := NewSender(f.sender, f.receiver.Addr(), 5004, SenderConfig{SSRC: 42, UseECN: true})
+	var stats SenderStats
+	snd.Start(3*time.Second, func(s SenderStats) { stats = s })
+	f.sim.Run()
+
+	rs := recv.Stats()
+	if rs.PacketsReceived == 0 {
+		t.Fatal("bleached path blocked media entirely")
+	}
+	if rs.CE != 0 {
+		t.Error("CE marks survived a bleacher (CEMarker only marks ECT packets)")
+	}
+	if rs.NotECT != rs.PacketsReceived {
+		t.Errorf("arrivals not fully bleached: notECT %d of %d", rs.NotECT, rs.PacketsReceived)
+	}
+	if stats.RateDecreases != 0 {
+		t.Error("sender reacted to congestion it could never see")
+	}
+}
+
+func TestReceiverIgnoresWrongSSRC(t *testing.T) {
+	f := newMediaFixture(t, 5)
+	recv, _ := NewReceiver(f.receiver, 5004, 42)
+	snd, _ := NewSender(f.sender, f.receiver.Addr(), 5004, SenderConfig{SSRC: 99, UseECN: false})
+	snd.Start(time.Second, func(SenderStats) {})
+	f.sim.Run()
+	if recv.Stats().PacketsReceived != 0 {
+		t.Error("receiver accepted media for a foreign SSRC")
+	}
+}
+
+func TestReceiverStop(t *testing.T) {
+	f := newMediaFixture(t, 6)
+	recv, _ := NewReceiver(f.receiver, 5004, 42)
+	recv.Stop()
+	// Port must be rebindable after Stop.
+	if _, err := f.receiver.BindUDP(5004, nil); err != nil {
+		t.Errorf("port not released: %v", err)
+	}
+	f.sim.Run() // feedback timer must not fire after Stop
+}

@@ -1,0 +1,344 @@
+package rtp
+
+import (
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Session parameters.
+const (
+	// FeedbackInterval is how often the receiver reports (RFC 6679
+	// recommends regular RTCP feedback; 100ms suits interactive media).
+	FeedbackInterval = 100 * time.Millisecond
+	// packetInterval paces media at one packet per tick; the rate
+	// controller varies the payload size instead of the tick, keeping
+	// the maths simple and the packet rate constant (20ms ≈ 50 pps,
+	// a typical audio/video slice cadence).
+	packetInterval = 20 * time.Millisecond
+)
+
+// SenderConfig tunes the media sender.
+type SenderConfig struct {
+	SSRC        uint32
+	PayloadType uint8
+	// UseECN marks media ECT(0) and reacts to CE feedback. The
+	// application decides this after a path pre-check (see
+	// examples/webrtc-precheck).
+	UseECN bool
+	// InitialRate and bounds, in bytes per second of payload.
+	InitialRate float64
+	MinRate     float64
+	MaxRate     float64
+	// Beta is the multiplicative decrease applied per CE-marked
+	// feedback interval (NADA-flavoured; default 0.85).
+	Beta float64
+	// AdditiveIncrease per clean feedback interval, bytes/sec
+	// (default 5000).
+	AdditiveIncrease float64
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.InitialRate == 0 {
+		c.InitialRate = 64_000
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 8_000
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 512_000
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.85
+	}
+	if c.AdditiveIncrease == 0 {
+		c.AdditiveIncrease = 5_000
+	}
+	return c
+}
+
+// SenderStats summarise a finished sending session.
+type SenderStats struct {
+	PacketsSent       int
+	BytesSent         int
+	FeedbackReceived  int
+	CEIntervals       int // feedback intervals reporting CE
+	LossIntervals     int // feedback intervals reporting loss
+	RateDecreases     int
+	FinalRate         float64
+	MinRateObserved   float64
+	BytesAcknowledged int // via HighSeq progression (approximate)
+}
+
+// Sender is a paced media source on a simulated host.
+type Sender struct {
+	cfg   SenderConfig
+	host  *netsim.Host
+	dst   packet.Addr
+	dport uint16
+	sport uint16
+
+	rate    float64
+	seq     uint16
+	ts      uint32
+	stats   SenderStats
+	stopped bool
+	timer   *netsim.Timer
+}
+
+// NewSender binds a sender on host toward dst:dport. Call Start.
+func NewSender(host *netsim.Host, dst packet.Addr, dport uint16, cfg SenderConfig) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		cfg:   cfg,
+		host:  host,
+		dst:   dst,
+		dport: dport,
+		rate:  cfg.InitialRate,
+	}
+	s.stats.MinRateObserved = cfg.InitialRate
+	port, err := host.BindUDP(0, func(h *netsim.Host, ip packet.IPv4Header, u packet.UDPHeader, payload []byte) {
+		s.onDatagram(ip, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sport = port
+	return s, nil
+}
+
+// Start begins pacing media for the given duration, then invokes done
+// with the session statistics.
+func (s *Sender) Start(dur time.Duration, done func(SenderStats)) {
+	sim := s.host.Sim()
+	deadline := sim.Now() + dur
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		if sim.Now() >= deadline {
+			s.stop()
+			done(s.stats)
+			return
+		}
+		s.sendOne()
+		s.timer = sim.After(packetInterval, tick)
+	}
+	tick()
+}
+
+func (s *Sender) stop() {
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.host.UnbindUDP(s.sport)
+	s.stats.FinalRate = s.rate
+}
+
+// sendOne emits one media packet sized for the current rate.
+func (s *Sender) sendOne() {
+	payloadLen := int(s.rate * packetInterval.Seconds())
+	if payloadLen < 16 {
+		payloadLen = 16
+	}
+	if payloadLen > 1400 {
+		payloadLen = 1400 // stay under MTU-ish
+	}
+	s.seq++
+	s.ts += uint32(packetInterval / time.Millisecond * 90) // 90kHz clock
+	hdr := Header{PayloadType: s.cfg.PayloadType, Seq: s.seq, Timestamp: s.ts, SSRC: s.cfg.SSRC}
+	payload := make([]byte, payloadLen)
+	wire := hdr.Marshal(nil, payload)
+
+	cp := ecn.NotECT
+	if s.cfg.UseECN {
+		cp = ecn.ECT0
+	}
+	_ = s.host.SendUDP(s.dst, s.sport, s.dport, 64, cp, wire)
+	s.stats.PacketsSent++
+	s.stats.BytesSent += len(wire)
+}
+
+// onDatagram handles feedback from the receiver.
+func (s *Sender) onDatagram(ip packet.IPv4Header, payload []byte) {
+	if !IsFeedback(payload) {
+		return
+	}
+	fb, err := ParseFeedback(payload)
+	if err != nil || fb.SSRC != s.cfg.SSRC {
+		return
+	}
+	s.stats.FeedbackReceived++
+	congested := false
+	if fb.CE > 0 {
+		s.stats.CEIntervals++
+		congested = true
+	}
+	if fb.Lost > 0 {
+		s.stats.LossIntervals++
+		congested = true
+	}
+	if congested {
+		// React to CE exactly as to loss (RFC 3168 principle; NADA
+		// unifies both into one controller).
+		s.rate *= s.cfg.Beta
+		if s.rate < s.cfg.MinRate {
+			s.rate = s.cfg.MinRate
+		}
+		s.stats.RateDecreases++
+	} else {
+		s.rate += s.cfg.AdditiveIncrease
+		if s.rate > s.cfg.MaxRate {
+			s.rate = s.cfg.MaxRate
+		}
+	}
+	if s.rate < s.stats.MinRateObserved {
+		s.stats.MinRateObserved = s.rate
+	}
+}
+
+// ReceiverStats summarise the receiving side.
+type ReceiverStats struct {
+	PacketsReceived int
+	BytesReceived   int
+	ECT0, ECT1, CE  int
+	NotECT          int
+	Lost            int
+	FeedbackSent    int
+}
+
+// Receiver consumes media on a bound port and reports ECN feedback.
+type Receiver struct {
+	host  *netsim.Host
+	port  uint16
+	ssrc  uint32
+	peer  packet.Addr
+	pport uint16
+
+	interval     Feedback
+	stats        ReceiverStats
+	lastSeq      uint16
+	seqSeen      bool
+	fbSeq        uint16
+	timer        *netsim.Timer
+	armed        bool
+	stopped      bool
+	intervalLost uint32
+	idle         int
+}
+
+// idleQuenchIntervals is how many empty feedback intervals the receiver
+// tolerates before pausing its timer. Without self-quenching the
+// feedback loop would keep the (virtual) session alive forever; media
+// arriving later re-arms it.
+const idleQuenchIntervals = 5
+
+// NewReceiver binds a media receiver on host:port for the given SSRC.
+// The feedback timer arms when the first media packet arrives and
+// quenches itself after a few idle intervals, so a drained simulation
+// means the session is truly over.
+func NewReceiver(host *netsim.Host, port uint16, ssrc uint32) (*Receiver, error) {
+	r := &Receiver{host: host, port: port, ssrc: ssrc}
+	_, err := host.BindUDP(port, func(h *netsim.Host, ip packet.IPv4Header, u packet.UDPHeader, payload []byte) {
+		r.onMedia(ip, u, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Stop cancels feedback and releases the port.
+func (r *Receiver) Stop() {
+	r.stopped = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.host.UnbindUDP(r.port)
+}
+
+func (r *Receiver) onMedia(ip packet.IPv4Header, u packet.UDPHeader, payload []byte) {
+	hdr, body, err := Parse(payload)
+	if err != nil || hdr.SSRC != r.ssrc {
+		return
+	}
+	r.peer = ip.Src
+	r.pport = u.SrcPort
+	r.stats.PacketsReceived++
+	r.stats.BytesReceived += len(body)
+
+	switch ip.ECN() {
+	case ecn.ECT0:
+		r.interval.ECT0++
+		r.stats.ECT0++
+	case ecn.ECT1:
+		r.interval.ECT1++
+		r.stats.ECT1++
+	case ecn.CE:
+		r.interval.CE++
+		r.stats.CE++
+	default:
+		r.interval.NotECT++
+		r.stats.NotECT++
+	}
+
+	// Gap-based loss accounting (reordering is impossible on the
+	// simulator's FIFO paths, so every gap is loss).
+	if r.seqSeen {
+		if delta := hdr.Seq - r.lastSeq; delta > 1 {
+			r.intervalLost += uint32(delta - 1)
+			r.stats.Lost += int(delta - 1)
+		}
+	}
+	r.lastSeq = hdr.Seq
+	r.seqSeen = true
+	r.idle = 0
+	if !r.armed && !r.stopped {
+		r.scheduleFeedback()
+	}
+}
+
+func (r *Receiver) scheduleFeedback() {
+	r.armed = true
+	r.timer = r.host.Sim().After(FeedbackInterval, func() {
+		if r.stopped {
+			return
+		}
+		hadMedia := r.interval != (Feedback{}) || r.intervalLost > 0
+		r.emitFeedback()
+		if hadMedia {
+			r.idle = 0
+		} else {
+			r.idle++
+			if r.idle >= idleQuenchIntervals {
+				r.armed = false
+				return // quench: media arrival re-arms
+			}
+		}
+		r.scheduleFeedback()
+	})
+}
+
+func (r *Receiver) emitFeedback() {
+	if r.peer.IsZero() {
+		return // no media yet
+	}
+	r.fbSeq++
+	fb := r.interval
+	fb.SSRC = r.ssrc
+	fb.Seq = r.fbSeq
+	fb.Lost = r.intervalLost
+	fb.HighSeq = r.lastSeq
+	// Feedback travels not-ECT, like the control traffic it is.
+	_ = r.host.SendUDP(r.peer, r.port, r.pport, 64, ecn.NotECT, fb.Marshal(nil))
+	r.stats.FeedbackSent++
+	r.interval = Feedback{}
+	r.intervalLost = 0
+}

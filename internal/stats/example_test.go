@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The paper's headline proportion with its sampling uncertainty: 2230
+// of 2253 servers reachable.
+func ExampleWilsonInterval() {
+	lo, hi := stats.WilsonInterval(2230, 2253)
+	fmt.Printf("98.97%% [%.2f%%, %.2f%%]\n", 100*lo, 100*hi)
+	// Output: 98.97% [98.47%, 99.32%]
+}
+
+// Table 2's association measure: a 2×2 contingency of "blocked via
+// ECT-UDP" against "refuses TCP ECN".
+func ExamplePhi() {
+	// 4 blocked+refusing, 9 blocked+negotiating,
+	// 240 fine+refusing, 1100 fine+negotiating.
+	fmt.Printf("phi = %.3f\n", stats.Phi(4, 9, 240, 1100))
+	// Output: phi = 0.033
+}

@@ -1,0 +1,47 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// BenchmarkHandshakeAndExchange measures a complete connect → request →
+// response → close cycle with ECN negotiation, the unit of the paper's
+// TCP measurement.
+func BenchmarkHandshakeAndExchange(b *testing.B) {
+	sim := netsim.NewSim(1)
+	n := netsim.NewNetwork(sim)
+	r := n.AddRouter("r", packet.AddrFrom4(10, 255, 0, 1), 64500)
+	client, _ := n.AddHost("client", packet.AddrFrom4(10, 0, 0, 1))
+	server, _ := n.AddHost("server", packet.AddrFrom4(10, 0, 1, 1))
+	n.Attach(client, r, time.Microsecond, 0)
+	n.Attach(server, r, time.Microsecond, 0)
+	if err := n.ComputeRoutes(); err != nil {
+		b.Fatal(err)
+	}
+	cs, ss := NewStack(client), NewStack(server)
+	ss.Listen(80, true, func(c *Conn) {
+		c.OnData(func(data []byte) { c.Write(data) })
+	})
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		completed := false
+		cs.Dial(server.Addr(), 80, DialConfig{RequestECN: true}, func(c *Conn, err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.OnData(func([]byte) { c.Close() })
+			c.OnClose(func(error) { completed = true })
+			c.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+		})
+		sim.Run()
+		if !completed {
+			b.Fatal("exchange did not complete")
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package tcpsim
+
+import (
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Connection states (RFC 793 §3.2, minus LISTEN which lives in Listener
+// and TIME_WAIT which is elided — see the package comment).
+type state uint8
+
+const (
+	stateSynSent state = iota
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateLastAck
+	stateClosing
+	stateClosed
+)
+
+func (st state) String() string {
+	names := [...]string{"SYN-SENT", "SYN-RCVD", "ESTABLISHED", "FIN-WAIT-1",
+		"FIN-WAIT-2", "CLOSE-WAIT", "LAST-ACK", "CLOSING", "CLOSED"}
+	if int(st) < len(names) {
+		return names[st]
+	}
+	return "?"
+}
+
+// ecnCodepoint converts the internal marker to an ecn.Codepoint.
+func ecnCodepoint(cp uint8) ecn.Codepoint { return ecn.Codepoint(cp) }
+
+const (
+	cpNotECT = uint8(ecn.NotECT)
+	cpECT0   = uint8(ecn.ECT0)
+)
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack *Stack
+	key   connKey
+	st    state
+
+	// Sequence space.
+	iss    uint32 // initial send sequence
+	sndNxt uint32 // next sequence to send
+	sndUna uint32 // oldest unacknowledged
+	rcvNxt uint32 // next expected from peer
+
+	// ECN.
+	requestECN    bool // client side: ask for ECN in the SYN
+	markCE        bool // client side: transmit data as CE (usability probe)
+	ecnNegotiated bool
+	// echoCE: receiver saw CE and must set ECE on ACKs until peer CWRs.
+	echoCE bool
+	// cwrPending: sender must set CWR on the next new data segment
+	// because the peer echoed ECE.
+	cwrPending bool
+
+	// Retransmission: segments in flight, oldest first.
+	rtxQueue []sentSegment
+	rtxTimer *netsim.Timer
+	rto      time.Duration
+
+	// SYN handling.
+	synRetriesLeft int
+	synBackoff     time.Duration
+
+	// stalls counts consecutive RTO expirations without forward
+	// progress; the connection aborts after too many.
+	stalls int
+
+	// Pending application writes queued before ESTABLISHED.
+	pendingWrites [][]byte
+	// FIN requested by the application (sent once queue drains).
+	closeRequested bool
+	finSent        bool
+
+	listener *Listener
+	dialDone func(*Conn, error)
+
+	// Application callbacks.
+	onData  func([]byte)
+	onClose func(error)
+
+	// Telemetry.
+	Retransmits   uint64
+	CEMarksSeen   uint64
+	ECESeen       uint64
+	BytesReceived uint64
+}
+
+// sentSegment is a queued in-flight segment for retransmission.
+type sentSegment struct {
+	seq     uint32
+	flags   uint8
+	payload []byte
+}
+
+func newConn(s *Stack, key connKey, st state) *Conn {
+	iss := s.host.Sim().RNG().Uint32()
+	return &Conn{
+		stack:      s,
+		key:        key,
+		st:         st,
+		iss:        iss,
+		sndNxt:     iss,
+		sndUna:     iss,
+		rto:        time.Second,
+		synBackoff: time.Second,
+	}
+}
+
+// --- Public API ---------------------------------------------------------
+
+// ECNNegotiated reports whether the handshake agreed to use ECN.
+func (c *Conn) ECNNegotiated() bool { return c.ecnNegotiated }
+
+// State returns a human-readable connection state (for tests/logs).
+func (c *Conn) State() string { return c.st.String() }
+
+// LocalPort returns the local port of the connection.
+func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() packet.Addr { return c.key.remote }
+
+// OnData registers the receive callback (in-order stream bytes).
+func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
+
+// OnClose registers a callback invoked once when the connection ends;
+// err is nil for a graceful FIN exchange, ErrReset for a RST.
+func (c *Conn) OnClose(fn func(error)) { c.onClose = fn }
+
+// Write queues stream data. Data written before the handshake completes
+// is sent upon ESTABLISHED.
+func (c *Conn) Write(data []byte) {
+	if c.st == stateClosed || c.closeRequested {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	if c.st != stateEstablished && c.st != stateCloseWait {
+		c.pendingWrites = append(c.pendingWrites, cp)
+		return
+	}
+	c.sendData(cp)
+}
+
+// Close initiates a graceful shutdown (FIN after pending data).
+func (c *Conn) Close() {
+	if c.st == stateClosed || c.closeRequested {
+		return
+	}
+	c.closeRequested = true
+	c.maybeSendFIN()
+}
+
+// Abort sends a RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.st == stateClosed {
+		return
+	}
+	hdr := c.header(packet.TCPRst | packet.TCPAck)
+	c.stack.send(c, hdr, cpNotECT, nil)
+	c.teardown(ErrReset)
+}
+
+// --- Segment construction ----------------------------------------------
+
+// header builds a TCP header for the current connection state.
+func (c *Conn) header(flags uint8) *packet.TCPHeader {
+	return &packet.TCPHeader{
+		SrcPort: c.key.localPort,
+		DstPort: c.key.remotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  65535,
+	}
+}
+
+// dataECN picks the IP codepoint for a data-bearing segment.
+func (c *Conn) dataECN() uint8 {
+	switch {
+	case c.ecnNegotiated && c.markCE:
+		return uint8(ecn.CE)
+	case c.ecnNegotiated:
+		return cpECT0
+	}
+	return cpNotECT
+}
+
+// brokenECE reports whether this endpoint ignores CE marks (server side
+// only, inherited from its listener).
+func (c *Conn) brokenECE() bool {
+	return c.listener != nil && c.listener.BrokenECE
+}
+
+func (c *Conn) sendSYN() {
+	flags := uint8(packet.TCPSyn)
+	if c.requestECN {
+		// ECN-setup SYN: SYN|ECE|CWR, sent not-ECT (RFC 3168 §6.1.1 —
+		// which is why the paper could not compare ECT vs not-ECT SYNs).
+		flags |= packet.TCPEce | packet.TCPCwr
+	}
+	hdr := c.header(flags)
+	hdr.Ack = 0
+	hdr.Options = packet.MSSOption(MSS)
+	c.stack.send(c, hdr, cpNotECT, nil)
+	c.armSYNTimer()
+}
+
+func (c *Conn) sendSYNACK() {
+	flags := uint8(packet.TCPSyn | packet.TCPAck)
+	if c.ecnNegotiated {
+		flags |= packet.TCPEce // ECN-setup SYN-ACK: ECE without CWR
+	}
+	hdr := c.header(flags)
+	hdr.Options = packet.MSSOption(MSS)
+	c.stack.send(c, hdr, cpNotECT, nil)
+	c.armSYNTimer()
+}
+
+// armSYNTimer retransmits handshake segments with exponential backoff.
+func (c *Conn) armSYNTimer() {
+	c.stopTimer()
+	c.rtxTimer = c.stack.after(c.synBackoff, func() {
+		if c.st != stateSynSent && c.st != stateSynRcvd {
+			return
+		}
+		if c.synRetriesLeft <= 0 {
+			c.teardown(ErrTimeout)
+			return
+		}
+		c.synRetriesLeft--
+		c.synBackoff *= 2
+		c.Retransmits++
+		if c.st == stateSynSent {
+			c.sendSYN()
+		} else {
+			c.sendSYNACK()
+		}
+	})
+}
+
+// sendData segments and transmits application bytes.
+func (c *Conn) sendData(data []byte) {
+	for len(data) > 0 {
+		n := len(data)
+		if n > MSS {
+			n = MSS
+		}
+		chunk := data[:n]
+		data = data[n:]
+
+		flags := uint8(packet.TCPAck | packet.TCPPsh)
+		if c.cwrPending {
+			flags |= packet.TCPCwr
+			c.cwrPending = false
+		}
+		if c.echoCE {
+			flags |= packet.TCPEce
+		}
+		hdr := c.header(flags)
+		c.stack.send(c, hdr, c.dataECN(), chunk)
+		c.rtxQueue = append(c.rtxQueue, sentSegment{seq: c.sndNxt, flags: flags, payload: chunk})
+		c.sndNxt += uint32(len(chunk))
+	}
+	c.armRTO()
+}
+
+// maybeSendFIN emits the FIN once all data is acknowledged-or-queued.
+func (c *Conn) maybeSendFIN() {
+	if c.finSent || !c.closeRequested {
+		return
+	}
+	switch c.st {
+	case stateEstablished, stateCloseWait:
+	default:
+		return
+	}
+	flags := uint8(packet.TCPFin | packet.TCPAck)
+	hdr := c.header(flags)
+	c.stack.send(c, hdr, cpNotECT, nil)
+	c.rtxQueue = append(c.rtxQueue, sentSegment{seq: c.sndNxt, flags: flags})
+	c.sndNxt++ // FIN consumes a sequence number
+	c.finSent = true
+	if c.st == stateEstablished {
+		c.st = stateFinWait1
+	} else {
+		c.st = stateLastAck
+	}
+	c.armRTO()
+}
+
+// sendACK emits a bare acknowledgement, echoing ECE while CE stands.
+func (c *Conn) sendACK() {
+	flags := uint8(packet.TCPAck)
+	if c.echoCE {
+		flags |= packet.TCPEce
+	}
+	c.stack.send(c, c.header(flags), cpNotECT, nil)
+}
+
+// --- Retransmission -----------------------------------------------------
+
+func (c *Conn) armRTO() {
+	if len(c.rtxQueue) == 0 {
+		c.stopTimer()
+		return
+	}
+	c.stopTimer()
+	c.rtxTimer = c.stack.after(c.rto, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.st == stateClosed || len(c.rtxQueue) == 0 {
+		return
+	}
+	if c.stalls >= 8 {
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.stalls++
+	// Go-back-N: resend everything outstanding. RFC 3168 §6.1.5:
+	// retransmitted packets must not be ECT-marked.
+	for _, seg := range c.rtxQueue {
+		c.Retransmits++
+		hdr := c.header(seg.flags)
+		hdr.Seq = seg.seq
+		c.stack.send(c, hdr, cpNotECT, seg.payload)
+	}
+	c.rto *= 2
+	c.armRTO()
+}
+
+func (c *Conn) stopTimer() {
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+}
+
+// --- Segment processing -------------------------------------------------
+
+// seqLEQ compares sequence numbers with wraparound.
+func seqLEQ(a, b uint32) bool { return int32(b-a) >= 0 }
+func seqLT(a, b uint32) bool  { return int32(b-a) > 0 }
+
+// handleSegment is the per-connection receive path.
+func (c *Conn) handleSegment(ip packet.IPv4Header, hdr packet.TCPHeader, payload []byte) {
+	if c.st == stateClosed {
+		return
+	}
+
+	// CE on an ECN connection: note it and echo ECE until CWR arrives.
+	if c.ecnNegotiated && ip.ECN() == ecn.CE {
+		c.CEMarksSeen++
+		if !c.brokenECE() {
+			c.echoCE = true
+		}
+	}
+	if hdr.Flags&packet.TCPCwr != 0 && hdr.Flags&packet.TCPSyn == 0 {
+		c.echoCE = false // peer reduced its window; stop echoing
+	}
+	// Peer echoed congestion: react by flagging CWR on the next new data
+	// segment (the congestion-response handshake the RTP/TCP ECN
+	// usability tests look for). The SYN-ACK's ECE is negotiation, not a
+	// congestion echo, hence the SYN exclusion.
+	if c.ecnNegotiated && hdr.Flags&packet.TCPEce != 0 && hdr.Flags&packet.TCPSyn == 0 {
+		c.ECESeen++
+		c.cwrPending = true
+	}
+
+	if hdr.Flags&packet.TCPRst != 0 {
+		// Acceptable RST: in SYN-SENT it must ACK our SYN; otherwise it
+		// must fall in the receive window (we check exact next-seq).
+		if c.st == stateSynSent {
+			if hdr.Flags&packet.TCPAck != 0 && hdr.Ack == c.sndNxt+1 {
+				c.teardown(ErrRefused)
+			}
+			return
+		}
+		if hdr.Seq == c.rcvNxt || hdr.Flags&packet.TCPAck != 0 {
+			c.teardown(ErrReset)
+		}
+		return
+	}
+
+	switch c.st {
+	case stateSynSent:
+		if hdr.Flags&packet.TCPSyn == 0 || hdr.Flags&packet.TCPAck == 0 {
+			return
+		}
+		if hdr.Ack != c.iss+1 {
+			return // not acknowledging our SYN
+		}
+		c.sndNxt = c.iss + 1
+		c.sndUna = c.sndNxt
+		c.rcvNxt = hdr.Seq + 1
+		c.ecnNegotiated = c.requestECN && hdr.IsECNSetupSYNACK()
+		c.st = stateEstablished
+		c.stopTimer()
+		c.sendACK()
+		c.flushPending()
+		if c.dialDone != nil {
+			done := c.dialDone
+			c.dialDone = nil
+			done(c, nil)
+		}
+		return
+
+	case stateSynRcvd:
+		if hdr.Flags&packet.TCPSyn != 0 && hdr.Flags&packet.TCPAck == 0 {
+			// Duplicate SYN: re-answer.
+			c.sendSYNACK()
+			return
+		}
+		if hdr.Flags&packet.TCPAck != 0 && hdr.Ack == c.iss+1 {
+			c.sndNxt = c.iss + 1
+			c.sndUna = c.sndNxt
+			c.st = stateEstablished
+			c.stopTimer()
+			if c.listener != nil {
+				c.listener.Accepted++
+				if c.listener.accept != nil {
+					c.listener.accept(c)
+				}
+			}
+			c.flushPending()
+			// Fall through: the handshake ACK may carry data.
+		} else {
+			return
+		}
+	}
+
+	// ACK processing for data/FIN states.
+	if hdr.Flags&packet.TCPAck != 0 {
+		c.processACK(hdr.Ack)
+	}
+
+	// In-order payload delivery; out-of-order segments are dropped and
+	// re-ACKed (retransmission fills the gap).
+	if len(payload) > 0 {
+		if hdr.Seq == c.rcvNxt {
+			c.rcvNxt += uint32(len(payload))
+			c.BytesReceived += uint64(len(payload))
+			if c.onData != nil {
+				c.onData(payload)
+			}
+			if c.st == stateClosed {
+				return // callback aborted the connection
+			}
+		}
+		c.sendACK()
+	}
+
+	// FIN processing.
+	if hdr.Flags&packet.TCPFin != 0 && hdr.Seq == c.rcvNxt {
+		c.rcvNxt++
+		c.sendACK()
+		switch c.st {
+		case stateEstablished:
+			c.st = stateCloseWait
+			// Auto-close: this model's applications (probe-style HTTP
+			// exchanges) always close once the peer does, so the stack
+			// answers the FIN with its own rather than waiting for an
+			// explicit Close that request/response code never issues.
+			c.closeRequested = true
+			c.maybeSendFIN()
+		case stateFinWait1:
+			c.st = stateClosing
+		case stateFinWait2:
+			c.teardown(nil)
+		}
+	}
+}
+
+// processACK advances the send window and drives state transitions that
+// depend on our FIN being acknowledged.
+func (c *Conn) processACK(ack uint32) {
+	if hdrAckAdvances := seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt); !hdrAckAdvances {
+		return
+	}
+	c.sndUna = ack
+	c.stalls = 0
+	c.rto = time.Second // forward progress: reset backoff
+	// Drop fully acknowledged segments from the queue.
+	for len(c.rtxQueue) > 0 {
+		seg := c.rtxQueue[0]
+		segEnd := seg.seq + uint32(len(seg.payload))
+		if seg.flags&(packet.TCPSyn|packet.TCPFin) != 0 {
+			segEnd++
+		}
+		if seqLEQ(segEnd, ack) {
+			c.rtxQueue = c.rtxQueue[1:]
+		} else {
+			break
+		}
+	}
+	if len(c.rtxQueue) == 0 {
+		c.stopTimer()
+	} else {
+		c.armRTO()
+	}
+
+	if c.finSent && ack == c.sndNxt {
+		switch c.st {
+		case stateFinWait1:
+			c.st = stateFinWait2
+		case stateClosing, stateLastAck:
+			c.teardown(nil)
+		}
+	}
+	c.maybeSendFIN()
+}
+
+// flushPending sends writes queued during the handshake.
+func (c *Conn) flushPending() {
+	for _, w := range c.pendingWrites {
+		c.sendData(w)
+	}
+	c.pendingWrites = nil
+	c.maybeSendFIN()
+}
+
+// teardown finalises the connection and notifies the application.
+func (c *Conn) teardown(err error) {
+	if c.st == stateClosed {
+		return
+	}
+	c.st = stateClosed
+	c.stopTimer()
+	c.stack.drop(c)
+	if c.dialDone != nil {
+		done := c.dialDone
+		c.dialDone = nil
+		if err == nil {
+			err = ErrClosed
+		}
+		done(nil, err)
+		return
+	}
+	if c.onClose != nil {
+		fn := c.onClose
+		c.onClose = nil
+		fn(err)
+	}
+}

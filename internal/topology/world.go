@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asn"
+	"repro/internal/dnspool"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/ntp"
+	"repro/internal/packet"
+	"repro/internal/tcpsim"
+)
+
+// Server is one NTP pool member and its ground truth.
+type Server struct {
+	Host    *netsim.Host
+	Addr    packet.Addr
+	Region  geo.Region
+	Country string
+
+	NTP *ntp.Server
+	// Web/WebECN: runs a web server / negotiates ECN over TCP.
+	Web    bool
+	WebECN bool
+	// BrokenECE: negotiates ECN but never echoes congestion (the
+	// Kühlewind "negotiate but unusable" population).
+	BrokenECE bool
+	Stack     *tcpsim.Stack // nil unless Web
+
+	// Middlebox ground truth.
+	ECTUDPFirewalled bool // site firewall drops ECT-marked UDP
+	NotECTFirewalled bool // site firewall drops not-ECT UDP
+	ScopedNotECT     bool // drops not-ECT UDP from cloud sources only
+	ScopedECT        bool // drops ECT UDP from some cloud sources only
+	Flaky            bool // congestion-prone access link
+	BleachedPath     bool // sits behind a bleaching stub router
+}
+
+// VantageKind distinguishes the access-network loss models.
+type VantageKind uint8
+
+// Vantage kinds.
+const (
+	KindHome VantageKind = iota
+	KindCampusWired
+	KindCampusWireless
+	KindCloud
+)
+
+// Vantage is one of the study's 13 measurement locations.
+type Vantage struct {
+	Name   string
+	Kind   VantageKind
+	Region geo.Region
+	Host   *netsim.Host
+	Stack  *tcpsim.Stack
+
+	// BaseLoss and LossJitter parameterise the per-trace access-link
+	// loss draw: loss = BaseLoss + U(0, LossJitter).
+	BaseLoss   float64
+	LossJitter float64
+}
+
+// World is a generated Internet plus its ground truth and lookups.
+type World struct {
+	Cfg Config
+	Sim *netsim.Sim
+	Net *netsim.Network
+
+	Geo *geo.DB
+	ASN *asn.Table
+
+	Servers  []*Server
+	Vantages []*Vantage
+
+	// Pool DNS.
+	Directory *dnspool.Directory
+	DNSAddr   packet.Addr
+	// CountryZones lists the sub-zone labels in use (for discovery).
+	CountryZones []string
+
+	// BleachRouters records where ECN bleaching happens (ground truth
+	// for validating the Figure 4 inference). Keyed by router ID.
+	BleachRouters map[int]string // id → "border" | "interior" | "sometimes-*"
+
+	byAddr map[packet.Addr]*Server
+}
+
+// ServerAddrs returns the pool membership in creation order.
+func (w *World) ServerAddrs() []packet.Addr {
+	out := make([]packet.Addr, len(w.Servers))
+	for i, s := range w.Servers {
+		out[i] = s.Addr
+	}
+	return out
+}
+
+// ServerByAddr resolves ground truth for an address.
+func (w *World) ServerByAddr(a packet.Addr) (*Server, bool) {
+	s, ok := w.byAddr[a]
+	return s, ok
+}
+
+// VantageByName finds a vantage point by its paper name.
+func (w *World) VantageByName(name string) (*Vantage, bool) {
+	for _, v := range w.Vantages {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Batch identifies which measurement batch a trace belongs to; the pool
+// churned between them.
+type Batch int
+
+// The two collection batches (April/May and July/August 2015).
+const (
+	Batch1 Batch = 1
+	Batch2 Batch = 2
+)
+
+// ApplyTraceConditions rolls the per-trace state: pool churn (which
+// servers are online), flaky-server congestion, and the vantage's
+// access-link loss draw. Call before running each trace; rng must be the
+// simulation's PRNG for reproducibility.
+func (w *World) ApplyTraceConditions(v *Vantage, batch Batch, rng *rand.Rand) {
+	onlineProb := w.Cfg.OnlineProbBatch1
+	if batch == Batch2 {
+		onlineProb = w.Cfg.OnlineProbBatch2
+	}
+	for _, s := range w.Servers {
+		online := rng.Float64() < onlineProb
+		s.Host.SetOnline(online)
+		if s.Flaky {
+			loss := 0.0
+			if online && rng.Float64() < w.Cfg.FlakyCongestionProb {
+				loss = w.Cfg.FlakyCongestionLoss
+			}
+			s.Host.Uplink().SetLossBoth(loss)
+		}
+	}
+	for _, vp := range w.Vantages {
+		loss := vp.BaseLoss
+		if vp == v {
+			loss = vp.BaseLoss + rng.Float64()*vp.LossJitter
+		}
+		vp.Host.Uplink().SetLossBoth(loss)
+	}
+}
+
+func (w *World) String() string {
+	return fmt.Sprintf("topology.World{%d servers, %d vantages, %d routers, %d ASes}",
+		len(w.Servers), len(w.Vantages), len(w.Net.Routers()), w.ASN.ASCount())
+}

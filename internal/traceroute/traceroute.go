@@ -1,0 +1,304 @@
+// Package traceroute implements the Section 4.2 measurement: TTL-limited
+// ECT(0)-marked UDP probes whose ICMP time-exceeded responses quote the
+// offending IP header, letting the sender determine at which hop the ECN
+// field was rewritten. The technique follows Bauer et al., tracebox and
+// Malone & Luckie's ICMP-quotation analysis, as cited by the paper.
+//
+// Probes use the classic incrementing destination port so each ICMP
+// quotation identifies exactly one probe (the simulated network has no
+// ECMP, so per-probe ports cost nothing in path stability). A Mux
+// installed on the probing host demultiplexes ICMP errors to concurrent
+// sessions by the quoted destination address, allowing a vantage point to
+// trace many targets in parallel.
+package traceroute
+
+import (
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Config controls a traceroute run.
+type Config struct {
+	// MaxTTL is the deepest hop probed (default 30).
+	MaxTTL int
+	// ProbesPerHop is the number of probes sent per TTL (default 2);
+	// repeated probes expose "sometimes-strip" hops.
+	ProbesPerHop int
+	// Timeout per probe (default 500ms).
+	Timeout time.Duration
+	// ECN is the codepoint probes carry (default ECT(0), as the study
+	// used).
+	ECN ecn.Codepoint
+	// BasePort is the first destination port (default 33434).
+	BasePort uint16
+	// StopAfterSilent ends the trace after this many consecutive
+	// unresponsive TTLs (default 3) — the study's traces "generally stop
+	// one hop before the destination".
+	StopAfterSilent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 30
+	}
+	if c.ProbesPerHop == 0 {
+		c.ProbesPerHop = 2
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.ECN == 0 {
+		c.ECN = ecn.ECT0
+	}
+	if c.BasePort == 0 {
+		c.BasePort = 33434
+	}
+	if c.StopAfterSilent == 0 {
+		c.StopAfterSilent = 3
+	}
+	return c
+}
+
+// Observation is a single probe's outcome: one (hop, probe) data point.
+// The paper's 155439 "IP level hops" are observations in this sense.
+type Observation struct {
+	TTL     int
+	Attempt int
+	// Responded reports whether an ICMP error came back for this probe.
+	Responded bool
+	// Hop is the router that answered (ICMP source).
+	Hop packet.Addr
+	// SentECN and QuotedECN compare the codepoint transmitted with the
+	// codepoint quoted back; Transition classifies the difference.
+	SentECN    ecn.Codepoint
+	QuotedECN  ecn.Codepoint
+	Transition ecn.Transition
+	RTT        time.Duration
+	// ReachedDest marks a port-unreachable from the target itself.
+	ReachedDest bool
+}
+
+// PathObservation attributes one hop observation to a vantage point and
+// traceroute target — the row format the Figure 4 analysis consumes.
+type PathObservation struct {
+	Vantage string
+	Target  packet.Addr
+	Observation
+}
+
+// Result is a completed traceroute.
+type Result struct {
+	Target       packet.Addr
+	Observations []Observation
+	// ReachedDest reports whether any probe got a terminal answer from
+	// the target (rare here: pool hosts drop high-port UDP silently).
+	ReachedDest bool
+}
+
+// Hops condenses observations into one entry per TTL (first responding
+// probe wins), up to the last responsive hop — the per-path view drawn
+// in Figure 4.
+func (r *Result) Hops() []Observation {
+	byTTL := map[int]Observation{}
+	maxTTL := 0
+	for _, o := range r.Observations {
+		if !o.Responded {
+			continue
+		}
+		if prev, ok := byTTL[o.TTL]; !ok || o.Attempt < prev.Attempt {
+			byTTL[o.TTL] = o
+		}
+		if o.TTL > maxTTL {
+			maxTTL = o.TTL
+		}
+	}
+	hops := make([]Observation, 0, maxTTL)
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		if o, ok := byTTL[ttl]; ok {
+			hops = append(hops, o)
+		} else {
+			hops = append(hops, Observation{TTL: ttl}) // silent hop: "*"
+		}
+	}
+	return hops
+}
+
+// Mux demultiplexes ICMP messages on a host to traceroute sessions keyed
+// by target (quoted destination) address. Install exactly one per host.
+type Mux struct {
+	host     *netsim.Host
+	sessions map[packet.Addr]*session
+}
+
+// NewMux installs the demultiplexer as the host's ICMP handler.
+func NewMux(h *netsim.Host) *Mux {
+	m := &Mux{host: h, sessions: make(map[packet.Addr]*session)}
+	h.OnICMP(m.handle)
+	return m
+}
+
+func (m *Mux) handle(h *netsim.Host, ip packet.IPv4Header, msg packet.ICMPMessage) {
+	if msg.Type != packet.ICMPTimeExceeded && msg.Type != packet.ICMPDestUnreachable {
+		return
+	}
+	quoted, transport, err := msg.Quotation()
+	if err != nil || quoted.Src != h.Addr() {
+		return
+	}
+	s, ok := m.sessions[quoted.Dst]
+	if !ok {
+		return
+	}
+	s.onICMP(ip, msg, quoted, transport)
+}
+
+// Run traces one target, invoking done exactly once. Concurrent Runs on
+// one Mux must target distinct addresses (a second session to the same
+// target is rejected with an immediate empty result).
+func (m *Mux) Run(target packet.Addr, cfg Config, done func(Result)) {
+	cfg = cfg.withDefaults()
+	if _, busy := m.sessions[target]; busy {
+		done(Result{Target: target})
+		return
+	}
+	s := &session{
+		mux:    m,
+		cfg:    cfg,
+		target: target,
+		res:    Result{Target: target},
+		done:   done,
+	}
+	m.sessions[target] = s
+	s.start()
+}
+
+// session is one in-flight traceroute.
+type session struct {
+	mux    *Mux
+	cfg    Config
+	target packet.Addr
+	res    Result
+	done   func(Result)
+
+	srcPort    uint16
+	probeIdx   int // sequential probe counter → dst port offset
+	ttl        int
+	attempt    int
+	sentAt     time.Duration
+	timer      *netsim.Timer
+	silentTTLs int
+	responded  bool // any response at current TTL
+	finished   bool
+}
+
+func (s *session) start() {
+	port, err := s.mux.host.BindUDP(0, func(*netsim.Host, packet.IPv4Header, packet.UDPHeader, []byte) {
+		// A direct UDP response would mean the target answered the probe
+		// port; not modelled, but the bind reserves our source port.
+	})
+	if err != nil {
+		s.finish()
+		return
+	}
+	s.srcPort = port
+	s.ttl = 1
+	s.attempt = 0
+	s.sendProbe()
+}
+
+func (s *session) dstPort(idx int) uint16 { return s.cfg.BasePort + uint16(idx) }
+
+func (s *session) sendProbe() {
+	if s.finished {
+		return
+	}
+	sim := s.mux.host.Sim()
+	s.sentAt = sim.Now()
+	idx := s.probeIdx
+	payload := []byte{byte(idx >> 8), byte(idx)} // tiny payload, quoted back
+	_ = s.mux.host.SendUDP(s.target, s.srcPort, s.dstPort(idx), uint8(s.ttl), s.cfg.ECN, payload)
+	s.timer = sim.After(s.cfg.Timeout, s.onTimeout)
+}
+
+// advance moves to the next probe or TTL, applying stop conditions.
+func (s *session) advance() {
+	s.probeIdx++
+	s.attempt++
+	if s.attempt < s.cfg.ProbesPerHop {
+		s.sendProbe()
+		return
+	}
+	// TTL complete.
+	if !s.responded {
+		s.silentTTLs++
+	} else {
+		s.silentTTLs = 0
+	}
+	if s.silentTTLs >= s.cfg.StopAfterSilent || s.ttl >= s.cfg.MaxTTL || s.res.ReachedDest {
+		s.finish()
+		return
+	}
+	s.ttl++
+	s.attempt = 0
+	s.responded = false
+	s.sendProbe()
+}
+
+func (s *session) onTimeout() {
+	if s.finished {
+		return
+	}
+	s.res.Observations = append(s.res.Observations, Observation{
+		TTL:     s.ttl,
+		Attempt: s.attempt,
+		SentECN: s.cfg.ECN,
+	})
+	s.advance()
+}
+
+func (s *session) onICMP(ip packet.IPv4Header, msg packet.ICMPMessage, quoted packet.IPv4Header, transport []byte) {
+	if s.finished || quoted.Protocol != packet.ProtoUDP || len(transport) < 4 {
+		return
+	}
+	srcPort := uint16(transport[0])<<8 | uint16(transport[1])
+	dstPort := uint16(transport[2])<<8 | uint16(transport[3])
+	if srcPort != s.srcPort || dstPort != s.dstPort(s.probeIdx) {
+		return // stale probe (earlier TTL): ignore
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	obs := Observation{
+		TTL:        s.ttl,
+		Attempt:    s.attempt,
+		Responded:  true,
+		Hop:        ip.Src,
+		SentECN:    s.cfg.ECN,
+		QuotedECN:  quoted.ECN(),
+		Transition: ecn.Classify(s.cfg.ECN, quoted.ECN()),
+		RTT:        s.mux.host.Sim().Now() - s.sentAt,
+	}
+	if msg.Type == packet.ICMPDestUnreachable && ip.Src == s.target {
+		obs.ReachedDest = true
+		s.res.ReachedDest = true
+	}
+	s.res.Observations = append(s.res.Observations, obs)
+	s.responded = true
+	s.advance()
+}
+
+func (s *session) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.mux.host.UnbindUDP(s.srcPort)
+	delete(s.mux.sessions, s.target)
+	s.done(s.res)
+}
