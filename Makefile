@@ -1,0 +1,35 @@
+# Single entry point for local development and CI: the workflow in
+# .github/workflows/ci.yml invokes exactly these targets, so the two
+# cannot drift.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark on the small world,
+# exercising the full artefact pipeline (campaign engine, analysis,
+# extensions, ablations) without paper-scale cost.
+bench:
+	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test

@@ -4,12 +4,13 @@
 // analysis reduction; the campaign itself runs once as shared setup and
 // is amortised across all benchmarks.
 //
-// Knobs (environment):
+// Knobs (environment, parsed by campaign.FromEnv):
 //
 //	REPRO_SCALE=small|paper   world size            (default paper)
 //	REPRO_TRACES=N|paper      traces per vantage    (default 6; "paper" = the full 210-trace plan)
 //	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
-//	REPRO_SEED=N              simulation seed       (default 2015)
+//	REPRO_SEED=N              campaign seed         (default 2015)
+//	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
 //
 // Run everything:
 //
@@ -21,13 +22,12 @@ package repro
 
 import (
 	"fmt"
-	"os"
-	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/middlebox"
@@ -43,7 +43,6 @@ type fixture struct {
 	world   *topology.World
 	data    *dataset.Dataset
 	pathObs []traceroute.PathObservation
-	servers []int // dataset size bookkeeping
 }
 
 var (
@@ -51,57 +50,18 @@ var (
 	fix     *fixture
 )
 
-func envInt(key string, def int) int {
-	if v := os.Getenv(key); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
-	}
-	return def
-}
-
-// benchFixture builds the world and runs the measurement + traceroute
-// campaigns exactly once per test binary.
+// benchFixture runs the sharded measurement + traceroute campaign exactly
+// once per test binary, via the campaign engine's REPRO_* configuration.
 func benchFixture(b *testing.B) *fixture {
 	b.Helper()
 	fixOnce.Do(func() {
-		seed := int64(envInt("REPRO_SEED", 2015))
-		cfg := topology.DefaultConfig()
-		if os.Getenv("REPRO_SCALE") == "small" {
-			cfg = topology.SmallConfig()
-		}
-		sim := netsim.NewSim(seed)
-		world, err := topology.Build(sim, cfg)
+		res, err := campaign.Run(campaign.FromEnv())
 		if err != nil {
-			b.Fatalf("build world: %v", err)
+			b.Fatal(err)
 		}
-
-		plan := core.PaperTracePlan()
-		if os.Getenv("REPRO_TRACES") != "paper" {
-			n := envInt("REPRO_TRACES", 6)
-			plan = map[string]int{}
-			for _, v := range world.Vantages {
-				plan[v.Name] = n
-			}
-		}
-		campaign := core.NewCampaign(world, core.CampaignConfig{TracesPerVantage: plan})
-		var d *dataset.Dataset
-		campaign.Run(func(got *dataset.Dataset) { d = got })
-		sim.Run()
-		if d == nil {
-			b.Fatal("campaign did not complete")
-		}
-
-		var obs []traceroute.PathObservation
-		core.RunTracerouteCampaign(world, core.TracerouteCampaignConfig{
-			TargetStride: envInt("REPRO_STRIDE", 3),
-			Config:       traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
-		}, func(o []traceroute.PathObservation) { obs = o })
-		sim.Run()
-
-		fix = &fixture{world: world, data: d, pathObs: obs}
-		fmt.Printf("# fixture: %d servers, %d traces, %d hop observations, %d events\n",
-			len(world.Servers), len(d.Traces), len(obs), sim.Executed())
+		fix = &fixture{world: res.World, data: res.Dataset, pathObs: res.PathObs}
+		fmt.Printf("# fixture: %d servers, %d traces, %d hop observations, %d events, %d shards\n",
+			len(res.World.Servers), len(res.Dataset.Traces), len(res.PathObs), res.Events, len(res.Shards))
 	})
 	return fix
 }

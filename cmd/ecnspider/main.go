@@ -4,9 +4,13 @@
 // four-measurement trace (UDP ±ECT(0), TCP ±ECN) from each vantage
 // point, writing the dataset as JSON lines.
 //
+// The campaign is sharded by vantage point and runs shards in parallel
+// on -workers goroutines; the merged dataset is byte-identical for any
+// worker count.
+//
 // Usage:
 //
-//	ecnspider [-seed N] [-scale paper|small] [-traces N] [-discover] [-o dataset.jsonl]
+//	ecnspider [-seed N] [-scale paper|small] [-traces N] [-workers N] [-discover] [-o dataset.jsonl]
 //
 // -traces N overrides the per-vantage trace count (0 = the paper's
 // 210-trace plan at paper scale, 2 per vantage at small scale).
@@ -18,72 +22,79 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/capture"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/netsim"
 	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 2015, "simulation seed (same seed → identical dataset)")
+		seed     = flag.Int64("seed", 2015, "campaign seed (same seed → identical dataset)")
 		scale    = flag.String("scale", "small", "world scale: paper (2500 servers) or small (120)")
 		traces   = flag.Int("traces", 0, "traces per vantage (0 = scale default)")
+		workers  = flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
 		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
 		out      = flag.String("o", "dataset.jsonl", "output dataset path (- for stdout)")
-		pcapPath = flag.String("pcap", "", "capture the first vantage's traffic to this pcap file (last 100k packets)")
+		pcapPath = flag.String("pcap", "", "capture the first shard's vantage traffic to this pcap file (last 100k packets)")
 	)
 	flag.Parse()
 
-	cfg := topology.SmallConfig()
 	perVantage := 2
 	if *scale == "paper" {
-		cfg = topology.DefaultConfig()
 		perVantage = 0 // use the paper plan
 	}
-
-	start := time.Now()
-	sim := netsim.NewSim(*seed)
-	world, err := topology.Build(sim, cfg)
-	if err != nil {
-		fatal("build world: %v", err)
-	}
-	fmt.Fprintf(os.Stderr, "world: %s (%.2fs)\n", world, time.Since(start).Seconds())
-
-	plan := core.PaperTracePlan()
-	if perVantage > 0 || *traces > 0 {
-		n := perVantage
-		if *traces > 0 {
-			n = *traces
-		}
-		plan = map[string]int{}
-		for _, v := range world.Vantages {
-			plan[v.Name] = n
-		}
+	if *traces > 0 {
+		perVantage = *traces
 	}
 
-	// Optional tcpdump-style capture on the first vantage, like the
-	// parallel capture sessions the paper ran beside its prober.
+	cfg := campaign.Config{
+		Scale:    *scale,
+		Traces:   perVantage,
+		Discover: *discover,
+		Seed:     *seed,
+		Workers:  *workers,
+	}
+
+	// Optional tcpdump-style capture, like the parallel capture sessions
+	// the paper ran beside its prober. With the campaign sharded per
+	// vantage, the tap attaches to the first shard's probing host.
 	var recorder *capture.Recorder
 	if *pcapPath != "" {
 		recorder = capture.NewRecorder(100_000)
-		world.Vantages[0].Host.AddTap(recorder.Tap)
+		first := true
+		cfg.ShardHook = func(shard int, vantage string, w *topology.World) {
+			if !first {
+				return
+			}
+			first = false
+			if v, ok := w.VantageByName(vantage); ok {
+				v.Host.AddTap(recorder.Tap)
+			}
+		}
+		// A single worker keeps the tapped shard's packet order exactly
+		// reproducible; the dataset itself never depends on workers.
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "ecnspider: -pcap forces -workers=1 for a reproducible capture")
+		}
+		cfg.Workers = 1
 	}
 
-	campaign := core.NewCampaign(world, core.CampaignConfig{
-		TracesPerVantage: plan,
-		DiscoverServers:  *discover,
-	})
-
-	var result *dataset.Dataset
-	campaign.Run(func(d *dataset.Dataset) { result = d })
-	sim.Run()
-	if result == nil {
-		fatal("campaign did not complete")
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fatal("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "campaign: %d traces over %d servers, %d events, %v virtual, %.2fs real\n",
-		len(result.Traces), len(campaign.Servers), sim.Executed(), sim.Now().Round(time.Second), time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "world: %s\n", res.World)
+	var virtual time.Duration
+	for _, s := range res.Shards {
+		if s.VirtualTime > virtual {
+			virtual = s.VirtualTime
+		}
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d traces over %d servers in %d shards, %d events, %v virtual, %.2fs real\n",
+		len(res.Dataset.Traces), len(res.Servers), len(res.Shards), res.Events,
+		virtual.Round(time.Second), time.Since(start).Seconds())
 
 	w := os.Stdout
 	if *out != "-" {
@@ -94,7 +105,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := dataset.Write(w, result); err != nil {
+	if err := dataset.Write(w, res.Dataset); err != nil {
 		fatal("write dataset: %v", err)
 	}
 	if *out != "-" {

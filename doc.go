@@ -5,7 +5,8 @@
 // analysis, and the full figure/table pipeline.
 //
 // The root package holds only the benchmark harness (bench_test.go),
-// which regenerates every artefact of the paper's evaluation; the
-// library lives under internal/ and the runnable tools under cmd/ and
-// examples/. Start with README.md, DESIGN.md and EXPERIMENTS.md.
+// which regenerates every artefact of the paper's evaluation via the
+// sharded parallel campaign engine in internal/campaign; the library
+// lives under internal/ and the runnable tools under cmd/ and examples/.
+// Start with README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

@@ -1,6 +1,7 @@
 // poolsurvey: a miniature end-to-end reproduction — DNS pool discovery,
-// a multi-vantage measurement campaign, and the full analysis pipeline,
-// printing the paper's tables and figures for the generated world.
+// a multi-vantage measurement campaign run on the sharded parallel
+// engine, and the full analysis pipeline, printing the paper's tables
+// and figures for the generated world.
 //
 //	go run ./examples/poolsurvey
 package main
@@ -10,38 +11,34 @@ import (
 	"log"
 
 	"repro/internal/analysis"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/netsim"
-	"repro/internal/topology"
+	"repro/internal/campaign"
 	"repro/internal/traceroute"
 )
 
 func main() {
-	sim := netsim.NewSim(2015)
-	world, err := topology.Build(sim, topology.SmallConfig())
+	// One engine call replaces world building, per-vantage trace
+	// scheduling and the traceroute sweep: thirteen shards (one per
+	// vantage, three traces each) run in parallel, each discovering the
+	// pool over DNS in its own simulated Internet, and merge
+	// deterministically.
+	res, err := campaign.Run(campaign.Config{
+		Scale:           "small",
+		Traces:          3,
+		Discover:        true,
+		DiscoveryRounds: 15,
+		Stride:          2,
+		Traceroute:      traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
+		Seed:            2015,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("discovered %d servers; collected %d traces in %d shards\n\n",
+		len(res.Servers), len(res.Dataset.Traces), len(res.Shards))
 
-	// Stage 1+2: discovery then the campaign (three traces from each of
-	// the 13 vantage points, batches included).
-	plan := map[string]int{}
-	for _, v := range world.Vantages {
-		plan[v.Name] = 3
-	}
-	campaign := core.NewCampaign(world, core.CampaignConfig{
-		TracesPerVantage: plan,
-		DiscoverServers:  true,
-		DiscoveryRounds:  15,
-	})
-	var d *dataset.Dataset
-	campaign.Run(func(got *dataset.Dataset) { d = got })
-	sim.Run()
-	fmt.Printf("discovered %d servers; collected %d traces\n\n", len(campaign.Servers), len(d.Traces))
-
-	// Stage 3: the paper's analyses.
-	fmt.Println(analysis.RenderTable1(analysis.ComputeTable1(campaign.Servers, world.Geo)))
+	// The paper's analyses over the merged dataset.
+	d := res.Dataset
+	fmt.Println(analysis.RenderTable1(analysis.ComputeTable1(res.Servers, res.World.Geo)))
 	fmt.Println(analysis.RenderFigure2(analysis.ComputeFigure2a(d),
 		"Figure 2a: % of not-ECT-reachable servers also reachable with ECT(0)"))
 	fmt.Println(analysis.RenderFigure3(analysis.ComputeFigure3a(d),
@@ -50,12 +47,6 @@ func main() {
 	fmt.Println(analysis.RenderFigure5(f5))
 	fmt.Println(analysis.RenderTable2(analysis.ComputeTable2(d)))
 
-	// Stage 4: path transparency (Figure 4) on a sample of paths.
-	var obs []core.PathObservation
-	core.RunTracerouteCampaign(world, core.TracerouteCampaignConfig{
-		TargetStride: 2,
-		Config:       traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
-	}, func(o []core.PathObservation) { obs = o })
-	sim.Run()
-	fmt.Println(analysis.RenderFigure4(analysis.ComputeFigure4(obs, world.ASN)))
+	// Path transparency (Figure 4) from the merged traceroute sweep.
+	fmt.Println(analysis.RenderFigure4(analysis.ComputeFigure4(res.PathObs, res.World.ASN)))
 }

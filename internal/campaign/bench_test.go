@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchRun executes a campaign configuration repeatedly. The REPRO_*
+// knobs select the campaign: at the default paper scale this is the full
+// 2500-server, 13-vantage plan; CI's smoke job sets REPRO_SCALE=small.
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dataset.Traces) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignWorkers compares wall time across worker-pool sizes on
+// the same campaign; the acceptance target is >1.5× speedup of the
+// multi-worker rows over workers=1 on multicore hardware.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := FromEnv()
+			cfg.Workers = workers
+			benchRun(b, cfg)
+		})
+	}
+}
+
+// BenchmarkShardBuild isolates the per-shard fixed cost — world
+// generation plus route computation — by running a single one-trace
+// shard with no traceroute sweep.
+func BenchmarkShardBuild(b *testing.B) {
+	cfg := FromEnv()
+	cfg.TracePlan = map[string]int{"EC2 Ireland": 1}
+	cfg.Stride = 0
+	cfg.Workers = 1
+	benchRun(b, cfg)
+}

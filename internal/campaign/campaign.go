@@ -1,0 +1,365 @@
+// Package campaign is the sharded, parallel campaign engine: it
+// partitions the paper's vantage×server probe plan into one shard per
+// vantage point, runs every shard in its own independent discrete-event
+// simulation on a bounded pool of worker goroutines, and deterministically
+// merges the per-shard results in canonical vantage order.
+//
+// Sharding exploits the structure of the study: each vantage point's
+// traces are statistically independent observations of the same Internet,
+// so the campaign is embarrassingly parallel across vantages. Two
+// properties make the parallel run equivalent to the sequential one:
+//
+//   - Identical worlds. Every shard builds its world from the campaign
+//     seed, so all shards observe the same generated Internet — the same
+//     servers behind the same middleboxes (Figure 3's "same set of
+//     servers from every location" depends on this).
+//   - Independent measurement randomness. After the build, each shard's
+//     PRNG is reseeded with a splitmix64 hash of seed^shardID, giving
+//     shards pairwise-distinct, scheduling-independent random streams.
+//
+// Because no state is shared between shards and the merge order is fixed,
+// the merged dataset is byte-identical for any worker count or
+// GOMAXPROCS setting.
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+)
+
+// Config sizes and parameterises a sharded campaign. The zero value runs
+// the full paper plan at paper scale on all available CPUs.
+type Config struct {
+	// Scale selects the generated world: "paper" (2500 servers, the
+	// default) or "small" (120 servers, for tests and CI).
+	Scale string
+	// Topology overrides the world configuration entirely (ablations);
+	// when set, Scale is ignored.
+	Topology *topology.Config
+
+	// TracePlan maps vantage name → trace count. When nil, Traces (if
+	// positive) gives every vantage that many traces; otherwise the
+	// paper's 210-trace plan is used.
+	TracePlan map[string]int
+	// Traces is the per-vantage trace count used when TracePlan is nil.
+	Traces int
+	// Batch2Fraction is the share of each vantage's traces run under
+	// batch-2 (July/August) conditions. Default 0.5.
+	Batch2Fraction float64
+	// SettleTime separates consecutive traces in virtual time.
+	SettleTime time.Duration
+
+	// Discover enumerates the pool via DNS inside each shard before
+	// probing (each shard discovers independently, as a real distributed
+	// deployment would). When false, shards probe the ground-truth list.
+	Discover bool
+	// DiscoveryRounds overrides the DNS polling rounds (default 50).
+	DiscoveryRounds int
+
+	// Stride samples every Nth server for the traceroute campaign
+	// (Section 4.2). Zero disables traceroutes entirely.
+	Stride int
+	// Traceroute is the per-path probe configuration.
+	Traceroute traceroute.Config
+
+	// Seed is the campaign seed: worlds build from it verbatim, and each
+	// shard's measurement phase reseeds with ShardSeed(Seed, shard).
+	Seed int64
+	// Workers bounds the number of shards running concurrently.
+	// Zero means GOMAXPROCS. The result does not depend on Workers.
+	Workers int
+
+	// ShardHook, when non-nil, runs in the worker goroutine after a
+	// shard's world is built and reseeded but before its campaign starts
+	// — e.g. to attach a packet capture tap. It must not share mutable
+	// state across shards without its own synchronisation.
+	ShardHook func(shard int, vantage string, w *topology.World)
+}
+
+// FromEnv builds a Config from the REPRO_* environment knobs used by the
+// benchmark harness and CI:
+//
+//	REPRO_SCALE=small|paper   world size            (default paper)
+//	REPRO_TRACES=N|paper      traces per vantage    (default 6; "paper" = the full 210-trace plan)
+//	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
+//	REPRO_SEED=N              campaign seed         (default 2015)
+//	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
+func FromEnv() Config {
+	cfg := Config{
+		Scale:      os.Getenv("REPRO_SCALE"),
+		Seed:       int64(envInt("REPRO_SEED", 2015)),
+		Stride:     envInt("REPRO_STRIDE", 3),
+		Workers:    envInt("REPRO_WORKERS", 0),
+		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
+	}
+	if os.Getenv("REPRO_TRACES") != "paper" {
+		// Clamp to at least one trace: in Config only the "paper"
+		// sentinel (Traces=0 from FromEnv's perspective) selects the full
+		// plan, so a stray REPRO_TRACES=0 must not silently launch the
+		// 210-trace campaign.
+		if cfg.Traces = envInt("REPRO_TRACES", 6); cfg.Traces < 1 {
+			cfg.Traces = 1
+		}
+	}
+	return cfg
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// ShardStats records one shard's execution for capacity planning.
+type ShardStats struct {
+	// Shard is the vantage's fixed index in topology.VantageNames order;
+	// it, not the dense execution order, feeds the seed derivation, so a
+	// vantage keeps its random stream whatever subset of the plan runs.
+	Shard   int
+	Vantage string
+	Seed    int64
+	Traces  int
+	// Events is the shard simulator's executed event count.
+	Events uint64
+	// VirtualTime is the shard's simulated clock at completion.
+	VirtualTime time.Duration
+	// Elapsed is the shard's wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Result is a merged campaign output.
+type Result struct {
+	// Dataset holds all traces in canonical vantage order with
+	// campaign-wide trace indices.
+	Dataset *dataset.Dataset
+	// PathObs holds the traceroute campaign's hop observations, in the
+	// same canonical vantage order.
+	PathObs []traceroute.PathObservation
+	// World is the first shard's world — every shard builds an identical
+	// one — for Geo/ASN lookups and follow-on experiments.
+	World *topology.World
+	// Servers is the union of probed targets in first-seen shard order.
+	Servers []packet.Addr
+	// Shards reports per-shard execution stats in canonical order.
+	Shards []ShardStats
+	// Events is the total executed event count across all shards.
+	Events uint64
+}
+
+// ShardSeed derives shard's measurement-phase seed from the campaign
+// seed via a splitmix64 finalizer of seed^shard. The mapping is bijective
+// in the xor'd input, so distinct shards of one campaign always receive
+// pairwise-distinct seeds.
+func ShardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) ^ uint64(shard)
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// shardSpec is one unit of parallel work: a vantage and its trace quota.
+type shardSpec struct {
+	shard   int // fixed vantage index, not dense position
+	vantage string
+	traces  int
+	seed    int64
+}
+
+// shardResult is what one shard hands to the merge step.
+type shardResult struct {
+	world   *topology.World
+	data    *dataset.Dataset
+	obs     []traceroute.PathObservation
+	servers []packet.Addr
+	stats   ShardStats
+}
+
+func (cfg Config) topologyConfig() (topology.Config, error) {
+	if cfg.Topology != nil {
+		return *cfg.Topology, nil
+	}
+	switch cfg.Scale {
+	case "small":
+		return topology.SmallConfig(), nil
+	case "", "paper":
+		return topology.DefaultConfig(), nil
+	default:
+		return topology.Config{}, fmt.Errorf("campaign: unknown scale %q (want paper or small)", cfg.Scale)
+	}
+}
+
+func (cfg Config) plan() map[string]int {
+	if cfg.TracePlan != nil {
+		return cfg.TracePlan
+	}
+	if cfg.Traces > 0 {
+		plan := make(map[string]int, len(topology.VantageNames()))
+		for _, name := range topology.VantageNames() {
+			plan[name] = cfg.Traces
+		}
+		return plan
+	}
+	return core.PaperTracePlan()
+}
+
+// shardSpecs returns the campaign's work partition in canonical order:
+// one shard per vantage present in the trace plan, ordered by the paper's
+// Table 2 vantage order.
+func (cfg Config) shardSpecs() []shardSpec {
+	plan := cfg.plan()
+	var shards []shardSpec
+	for i, name := range topology.VantageNames() {
+		if n := plan[name]; n > 0 {
+			shards = append(shards, shardSpec{
+				shard:   i,
+				vantage: name,
+				traces:  n,
+				seed:    ShardSeed(cfg.Seed, i),
+			})
+		}
+	}
+	return shards
+}
+
+// Run executes the sharded campaign and returns the merged result. The
+// merged output is byte-identical for any Workers value or GOMAXPROCS
+// setting: shards share no state, and the merge runs in canonical order.
+func Run(cfg Config) (*Result, error) {
+	topo, err := cfg.topologyConfig()
+	if err != nil {
+		return nil, err
+	}
+	shards := cfg.shardSpecs()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("campaign: trace plan selects no vantages")
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	results := make([]shardResult, len(shards))
+	errs := make([]error, len(shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = runShard(cfg, topo, shards[i])
+			}
+		}()
+	}
+	for i := range shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merge(results), nil
+}
+
+// runShard executes one shard in a private simulation: build the world
+// from the campaign seed, reseed for the shard, run the vantage's traces
+// and (optionally) its traceroute sweep.
+func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, error) {
+	start := time.Now()
+	sim := netsim.NewSim(cfg.Seed)
+	w, err := topology.Build(sim, topo)
+	if err != nil {
+		return shardResult{}, fmt.Errorf("campaign: shard %d (%s): build world: %w", sh.shard, sh.vantage, err)
+	}
+	sim.Reseed(sh.seed)
+	if cfg.ShardHook != nil {
+		cfg.ShardHook(sh.shard, sh.vantage, w)
+	}
+
+	c := core.NewCampaign(w, core.CampaignConfig{
+		TracesPerVantage: map[string]int{sh.vantage: sh.traces},
+		Batch2Fraction:   cfg.Batch2Fraction,
+		SettleTime:       cfg.SettleTime,
+		DiscoverServers:  cfg.Discover,
+		DiscoveryRounds:  cfg.DiscoveryRounds,
+		DiscoveryVantage: sh.vantage,
+	})
+	var d *dataset.Dataset
+	c.Run(func(got *dataset.Dataset) { d = got })
+	sim.Run()
+	if d == nil {
+		return shardResult{}, fmt.Errorf("campaign: shard %d (%s) did not complete", sh.shard, sh.vantage)
+	}
+
+	var obs []traceroute.PathObservation
+	if cfg.Stride > 0 {
+		core.RunTracerouteCampaign(w, core.TracerouteCampaignConfig{
+			Vantages:     []string{sh.vantage},
+			TargetStride: cfg.Stride,
+			Config:       cfg.Traceroute,
+		}, func(o []core.PathObservation) { obs = o })
+		sim.Run()
+	}
+
+	return shardResult{
+		world:   w,
+		data:    d,
+		obs:     obs,
+		servers: c.Servers,
+		stats: ShardStats{
+			Shard:       sh.shard,
+			Vantage:     sh.vantage,
+			Seed:        sh.seed,
+			Traces:      len(d.Traces),
+			Events:      sim.Executed(),
+			VirtualTime: sim.Now(),
+			Elapsed:     time.Since(start),
+		},
+	}, nil
+}
+
+// merge combines per-shard results in canonical (slice) order.
+func merge(results []shardResult) *Result {
+	res := &Result{Shards: make([]ShardStats, 0, len(results))}
+	parts := make([]*dataset.Dataset, 0, len(results))
+	seen := make(map[packet.Addr]bool)
+	for i := range results {
+		r := &results[i]
+		parts = append(parts, r.data)
+		res.PathObs = append(res.PathObs, r.obs...)
+		res.Shards = append(res.Shards, r.stats)
+		res.Events += r.stats.Events
+		for _, a := range r.servers {
+			if !seen[a] {
+				seen[a] = true
+				res.Servers = append(res.Servers, a)
+			}
+		}
+	}
+	res.Dataset = dataset.Merge(parts...)
+	res.World = results[0].world
+	return res
+}

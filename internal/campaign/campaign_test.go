@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+)
+
+// testConfig is a reduced sharded campaign: small world, two traces per
+// vantage, a sparse traceroute sweep. Small enough to run three times in
+// a unit test, large enough to cover every shard and both batches.
+func testConfig() Config {
+	return Config{
+		Scale:      "small",
+		Traces:     2,
+		Stride:     12,
+		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
+		Seed:       2015,
+	}
+}
+
+func runOrFatal(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func encode(t *testing.T, d *dataset.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunBasicShape(t *testing.T) {
+	res := runOrFatal(t, testConfig())
+	nv := len(topology.VantageNames())
+	if got, want := len(res.Dataset.Traces), 2*nv; got != want {
+		t.Fatalf("merged traces = %d, want %d", got, want)
+	}
+	if got, want := len(res.Shards), nv; got != want {
+		t.Fatalf("shards = %d, want %d", got, want)
+	}
+	if len(res.PathObs) == 0 {
+		t.Error("no traceroute observations")
+	}
+	if len(res.Servers) != len(res.World.Servers) {
+		t.Errorf("servers = %d, want %d", len(res.Servers), len(res.World.Servers))
+	}
+
+	// Traces are in canonical vantage order with campaign-wide indices.
+	for i, tr := range res.Dataset.Traces {
+		if tr.Index != i {
+			t.Fatalf("trace %d has index %d", i, tr.Index)
+		}
+		if want := topology.VantageNames()[i/2]; tr.Vantage != want {
+			t.Fatalf("trace %d from %q, want %q", i, tr.Vantage, want)
+		}
+	}
+	// Each shard ran both batches (Batch2Fraction default 0.5 of 2).
+	for i := 0; i+1 < len(res.Dataset.Traces); i += 2 {
+		if res.Dataset.Traces[i].Batch != 1 || res.Dataset.Traces[i+1].Batch != 2 {
+			t.Fatalf("traces %d,%d batches = %d,%d, want 1,2",
+				i, i+1, res.Dataset.Traces[i].Batch, res.Dataset.Traces[i+1].Batch)
+		}
+	}
+	// Per-shard accounting is coherent with the merge.
+	var events uint64
+	for _, s := range res.Shards {
+		if s.Traces != 2 {
+			t.Errorf("shard %d (%s) ran %d traces, want 2", s.Shard, s.Vantage, s.Traces)
+		}
+		events += s.Events
+	}
+	if events != res.Events {
+		t.Errorf("events sum %d != total %d", events, res.Events)
+	}
+}
+
+// TestIdenticalWorldsAcrossShards checks the engine's core invariant:
+// every shard observes the same generated Internet, so ground truth
+// (middlebox placement, server roles) is vantage-independent.
+func TestIdenticalWorldsAcrossShards(t *testing.T) {
+	cfg := testConfig()
+	var mu sync.Mutex
+	worlds := map[int]*topology.World{}
+	cfg.ShardHook = func(shard int, vantage string, w *topology.World) {
+		mu.Lock()
+		worlds[shard] = w
+		mu.Unlock()
+	}
+	runOrFatal(t, cfg)
+
+	ref := worlds[0]
+	if ref == nil {
+		t.Fatal("shard 0 missing")
+	}
+	for shard, w := range worlds {
+		if len(w.Servers) != len(ref.Servers) {
+			t.Fatalf("shard %d has %d servers, ref has %d", shard, len(w.Servers), len(ref.Servers))
+		}
+		for i, s := range w.Servers {
+			r := ref.Servers[i]
+			if s.Addr != r.Addr || s.ECTUDPFirewalled != r.ECTUDPFirewalled ||
+				s.NotECTFirewalled != r.NotECTFirewalled || s.Flaky != r.Flaky ||
+				s.Web != r.Web || s.WebECN != r.WebECN || s.BrokenECE != r.BrokenECE {
+				t.Fatalf("shard %d server %d ground truth diverges from shard 0", shard, i)
+			}
+		}
+	}
+}
+
+// TestShardSeedsPairwiseDistinct checks the splitmix derivation: distinct
+// shards of the same campaign get distinct measurement seeds, and they
+// all differ from the raw campaign seed used for world generation.
+func TestShardSeedsPairwiseDistinct(t *testing.T) {
+	for _, campaignSeed := range []int64{0, 1, 2015, -7, 1 << 40} {
+		seen := map[int64]int{}
+		for shard := 0; shard < 100; shard++ {
+			s := ShardSeed(campaignSeed, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed %d: shards %d and %d share seed %d", campaignSeed, prev, shard, s)
+			}
+			if s == campaignSeed {
+				t.Fatalf("seed %d: shard %d seed equals the campaign seed", campaignSeed, shard)
+			}
+			seen[s] = shard
+		}
+	}
+}
+
+func TestSameSeedReproduces(t *testing.T) {
+	a := runOrFatal(t, testConfig())
+	b := runOrFatal(t, testConfig())
+	if !bytes.Equal(encode(t, a.Dataset), encode(t, b.Dataset)) {
+		t.Error("same seed produced different datasets")
+	}
+	cfg := testConfig()
+	cfg.Seed = 7
+	c := runOrFatal(t, cfg)
+	if bytes.Equal(encode(t, a.Dataset), encode(t, c.Dataset)) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("REPRO_SCALE", "small")
+	t.Setenv("REPRO_TRACES", "4")
+	t.Setenv("REPRO_STRIDE", "5")
+	t.Setenv("REPRO_SEED", "99")
+	t.Setenv("REPRO_WORKERS", "3")
+	cfg := FromEnv()
+	if cfg.Scale != "small" || cfg.Traces != 4 || cfg.Stride != 5 || cfg.Seed != 99 || cfg.Workers != 3 {
+		t.Fatalf("FromEnv = %+v", cfg)
+	}
+	t.Setenv("REPRO_TRACES", "paper")
+	if cfg := FromEnv(); cfg.Traces != 0 {
+		t.Fatalf("REPRO_TRACES=paper should select the paper plan, got Traces=%d", cfg.Traces)
+	}
+}
+
+func TestEmptyPlanErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.TracePlan = map[string]int{"no such vantage": 3}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for a plan selecting no vantages")
+	}
+}
+
+func TestPartialPlanKeepsVantageSeeds(t *testing.T) {
+	// A vantage's shard seed is tied to its fixed Table 2 index, so
+	// running a subset of the plan must not change any vantage's stream.
+	full := runOrFatal(t, testConfig())
+
+	cfg := testConfig()
+	tokyo := "EC2 Tokyo"
+	cfg.TracePlan = map[string]int{tokyo: 2}
+	solo := runOrFatal(t, cfg)
+
+	var fullTokyo []dataset.Trace
+	for _, tr := range full.Dataset.Traces {
+		if tr.Vantage == tokyo {
+			fullTokyo = append(fullTokyo, tr)
+		}
+	}
+	if len(fullTokyo) != 2 || len(solo.Dataset.Traces) != 2 {
+		t.Fatalf("trace counts: full=%d solo=%d", len(fullTokyo), len(solo.Dataset.Traces))
+	}
+	for i := range fullTokyo {
+		a, b := fullTokyo[i], solo.Dataset.Traces[i]
+		// Indices are campaign-wide and differ; everything else matches.
+		a.Index, b.Index = 0, 0
+		av, bv := encode(t, &dataset.Dataset{Traces: []dataset.Trace{a}}), encode(t, &dataset.Dataset{Traces: []dataset.Trace{b}})
+		if !bytes.Equal(av, bv) {
+			t.Fatalf("Tokyo trace %d differs between full and solo plans", i)
+		}
+	}
+}
+
+func TestSettleTimeAndBatchKnobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.SettleTime = 5 * time.Minute
+	cfg.Batch2Fraction = 1.0
+	res := runOrFatal(t, cfg)
+	for i, tr := range res.Dataset.Traces {
+		if tr.Batch != 2 {
+			t.Fatalf("trace %d batch = %d, want 2 with Batch2Fraction=1", i, tr.Batch)
+		}
+	}
+}
+
+func TestUnknownScaleErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}

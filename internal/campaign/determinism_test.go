@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestWorkerCountInvariance is the engine's headline guarantee: the same
+// campaign seed yields a byte-identical merged dataset — and identical
+// downstream analysis artefacts — whether the shards run sequentially on
+// one worker, on a small pool, or one goroutine per vantage.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism test in -short mode")
+	}
+
+	type artefacts struct {
+		data    []byte
+		pathObs int
+		figure4 string
+		figure5 string
+		figure6 string
+	}
+	run := func(workers int) artefacts {
+		cfg := testConfig()
+		cfg.Workers = workers
+		res := runOrFatal(t, cfg)
+		f5 := analysis.ComputeFigure5(res.Dataset)
+		return artefacts{
+			data:    encode(t, res.Dataset),
+			pathObs: len(res.PathObs),
+			figure4: analysis.RenderFigure4(analysis.ComputeFigure4(res.PathObs, res.World.ASN)),
+			figure5: analysis.RenderFigure5(f5),
+			figure6: analysis.RenderFigure6(analysis.ComputeFigure6(f5)),
+		}
+	}
+
+	ref := run(1)
+	if len(ref.data) == 0 || ref.pathObs == 0 {
+		t.Fatal("reference run is empty")
+	}
+	for _, workers := range []int{4, 13} {
+		got := run(workers)
+		if !bytes.Equal(got.data, ref.data) {
+			t.Errorf("workers=%d: merged dataset differs from workers=1 (%d vs %d bytes)",
+				workers, len(got.data), len(ref.data))
+		}
+		if got.pathObs != ref.pathObs {
+			t.Errorf("workers=%d: %d path observations, want %d", workers, got.pathObs, ref.pathObs)
+		}
+		if got.figure4 != ref.figure4 {
+			t.Errorf("workers=%d: Figure 4 differs:\n%s\nvs\n%s", workers, got.figure4, ref.figure4)
+		}
+		if got.figure5 != ref.figure5 {
+			t.Errorf("workers=%d: Figure 5 differs:\n%s\nvs\n%s", workers, got.figure5, ref.figure5)
+		}
+		if got.figure6 != ref.figure6 {
+			t.Errorf("workers=%d: Figure 6 differs:\n%s\nvs\n%s", workers, got.figure6, ref.figure6)
+		}
+	}
+}
+
+// TestGOMAXPROCSInvariance pins the other half of the guarantee: the
+// result does not depend on how many CPUs the scheduler may use.
+func TestGOMAXPROCSInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism test in -short mode")
+	}
+	cfg := testConfig()
+	cfg.Workers = 4
+
+	prev := runtime.GOMAXPROCS(1)
+	one := encode(t, runOrFatal(t, cfg).Dataset)
+	runtime.GOMAXPROCS(prev)
+	if prev == 1 && runtime.NumCPU() > 1 {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+	}
+	many := encode(t, runOrFatal(t, cfg).Dataset)
+	if !bytes.Equal(one, many) {
+		t.Error("merged dataset depends on GOMAXPROCS")
+	}
+}

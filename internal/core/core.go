@@ -121,6 +121,10 @@ type CampaignConfig struct {
 	// DiscoveryRounds overrides the DNS polling rounds (default 50,
 	// enough to enumerate the full pool through round-robin answers).
 	DiscoveryRounds int
+	// DiscoveryVantage names the vantage point discovery runs from;
+	// empty means the world's first vantage (the paper discovered from
+	// the authors' institution).
+	DiscoveryVantage string
 }
 
 // PaperTracePlan allocates the paper's 210 traces across the 13 vantage
@@ -180,9 +184,15 @@ func (c *Campaign) Run(done func(*dataset.Dataset)) {
 		start(c.World.ServerAddrs())
 		return
 	}
-	// The paper discovered servers from the authors' institution; any
-	// vantage works, the first is as good as any.
+	// The paper discovered servers from the authors' institution; the
+	// first vantage stands in for it unless the caller names another
+	// (the sharded engine has each shard discover from its own vantage).
 	v := c.World.Vantages[0]
+	if c.Cfg.DiscoveryVantage != "" {
+		if named, ok := c.World.VantageByName(c.Cfg.DiscoveryVantage); ok {
+			v = named
+		}
+	}
 	dnspool.Discover(v.Host, dnspool.DiscoverConfig{
 		Resolver:      c.World.DNSAddr,
 		Zones:         c.World.CountryZones,

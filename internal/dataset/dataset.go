@@ -119,6 +119,36 @@ func (d *Dataset) Servers() []packet.Addr {
 	return out
 }
 
+// Merge concatenates datasets in argument order and renumbers the trace
+// Index field to a single ascending campaign-wide sequence. Callers that
+// split a campaign into independently-executed shards pass the per-shard
+// datasets in canonical shard order; because each part is internally
+// ordered and the concatenation order is fixed, the merged output is
+// byte-identical however the shards were scheduled.
+//
+// Trace.Started is left untouched: it remains each part's own virtual
+// clock, so in a merged dataset it is monotonic within a part but resets
+// across part boundaries. Order merged traces by Index, not Started.
+func Merge(parts ...*Dataset) *Dataset {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += len(p.Traces)
+		}
+	}
+	merged := &Dataset{Traces: make([]Trace, 0, total)}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		merged.Traces = append(merged.Traces, p.Traces...)
+	}
+	for i := range merged.Traces {
+		merged.Traces[i].Index = i
+	}
+	return merged
+}
+
 // Write streams the dataset as JSON lines, one trace per line.
 func Write(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)

@@ -51,6 +51,14 @@ func (s *Sim) Now() time.Duration { return s.now }
 // randomness must come from here to preserve reproducibility.
 func (s *Sim) RNG() *rand.Rand { return s.rng }
 
+// Reseed rewinds the simulation's random source to a fresh stream derived
+// from seed. The generator is reseeded in place, so components that
+// captured RNG() earlier (links, middlebox policies) observe the new
+// stream too. The sharded campaign engine uses this to give every shard
+// an identical generated world (same build seed) but an independent,
+// shard-specific measurement phase.
+func (s *Sim) Reseed(seed int64) { s.rng.Seed(seed) }
+
 // Executed reports how many events have run; useful for benchmarks.
 func (s *Sim) Executed() uint64 { return s.executed }
 

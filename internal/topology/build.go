@@ -311,6 +311,17 @@ var scopedECTVantages = map[string]bool{
 	"EC2 Frankfurt": true, "EC2 Sydney": true,
 }
 
+// VantageNames lists the 13 vantage points in the paper's Table 2 order
+// without building a world. The sharded campaign engine partitions its
+// probe plan on this order, so shard numbering is stable across runs.
+func VantageNames() []string {
+	out := make([]string, len(vantageSpecs))
+	for i, spec := range vantageSpecs {
+		out[i] = spec.name
+	}
+	return out
+}
+
 // buildVantages creates the measurement hosts: home ISP eyeball ASes, a
 // campus AS with wired and wireless access, and nine cloud-region ASes.
 func (b *builder) buildVantages() error {
