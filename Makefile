@@ -19,9 +19,13 @@ race:
 
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
-# extensions, ablations) without paper-scale cost.
+# extensions, ablations) without paper-scale cost. Also writes
+# BENCH_2.json — campaign wall-clock (uncongested + congested-edge) and
+# AQM CE-mark throughput — which CI uploads as the perf-trajectory
+# artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchreport -o BENCH_2.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -7,6 +7,7 @@
 // Knobs (environment, parsed by campaign.FromEnv):
 //
 //	REPRO_SCALE=small|paper   world size            (default paper)
+//	REPRO_SCENARIO=name       congestion scenario   (default uncongested)
 //	REPRO_TRACES=N|paper      traces per vantage    (default 6; "paper" = the full 210-trace plan)
 //	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
 //	REPRO_SEED=N              campaign seed         (default 2015)
@@ -40,9 +41,10 @@ import (
 
 // fixture is the shared campaign output.
 type fixture struct {
-	world   *topology.World
-	data    *dataset.Dataset
-	pathObs []traceroute.PathObservation
+	world      *topology.World
+	data       *dataset.Dataset
+	pathObs    []traceroute.PathObservation
+	congestion []analysis.CEMarkSample
 }
 
 var (
@@ -55,11 +57,15 @@ var (
 func benchFixture(b *testing.B) *fixture {
 	b.Helper()
 	fixOnce.Do(func() {
-		res, err := campaign.Run(campaign.FromEnv())
+		cfg, err := campaign.FromEnv()
 		if err != nil {
 			b.Fatal(err)
 		}
-		fix = &fixture{world: res.World, data: res.Dataset, pathObs: res.PathObs}
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fix = &fixture{world: res.World, data: res.Dataset, pathObs: res.PathObs, congestion: res.Congestion}
 		fmt.Printf("# fixture: %d servers, %d traces, %d hop observations, %d events, %d shards\n",
 			len(res.World.Servers), len(res.Dataset.Traces), len(res.PathObs), res.Events, len(res.Shards))
 	})
@@ -381,6 +387,41 @@ func BenchmarkExtensionMediaECNBenefit(b *testing.B) {
 			"without ECN:  %d/%d delivered (%.1f%% loss) under the same congestion\n\n",
 		dECN, sECN, 100*float64(sECN-dECN)/float64(sECN), ce,
 		dLoss, sLoss, 100*float64(sLoss-dLoss)/float64(sLoss)))
+}
+
+// BenchmarkCEMarkReport reduces a congested-edge campaign to the
+// CE-mark report: the verbose-mode CE-ratio estimator at every vantage
+// against the bottleneck queues' marking ground truth. The shared
+// fixture carries congestion samples only when REPRO_SCENARIO selects a
+// congested scenario, so this benchmark runs its own small
+// congested-edge campaign (one home vantage, one trace) when it must.
+func BenchmarkCEMarkReport(b *testing.B) {
+	f := benchFixture(b)
+	samples := f.congestion
+	if len(samples) == 0 {
+		res, err := campaign.Run(campaign.Config{
+			Scale:    "small",
+			Scenario: campaign.ScenarioCongestedEdge,
+			TracePlan: map[string]int{
+				"Perkins home": 1,
+			},
+			Seed: 2015,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Congestion
+	}
+	b.ResetTimer()
+	var rep analysis.CEMarkReport
+	for i := 0; i < b.N; i++ {
+		rep = analysis.ComputeCEMarkReport(samples)
+	}
+	b.StopTimer()
+	printOnce("cemark", fmt.Sprintf(
+		"# CE-mark report — paper: \"we see no evidence of ... ECN CE\" (no AQM on path);\n"+
+			"# congested-edge scenario makes CE happen and checks the verbose-mode estimator:\n%s\n",
+		analysis.RenderCEMarkReport(rep)))
 }
 
 // small aliases keep the media benchmark readable without extra imports.

@@ -1,0 +1,155 @@
+// Command benchreport measures the repository's performance trajectory
+// and writes it as JSON. CI runs it via `make bench` and uploads the
+// output (BENCH_2.json) as a build artifact, so regressions in campaign
+// wall-clock or AQM hot-path throughput are visible across PRs.
+//
+// Two metric families:
+//
+//   - campaign wall-clock: the small-scale sharded campaign, run under
+//     the uncongested baseline and the congested-edge scenario (the
+//     latter also records the CE-mark ratios as a calibration canary);
+//   - CE-mark throughput: packets/sec through each saturated AQM
+//     discipline — the per-packet cost every congested bottleneck pays.
+//
+// Usage:
+//
+//	benchreport [-o BENCH_2.json] [-seed N] [-traces N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/aqm"
+	"repro/internal/campaign"
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+type campaignRow struct {
+	Scenario    string  `json:"scenario"`
+	Scale       string  `json:"scale"`
+	Traces      int     `json:"traces_per_vantage"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	TracesRun   int     `json:"traces_run"`
+	// Congested scenarios only: the CE-mark report aggregates.
+	ObservedCERatio float64 `json:"ce_observed_ratio,omitempty"`
+	QueueMarkRatio  float64 `json:"ce_queue_ratio,omitempty"`
+}
+
+type aqmRow struct {
+	Discipline     string  `json:"discipline"`
+	PacketsPerSec  float64 `json:"packets_per_sec"`
+	CEMarkFraction float64 `json:"ce_mark_fraction"`
+}
+
+type report struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Campaigns  []campaignRow `json:"campaigns"`
+	AQM        []aqmRow      `json:"aqm"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_2.json", "output path (- for stdout)")
+		seed   = flag.Int64("seed", 2015, "campaign seed")
+		traces = flag.Int("traces", 2, "traces per vantage")
+	)
+	flag.Parse()
+
+	rep := report{Schema: "repro-bench/2", GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	for _, scenario := range []string{campaign.ScenarioUncongested, campaign.ScenarioCongestedEdge} {
+		cfg := campaign.Config{Scale: "small", Scenario: scenario, Traces: *traces, Seed: *seed}
+		start := time.Now()
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			fatal("campaign %s: %v", scenario, err)
+		}
+		row := campaignRow{
+			Scenario:    scenario,
+			Scale:       "small",
+			Traces:      *traces,
+			Workers:     runtime.GOMAXPROCS(0),
+			WallSeconds: time.Since(start).Seconds(),
+			Events:      res.Events,
+			TracesRun:   len(res.Dataset.Traces),
+		}
+		if len(res.Congestion) > 0 {
+			ce := analysis.ComputeCEMarkReport(res.Congestion)
+			row.ObservedCERatio = ce.ObservedCERatio
+			row.QueueMarkRatio = ce.QueueMarkRatio
+		}
+		rep.Campaigns = append(rep.Campaigns, row)
+	}
+
+	for _, name := range []string{"droptail", "red", "codel"} {
+		rep.AQM = append(rep.AQM, benchAQM(name))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("encode: %v", err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "benchreport: written to %s\n", *out)
+	}
+}
+
+// benchAQM pushes a saturating stream of real ECT packets through the
+// discipline and reports the per-packet throughput of the
+// enqueue→mark→dequeue hot path.
+func benchAQM(name string) aqmRow {
+	const n = 300_000
+	q, err := aqm.New(name, 50, rand.New(rand.NewSource(2015)))
+	if err != nil {
+		fatal("aqm %s: %v", name, err)
+	}
+	template, err := packet.BuildUDP(packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2),
+		40000, 123, 64, ecn.ECT0, 1, make([]byte, 480))
+	if err != nil {
+		fatal("build packet: %v", err)
+	}
+	wire := make([]byte, len(template))
+	now := time.Duration(0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		copy(wire, template) // restore ECT(0) after any CE mark
+		q.Enqueue(now, &aqm.Packet{Wire: wire, Size: len(wire)})
+		if q.Len() > 30 {
+			q.Dequeue(now)
+		}
+		now += 200 * time.Microsecond
+	}
+	elapsed := time.Since(start).Seconds()
+	st := q.Stats()
+	row := aqmRow{Discipline: name, PacketsPerSec: n / elapsed}
+	if st.WireECT > 0 {
+		row.CEMarkFraction = float64(st.WireCEMarked) / float64(st.WireECT)
+	}
+	return row
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -10,18 +10,23 @@
 //
 // Usage:
 //
-//	ecnspider [-seed N] [-scale paper|small] [-traces N] [-workers N] [-discover] [-o dataset.jsonl]
+//	ecnspider [-seed N] [-scale paper|small] [-scenario name] [-traces N] [-workers N] [-discover] [-o dataset.jsonl]
 //
 // -traces N overrides the per-vantage trace count (0 = the paper's
 // 210-trace plan at paper scale, 2 per vantage at small scale).
+// -scenario selects the congestion scenario (uncongested, the default;
+// congested-edge; congested-transit) — congested runs append a CE-mark
+// report to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/campaign"
 	"repro/internal/capture"
 	"repro/internal/dataset"
@@ -32,6 +37,7 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 2015, "campaign seed (same seed → identical dataset)")
 		scale    = flag.String("scale", "small", "world scale: paper (2500 servers) or small (120)")
+		scenario = flag.String("scenario", "", "congestion scenario: "+strings.Join(campaign.Scenarios(), ", "))
 		traces   = flag.Int("traces", 0, "traces per vantage (0 = scale default)")
 		workers  = flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
 		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
@@ -50,6 +56,7 @@ func main() {
 
 	cfg := campaign.Config{
 		Scale:    *scale,
+		Scenario: *scenario,
 		Traces:   perVantage,
 		Discover: *discover,
 		Seed:     *seed,
@@ -95,6 +102,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "campaign: %d traces over %d servers in %d shards, %d events, %v virtual, %.2fs real\n",
 		len(res.Dataset.Traces), len(res.Servers), len(res.Shards), res.Events,
 		virtual.Round(time.Second), time.Since(start).Seconds())
+	if len(res.Congestion) > 0 {
+		fmt.Fprint(os.Stderr, analysis.RenderCEMarkReport(analysis.ComputeCEMarkReport(res.Congestion)))
+	}
 
 	w := os.Stdout
 	if *out != "-" {

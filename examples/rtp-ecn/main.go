@@ -2,9 +2,12 @@
 // ends: "Whether the use of ECN with UDP offers any benefit has not
 // been determined, but it seems to cause no significant harm." This
 // example runs the same interactive-media session (RTP over UDP with a
-// NADA-flavoured rate controller) across a congested hop expressed two
-// ways — as ECN CE-marking and as packet loss — and compares what the
-// application experiences.
+// NADA-flavoured rate controller) across a congested-edge bottleneck —
+// a bandwidth-limited access link whose RED queue contends with bursty
+// cross traffic, exactly the congestion substrate the campaign's
+// congested-edge scenario places — and compares what the application
+// experiences with ECN, without it, and when a middlebox bleaches the
+// marks.
 //
 //	go run ./examples/rtp-ecn
 package main
@@ -14,14 +17,24 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/aqm"
 	"repro/internal/middlebox"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/rtp"
 )
 
-// buildPath wires sender — r1 — r2 — receiver and returns the pieces.
-func buildPath(seed int64) (*netsim.Sim, *netsim.Host, *netsim.Host, *netsim.Router, *netsim.Router) {
+// Bottleneck shape: a 1 Mbit/s access link at 90% background load —
+// the same operating point as the campaign's congested-edge scenario.
+const (
+	bottleneckRate = 125_000 // bytes/sec
+	bottleneckUtil = 0.9
+	queueLen       = 50
+)
+
+// buildPath wires sender — r1 — r2 — receiver, with the receiver's
+// access link bottlenecked by a RED queue in the r2→receiver direction.
+func buildPath(seed int64) (*netsim.Sim, *netsim.Host, *netsim.Host, *netsim.Router, *netsim.Router, *netsim.Link) {
 	sim := netsim.NewSim(seed)
 	n := netsim.NewNetwork(sim)
 	r1 := n.AddRouter("r1", packet.AddrFrom4(10, 255, 0, 1), 64500)
@@ -30,36 +43,33 @@ func buildPath(seed int64) (*netsim.Sim, *netsim.Host, *netsim.Host, *netsim.Rou
 	a, _ := n.AddHost("sender", packet.AddrFrom4(10, 0, 0, 1))
 	b, _ := n.AddHost("receiver", packet.AddrFrom4(10, 0, 1, 1))
 	n.Attach(a, r1, 2*time.Millisecond, 0)
-	n.Attach(b, r2, 2*time.Millisecond, 0)
+	access, _ := n.Attach(b, r2, 2*time.Millisecond, 0)
+	access.SetBottleneck(r2, bottleneckRate, bottleneckUtil, aqm.NewRED(queueLen, sim.RNG()))
 	if err := n.ComputeRoutes(); err != nil {
 		log.Fatal(err)
 	}
-	return sim, a, b, r1, r2
+	return sim, a, b, r1, r2, access
 }
 
 func main() {
-	fmt.Println("30s interactive media session across a congested hop, three ways:")
-	fmt.Println()
+	fmt.Println("30s interactive media session across a congested-edge bottleneck")
+	fmt.Printf("(1 Mbit/s access, RED queue of %d packets, %.0f%% cross-traffic load), three ways:\n\n",
+		queueLen, 100*bottleneckUtil)
 
 	sims := []struct {
 		name   string
 		useECN bool
-		setup  func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host)
+		setup  func(sim *netsim.Sim, r1 *netsim.Router)
 	}{
-		{"ECN + AQM: CE-marked, no drops", true, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
-			r2.AddPolicy(&middlebox.CEMarker{Probability: 0.08, RNG: sim.RNG()})
-		}},
-		{"no ECN: congestion = 8% loss", false, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
-			recv.Uplink().SetLoss(r2, 0.08)
-		}},
-		{"ECN requested, path bleaches", true, func(sim *netsim.Sim, r1, r2 *netsim.Router, recv *netsim.Host) {
+		{"ECN: congestion arrives as CE", true, func(sim *netsim.Sim, r1 *netsim.Router) {}},
+		{"no ECN: congestion arrives as loss", false, func(sim *netsim.Sim, r1 *netsim.Router) {}},
+		{"ECN requested, path bleaches", true, func(sim *netsim.Sim, r1 *netsim.Router) {
 			r1.AddPolicy(&middlebox.ECNBleacher{Probability: 1})
-			recv.Uplink().SetLoss(r2, 0.08) // congestion falls back to loss
 		}},
 	}
 	for _, sc := range sims {
-		sim, senderHost, receiverHost, r1, r2 := buildPath(7)
-		sc.setup(sim, r1, r2, receiverHost)
+		sim, senderHost, receiverHost, r1, r2, access := buildPath(7)
+		sc.setup(sim, r1)
 		recv, _ := rtp.NewReceiver(receiverHost, 5004, 42)
 		snd, _ := rtp.NewSender(senderHost, receiverHost.Addr(), 5004, rtp.SenderConfig{
 			SSRC: 42, PayloadType: 96, UseECN: sc.useECN,
@@ -72,13 +82,23 @@ func main() {
 		if stats.PacketsSent > 0 {
 			lossPct = 100 * float64(stats.PacketsSent-rs.PacketsReceived) / float64(stats.PacketsSent)
 		}
-		fmt.Printf("%-34s sent %4d  delivered %4d  lost %5.1f%%  CE %3d  final rate %6.0f B/s  decreases %2d\n",
-			sc.name, stats.PacketsSent, rs.PacketsReceived, lossPct, rs.CE, stats.FinalRate, stats.RateDecreases)
+		// Observed CE fraction: the verbose-mode estimator input — CE
+		// among delivered ECN-capable media — next to the bottleneck
+		// queue's own marking ratio as ground truth.
+		ceFrac := 0.0
+		if capable := rs.CE + rs.ECT0 + rs.ECT1; capable > 0 {
+			ceFrac = 100 * float64(rs.CE) / float64(capable)
+		}
+		groundTruth := 100 * access.BottleneckQueue(r2).Stats().WireMarkRatio()
+		fmt.Printf("%-36s sent %4d  delivered %4d  lost %5.1f%%  CE obs %5.1f%% / queue %5.1f%%  final rate %6.0f B/s  decreases %2d\n",
+			sc.name, stats.PacketsSent, rs.PacketsReceived, lossPct, ceFrac, groundTruth, stats.FinalRate, stats.RateDecreases)
 	}
 
 	fmt.Println()
-	fmt.Println("reading: with ECN + AQM the sender adapts with zero loss (no visible glitches);")
-	fmt.Println("without ECN the same congestion costs ~8% of the media; when a middlebox")
-	fmt.Println("bleaches ECT(0), the session silently degrades to the loss-based behaviour —")
-	fmt.Println("which is why the paper's reachability and §4.2 transparency results matter.")
+	fmt.Println("reading: with ECN the bottleneck's RED queue turns congestion into CE marks —")
+	fmt.Println("the sender adapts with little loss and the observed CE fraction estimates the")
+	fmt.Println("path's congestion (Diana & Lochin's \"verbose mode\"). Without ECN the same")
+	fmt.Println("queue can only drop. When a middlebox bleaches ECT(0), the marks vanish and")
+	fmt.Println("the session silently degrades to loss-based behaviour — which is why the")
+	fmt.Println("paper's reachability and §4.2 transparency results matter.")
 }

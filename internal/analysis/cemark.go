@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- CE-mark report (congestion substrate) --------------------------------
+//
+// The paper's measurements saw no CE at all ("we see no evidence of
+// servers or middleboxes that mark ECN CE"). The congestion substrate
+// makes CE happen on purpose: AQM-managed bottlenecks mark ECT traffic
+// under load. This report validates the resulting signal the way Diana
+// & Lochin's "ECN verbose mode" proposes to use it — the fraction of
+// delivered ECT-capable traffic arriving CE estimates path congestion —
+// by comparing the receiver-side CE ratio observed at each vantage
+// against the marking ground truth and mean occupancy of the bottleneck
+// queues themselves.
+
+// CEMarkSample is one vantage shard's congestion view: what the vantage
+// host observed arriving, and what the bottleneck queues on its paths
+// actually did. The campaign engine produces one per shard when the
+// world contains bottlenecks.
+type CEMarkSample struct {
+	Vantage string
+
+	// Receiver-side observation (a tap at the vantage host): arriving
+	// packets by ECN codepoint class.
+	InECT    uint64 // arrived ECT(0)/ECT(1)
+	InCE     uint64 // arrived CE
+	InNotECT uint64
+
+	// Ground truth summed over the shard's bottleneck queues (real wire
+	// packets only — phantom background is excluded).
+	QueueECT           uint64 // ECT packets admitted
+	QueueCEMarked      uint64 // of those, CE-marked
+	QueueNotECTDropped uint64 // not-ECT packets dropped by congestion action
+	QueueTailDropped   uint64 // full-buffer drops (any codepoint, incl. phantoms)
+	QueueOffered       uint64 // packets presented, incl. phantom background
+	QueueSumBacklog    uint64 // backlog seen by each arrival, summed
+
+	// Utilization is the configured background load fraction.
+	Utilization float64
+}
+
+// CEMarkRow is one vantage's reduced report line.
+type CEMarkRow struct {
+	Vantage string
+	// ObservedCERatio is CE/(CE+ECT) over traffic delivered to the
+	// vantage — the verbose-mode path-congestion estimate.
+	ObservedCERatio float64
+	// QueueMarkRatio is the marked fraction of ECT packets the
+	// bottleneck queues admitted — the ground truth the estimate should
+	// track.
+	QueueMarkRatio float64
+	// AvgBacklog is the mean queue occupancy (packets) an arrival saw.
+	AvgBacklog float64
+
+	InCE, InECT   uint64
+	NotECTDropped uint64
+	TailDropped   uint64
+}
+
+// CEMarkReport is the rendered experiment: per-vantage rows plus
+// campaign-level aggregates.
+type CEMarkReport struct {
+	Rows        []CEMarkRow
+	Utilization float64
+
+	// Aggregates over all rows.
+	ObservedCERatio float64
+	QueueMarkRatio  float64
+}
+
+// ComputeCEMarkReport reduces per-shard samples to the report. Rows
+// keep the sample order (canonical vantage order, by construction).
+func ComputeCEMarkReport(samples []CEMarkSample) CEMarkReport {
+	var rep CEMarkReport
+	var inCE, inECT, qMarked, qECT uint64
+	for _, s := range samples {
+		row := CEMarkRow{
+			Vantage:       s.Vantage,
+			InCE:          s.InCE,
+			InECT:         s.InECT,
+			NotECTDropped: s.QueueNotECTDropped,
+			TailDropped:   s.QueueTailDropped,
+		}
+		if n := s.InCE + s.InECT; n > 0 {
+			row.ObservedCERatio = float64(s.InCE) / float64(n)
+		}
+		if s.QueueECT > 0 {
+			row.QueueMarkRatio = float64(s.QueueCEMarked) / float64(s.QueueECT)
+		}
+		if s.QueueOffered > 0 {
+			row.AvgBacklog = float64(s.QueueSumBacklog) / float64(s.QueueOffered)
+		}
+		rep.Rows = append(rep.Rows, row)
+		rep.Utilization = s.Utilization
+		inCE += s.InCE
+		inECT += s.InECT
+		qMarked += s.QueueCEMarked
+		qECT += s.QueueECT
+	}
+	if n := inCE + inECT; n > 0 {
+		rep.ObservedCERatio = float64(inCE) / float64(n)
+	}
+	if qECT > 0 {
+		rep.QueueMarkRatio = float64(qMarked) / float64(qECT)
+	}
+	return rep
+}
+
+// RenderCEMarkReport prints the per-vantage estimator-vs-ground-truth
+// table.
+func RenderCEMarkReport(r CEMarkReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CE-mark report: verbose-mode CE ratio vs bottleneck ground truth (utilization %.2f)\n",
+		r.Utilization)
+	fmt.Fprintf(&b, "%-22s %9s %9s %9s %10s %9s\n",
+		"Vantage", "obs CE%", "queue CE%", "avg qlen", "!ECT drop", "tail drop")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %8.2f%% %8.2f%% %9.1f %10d %9d\n",
+			row.Vantage, 100*row.ObservedCERatio, 100*row.QueueMarkRatio,
+			row.AvgBacklog, row.NotECTDropped, row.TailDropped)
+	}
+	fmt.Fprintf(&b, "%-22s %8.2f%% %8.2f%%\n", "aggregate",
+		100*r.ObservedCERatio, 100*r.QueueMarkRatio)
+	return b.String()
+}

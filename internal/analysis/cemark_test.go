@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeCEMarkReport(t *testing.T) {
+	samples := []CEMarkSample{
+		{
+			Vantage: "Perkins home",
+			InECT:   80, InCE: 20,
+			QueueECT: 200, QueueCEMarked: 50,
+			QueueNotECTDropped: 7, QueueTailDropped: 3,
+			QueueOffered: 400, QueueSumBacklog: 2000,
+			Utilization: 0.9,
+		},
+		{
+			Vantage: "EC2 Tokyo",
+			InECT:   100, InCE: 0,
+			QueueECT: 100, QueueCEMarked: 0,
+			Utilization: 0.9,
+		},
+	}
+	rep := ComputeCEMarkReport(samples)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	r0 := rep.Rows[0]
+	if r0.ObservedCERatio != 0.2 {
+		t.Errorf("observed ratio = %v, want 0.2", r0.ObservedCERatio)
+	}
+	if r0.QueueMarkRatio != 0.25 {
+		t.Errorf("queue ratio = %v, want 0.25", r0.QueueMarkRatio)
+	}
+	if r0.AvgBacklog != 5 {
+		t.Errorf("avg backlog = %v, want 5", r0.AvgBacklog)
+	}
+	if rep.Utilization != 0.9 {
+		t.Errorf("utilization = %v", rep.Utilization)
+	}
+	// Aggregate: 20 CE of 200 ECT-capable arrivals; 50 of 300 admitted.
+	if rep.ObservedCERatio != 0.1 {
+		t.Errorf("aggregate observed = %v, want 0.1", rep.ObservedCERatio)
+	}
+	if got, want := rep.QueueMarkRatio, 50.0/300.0; got != want {
+		t.Errorf("aggregate queue ratio = %v, want %v", got, want)
+	}
+}
+
+func TestComputeCEMarkReportEmpty(t *testing.T) {
+	rep := ComputeCEMarkReport(nil)
+	if len(rep.Rows) != 0 || rep.ObservedCERatio != 0 || rep.QueueMarkRatio != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	if out := RenderCEMarkReport(rep); !strings.Contains(out, "CE-mark report") {
+		t.Fatalf("render lacks header: %q", out)
+	}
+}
+
+func TestRenderCEMarkReport(t *testing.T) {
+	rep := ComputeCEMarkReport([]CEMarkSample{{
+		Vantage: "McQuistin home", InECT: 75, InCE: 25,
+		QueueECT: 100, QueueCEMarked: 30, Utilization: 1.2,
+	}})
+	out := RenderCEMarkReport(rep)
+	for _, want := range []string{"McQuistin home", "25.00%", "30.00%", "1.20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

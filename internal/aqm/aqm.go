@@ -1,0 +1,258 @@
+// Package aqm implements the queueing disciplines of the congestion
+// substrate: bounded queues that build when offered load exceeds a
+// link's serialization rate, managed by disciplines that either drop
+// from the tail (DropTail) or signal congestion early (RED, CoDel).
+//
+// This is the machinery the paper's subject — ECN — exists to drive:
+// an AQM-managed router marks ECN-capable packets CE instead of
+// dropping them (RFC 3168 §5), following the connectionless
+// congestion-avoidance lineage of Jain & Ramakrishnan (DEC-TR-506).
+// Packets that are not ECT receive the legacy signal: loss.
+//
+// A Queue hangs off a netsim.Link direction with a finite
+// serialization rate. The link's transmitter drives the interface from
+// the event loop: Enqueue on packet arrival (where RED takes its
+// accept/mark/drop decision), Dequeue at each serialization boundary
+// (where CoDel takes its head-of-queue decision). All randomness (RED's
+// uniformized marking draw) comes from the simulation PRNG handed to
+// the constructor, so campaigns over congested topologies stay
+// byte-reproducible and shard-deterministic.
+package aqm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+// Packet is one queued datagram.
+type Packet struct {
+	// Wire is the serialized IPv4 datagram. It is nil for phantom
+	// background packets, which model cross-traffic load (they consume
+	// queue space and serialization time) without deliverable bytes.
+	Wire []byte
+	// Size is the on-wire length in bytes (len(Wire) for real packets,
+	// the modelled size for phantoms).
+	Size int
+	// Arrived is when the packet entered the queue; set by Enqueue and
+	// used for sojourn-time accounting and CoDel's control law.
+	Arrived time.Duration
+}
+
+// Phantom reports whether the packet is background load rather than a
+// deliverable datagram.
+func (p *Packet) Phantom() bool { return p.Wire == nil }
+
+// ECN returns the packet's codepoint. Phantom background packets are
+// modelled as ECT(0) cross traffic, so congestion actions mark rather
+// than drop them — background load stays constant under marking, as an
+// ECN-capable aggregate's would.
+func (p *Packet) ECN() ecn.Codepoint {
+	if p.Wire == nil {
+		return ecn.ECT0
+	}
+	cp, err := packet.WireECN(p.Wire)
+	if err != nil {
+		return ecn.NotECT
+	}
+	return cp
+}
+
+// markCE rewrites the packet's ECN field to CE (repairing the IPv4
+// checksum for real packets). It reports whether the mark took.
+func (p *Packet) markCE() bool {
+	if p.Wire == nil {
+		return true
+	}
+	return packet.SetWireECN(p.Wire, ecn.CE) == nil
+}
+
+// Stats counts a queue's lifetime activity. The Wire* fields cover only
+// real (deliverable) packets — they are the ground truth the CE-mark
+// report compares against receiver-side observations, excluding the
+// phantom background the receiver can never see.
+type Stats struct {
+	Enqueued uint64 // packets admitted, including phantoms
+	Dequeued uint64 // packets handed to the transmitter
+
+	CEMarked      uint64 // congestion actions resolved by marking ECT → CE
+	NotECTDropped uint64 // congestion actions resolved by dropping not-ECT
+	TailDropped   uint64 // drops because the queue was full
+
+	WireEnqueued      uint64 // real packets admitted
+	WireECT           uint64 // real ECT-capable packets admitted (incl. CE-marked)
+	WireCEMarked      uint64 // real packets marked CE here
+	WireNotECTDropped uint64 // real not-ECT packets dropped by congestion action
+
+	// SumBacklog accumulates the backlog (in packets) each arriving
+	// packet found ahead of it; divided by Offered it is the mean
+	// occupancy an arrival observed — the ground-truth congestion the
+	// "verbose mode" CE-ratio estimator is checked against.
+	SumBacklog uint64
+	// SumSojourn accumulates queueing delay, measured at dequeue.
+	SumSojourn time.Duration
+}
+
+// Offered is the total number of packets presented to the queue.
+func (s Stats) Offered() uint64 {
+	return s.Enqueued + s.NotECTDropped + s.TailDropped
+}
+
+// AvgBacklog is the mean backlog (packets) seen by an arriving packet.
+func (s Stats) AvgBacklog() float64 {
+	if n := s.Offered(); n > 0 {
+		return float64(s.SumBacklog) / float64(n)
+	}
+	return 0
+}
+
+// WireMarkRatio is the CE-marked fraction of the real ECT packets this
+// queue admitted — the ground-truth analogue of the receiver-side
+// CE-ratio estimator, which also only sees delivered traffic.
+func (s Stats) WireMarkRatio() float64 {
+	if s.WireECT > 0 {
+		return float64(s.WireCEMarked) / float64(s.WireECT)
+	}
+	return 0
+}
+
+// Queue is a bounded packet queue with an attached management
+// discipline. The owning link calls Enqueue when a packet arrives and
+// Dequeue at each serialization boundary; both receive the current
+// virtual time. Enqueue reports false when the discipline dropped the
+// packet. Dequeue reports false when nothing is queued (a discipline
+// may internally drop head packets before returning the survivor).
+type Queue interface {
+	// Name identifies the discipline ("droptail", "red", "codel").
+	Name() string
+	// Cap is the queue capacity in packets.
+	Cap() int
+	// Len is the current backlog in packets.
+	Len() int
+	// Bytes is the current backlog in bytes.
+	Bytes() int
+	Enqueue(now time.Duration, p *Packet) bool
+	Dequeue(now time.Duration) (*Packet, bool)
+	Stats() Stats
+}
+
+// New constructs a discipline by name: "droptail", "red", "codel". An
+// empty name selects RED, the substrate default. capacity is in
+// packets; rng must be the simulation PRNG (RED draws its marking
+// uniformization from it) and may be nil for deterministic disciplines.
+func New(name string, capacity int, rng *rand.Rand) (Queue, error) {
+	switch name {
+	case "droptail":
+		return NewDropTail(capacity), nil
+	case "", "red":
+		return NewRED(capacity, rng), nil
+	case "codel":
+		return NewCoDel(capacity), nil
+	default:
+		return nil, fmt.Errorf("aqm: unknown discipline %q (want droptail, red or codel)", name)
+	}
+}
+
+// fifo is the bounded FIFO buffer shared by every discipline. It keeps
+// the Stats bookkeeping in one place; disciplines layer their
+// congestion actions on top.
+type fifo struct {
+	pkts    []*Packet
+	head    int
+	bytes   int
+	maxPkts int
+	stats   Stats
+}
+
+func newFifo(capacity int) fifo {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return fifo{maxPkts: capacity}
+}
+
+func (f *fifo) Cap() int     { return f.maxPkts }
+func (f *fifo) Len() int     { return len(f.pkts) - f.head }
+func (f *fifo) Bytes() int   { return f.bytes }
+func (f *fifo) Stats() Stats { return f.stats }
+
+// admit records and appends an accepted packet. Callers have already
+// taken the discipline's decision.
+func (f *fifo) admit(now time.Duration, p *Packet) {
+	p.Arrived = now
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+	f.stats.Enqueued++
+	if !p.Phantom() {
+		f.stats.WireEnqueued++
+		if p.ECN().IsECT() {
+			f.stats.WireECT++
+		}
+	}
+}
+
+// pop removes the head packet, maintaining sojourn accounting.
+func (f *fifo) pop(now time.Duration) (*Packet, bool) {
+	if f.Len() == 0 {
+		return nil, false
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if f.head > 64 && f.head*2 >= len(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		f.pkts = f.pkts[:n]
+		f.head = 0
+	}
+	f.bytes -= p.Size
+	f.stats.Dequeued++
+	f.stats.SumSojourn += now - p.Arrived
+	return p, true
+}
+
+// observeArrival records the backlog an arriving packet found.
+func (f *fifo) observeArrival() {
+	f.stats.SumBacklog += uint64(f.Len())
+}
+
+// congest applies the RFC 3168 congestion action to p: ECT-capable
+// packets are CE-marked (and survive), not-ECT packets take the legacy
+// signal and are dropped. It reports whether the packet survived.
+func (f *fifo) congest(p *Packet) bool {
+	if cp := p.ECN(); cp.IsECT() {
+		if cp != ecn.CE && p.markCE() {
+			f.stats.CEMarked++
+			if !p.Phantom() {
+				f.stats.WireCEMarked++
+			}
+		}
+		return true
+	}
+	f.stats.NotECTDropped++
+	if !p.Phantom() {
+		f.stats.WireNotECTDropped++
+	}
+	return false
+}
+
+// tailDrop records a full-queue drop.
+func (f *fifo) tailDrop() {
+	f.stats.TailDropped++
+}
+
+// headDropped compensates the counters when a discipline discards a
+// packet it had previously admitted (CoDel's dequeue-time drop): the
+// packet must count exactly once in Offered — as the congestion drop
+// congest() just recorded — and not as Dequeued, which means "handed
+// to the transmitter".
+func (f *fifo) headDropped(p *Packet) {
+	f.stats.Dequeued--
+	f.stats.Enqueued--
+	if !p.Phantom() {
+		f.stats.WireEnqueued--
+	}
+}

@@ -1,0 +1,43 @@
+package aqm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+// BenchmarkCEMarkThroughput measures the enqueue→mark→dequeue hot path
+// of each discipline under saturation: every packet traverses the full
+// admission decision and most take a congestion action. This is the
+// per-packet cost a congested campaign pays at every bottleneck; the
+// bench report (make bench → BENCH_2.json) tracks it across PRs.
+func BenchmarkCEMarkThroughput(b *testing.B) {
+	for _, name := range []string{"droptail", "red", "codel"} {
+		b.Run(name, func(b *testing.B) {
+			q, err := New(name, 50, rand.New(rand.NewSource(2015)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			template, err := packet.BuildUDP(packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2),
+				40000, 123, 64, ecn.ECT0, 1, make([]byte, 480))
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire := make([]byte, len(template))
+			now := time.Duration(0)
+			b.SetBytes(int64(len(template)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(wire, template) // restore ECT(0) after any CE mark
+				q.Enqueue(now, &Packet{Wire: wire, Size: len(wire)})
+				if q.Len() > 30 {
+					q.Dequeue(now)
+				}
+				now += 100 * time.Microsecond
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package aqm
+
+import "time"
+
+// DropTail is the baseline discipline: admit until full, then drop
+// arrivals. It never marks CE — the congestion signal it produces is
+// loss alone, which is exactly the pre-AQM Internet the paper's
+// introduction argues against for interactive media.
+type DropTail struct {
+	fifo
+}
+
+// NewDropTail returns a tail-drop queue holding capacity packets.
+func NewDropTail(capacity int) *DropTail {
+	return &DropTail{fifo: newFifo(capacity)}
+}
+
+// Name implements Queue.
+func (q *DropTail) Name() string { return "droptail" }
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(now time.Duration, p *Packet) bool {
+	q.observeArrival()
+	if q.Len() >= q.Cap() {
+		q.tailDrop()
+		return false
+	}
+	q.admit(now, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(now time.Duration) (*Packet, bool) {
+	return q.pop(now)
+}

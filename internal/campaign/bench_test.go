@@ -33,7 +33,10 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			cfg := FromEnv()
+			cfg, err := FromEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
 			cfg.Workers = workers
 			benchRun(b, cfg)
 		})
@@ -44,7 +47,10 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 // generation plus route computation — by running a single one-trace
 // shard with no traceroute sweep.
 func BenchmarkShardBuild(b *testing.B) {
-	cfg := FromEnv()
+	cfg, err := FromEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg.TracePlan = map[string]int{"EC2 Ireland": 1}
 	cfg.Stride = 0
 	cfg.Workers = 1

@@ -30,8 +30,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/ecn"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -47,6 +49,10 @@ type Config struct {
 	// Topology overrides the world configuration entirely (ablations);
 	// when set, Scale is ignored.
 	Topology *topology.Config
+	// Scenario names the congestion scenario: "uncongested" (the
+	// default — identical to pre-substrate behaviour), "congested-edge"
+	// or "congested-transit". It applies on top of Scale or Topology.
+	Scenario string
 
 	// TracePlan maps vantage name → trace count. When nil, Traces (if
 	// positive) gives every vantage that many traces; otherwise the
@@ -91,37 +97,74 @@ type Config struct {
 // benchmark harness and CI:
 //
 //	REPRO_SCALE=small|paper   world size            (default paper)
+//	REPRO_SCENARIO=name       congestion scenario   (default uncongested; see Scenarios)
 //	REPRO_TRACES=N|paper      traces per vantage    (default 6; "paper" = the full 210-trace plan)
 //	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
 //	REPRO_SEED=N              campaign seed         (default 2015)
 //	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
-func FromEnv() Config {
+//
+// Malformed values are an error, not a silent fallback: these knobs
+// select entire measurement campaigns, and a typo'd REPRO_TRACES=1O
+// quietly running the default plan would waste a paper-scale run.
+func FromEnv() (Config, error) {
 	cfg := Config{
 		Scale:      os.Getenv("REPRO_SCALE"),
-		Seed:       int64(envInt("REPRO_SEED", 2015)),
-		Stride:     envInt("REPRO_STRIDE", 3),
-		Workers:    envInt("REPRO_WORKERS", 0),
+		Scenario:   os.Getenv("REPRO_SCENARIO"),
 		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
 	}
-	if os.Getenv("REPRO_TRACES") != "paper" {
-		// Clamp to at least one trace: in Config only the "paper"
-		// sentinel (Traces=0 from FromEnv's perspective) selects the full
-		// plan, so a stray REPRO_TRACES=0 must not silently launch the
-		// 210-trace campaign.
-		if cfg.Traces = envInt("REPRO_TRACES", 6); cfg.Traces < 1 {
-			cfg.Traces = 1
+	switch cfg.Scale {
+	case "", "small", "paper":
+	default:
+		return Config{}, fmt.Errorf("campaign: REPRO_SCALE=%q: want small or paper", cfg.Scale)
+	}
+	if err := ApplyScenario(&topology.Config{}, cfg.Scenario); err != nil {
+		return Config{}, fmt.Errorf("REPRO_SCENARIO: %w", err)
+	}
+
+	var err error
+	if cfg.Seed, err = envInt64("REPRO_SEED", 2015); err != nil {
+		return Config{}, err
+	}
+	envCount := func(key string, def int) (int, error) {
+		n, err := envInt64(key, int64(def))
+		if err != nil {
+			return 0, err
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("campaign: %s=%d: must not be negative", key, n)
+		}
+		return int(n), nil
+	}
+	if cfg.Stride, err = envCount("REPRO_STRIDE", 3); err != nil {
+		return Config{}, err
+	}
+	if cfg.Workers, err = envCount("REPRO_WORKERS", 0); err != nil {
+		return Config{}, err
+	}
+	if v := os.Getenv("REPRO_TRACES"); v != "paper" {
+		// Only the "paper" sentinel (Traces=0 in Config) selects the
+		// full 210-trace plan; every other value must be a positive
+		// count so a stray REPRO_TRACES=0 cannot silently launch it.
+		if cfg.Traces, err = envCount("REPRO_TRACES", 6); err != nil {
+			return Config{}, err
+		}
+		if cfg.Traces < 1 {
+			return Config{}, fmt.Errorf("campaign: REPRO_TRACES=%q: want a count ≥ 1 or \"paper\"", v)
 		}
 	}
-	return cfg
+	return cfg, nil
 }
 
-func envInt(key string, def int) int {
-	if v := os.Getenv(key); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
+func envInt64(key string, def int64) (int64, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return def, nil
 	}
-	return def
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: %s=%q: not an integer", key, v)
+	}
+	return n, nil
 }
 
 // ShardStats records one shard's execution for capacity planning.
@@ -158,6 +201,10 @@ type Result struct {
 	Shards []ShardStats
 	// Events is the total executed event count across all shards.
 	Events uint64
+	// Congestion holds one CE-mark sample per shard (canonical order)
+	// when the scenario places bottlenecks; empty for uncongested runs.
+	// Feed it to analysis.ComputeCEMarkReport.
+	Congestion []analysis.CEMarkSample
 }
 
 // ShardSeed derives shard's measurement-phase seed from the campaign
@@ -182,25 +229,33 @@ type shardSpec struct {
 
 // shardResult is what one shard hands to the merge step.
 type shardResult struct {
-	world   *topology.World
-	data    *dataset.Dataset
-	obs     []traceroute.PathObservation
-	servers []packet.Addr
-	stats   ShardStats
+	world      *topology.World
+	data       *dataset.Dataset
+	obs        []traceroute.PathObservation
+	servers    []packet.Addr
+	stats      ShardStats
+	congestion *analysis.CEMarkSample
 }
 
 func (cfg Config) topologyConfig() (topology.Config, error) {
-	if cfg.Topology != nil {
-		return *cfg.Topology, nil
-	}
-	switch cfg.Scale {
-	case "small":
-		return topology.SmallConfig(), nil
-	case "", "paper":
-		return topology.DefaultConfig(), nil
+	var topo topology.Config
+	switch {
+	case cfg.Topology != nil:
+		topo = *cfg.Topology
 	default:
-		return topology.Config{}, fmt.Errorf("campaign: unknown scale %q (want paper or small)", cfg.Scale)
+		switch cfg.Scale {
+		case "small":
+			topo = topology.SmallConfig()
+		case "", "paper":
+			topo = topology.DefaultConfig()
+		default:
+			return topology.Config{}, fmt.Errorf("campaign: unknown scale %q (want paper or small)", cfg.Scale)
+		}
 	}
+	if err := ApplyScenario(&topo, cfg.Scenario); err != nil {
+		return topology.Config{}, err
+	}
+	return topo, nil
 }
 
 func (cfg Config) plan() map[string]int {
@@ -299,6 +354,30 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 		cfg.ShardHook(sh.shard, sh.vantage, w)
 	}
 
+	// On congested scenarios, observe arriving ECN codepoints at the
+	// shard's vantage — the receiver-side input of the verbose-mode
+	// CE-ratio estimator. The tap only counts; it cannot perturb the
+	// measurement or its randomness.
+	var inECT, inCE, inNotECT uint64
+	if len(w.Bottlenecks) > 0 {
+		if v, ok := w.VantageByName(sh.vantage); ok {
+			v.Host.AddTap(func(dir netsim.TapDirection, _ time.Duration, wire []byte) {
+				if dir != netsim.TapIn {
+					return
+				}
+				switch cp, err := packet.WireECN(wire); {
+				case err != nil:
+				case cp == ecn.CE:
+					inCE++
+				case cp.IsECT():
+					inECT++
+				default:
+					inNotECT++
+				}
+			})
+		}
+	}
+
 	c := core.NewCampaign(w, core.CampaignConfig{
 		TracesPerVantage: map[string]int{sh.vantage: sh.traces},
 		Batch2Fraction:   cfg.Batch2Fraction,
@@ -324,11 +403,34 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 		sim.Run()
 	}
 
+	var cong *analysis.CEMarkSample
+	if len(w.Bottlenecks) > 0 {
+		s := analysis.CEMarkSample{Vantage: sh.vantage, InECT: inECT, InCE: inCE, InNotECT: inNotECT}
+		for _, bn := range w.Bottlenecks {
+			// Edge bottlenecks belong to one vantage; only this shard's
+			// carries foreground traffic. Transit bottlenecks (empty
+			// Vantage) all sit on this shard's paths.
+			if bn.Vantage != "" && bn.Vantage != sh.vantage {
+				continue
+			}
+			st := bn.Queue.Stats()
+			s.Utilization = bn.Utilization
+			s.QueueECT += st.WireECT
+			s.QueueCEMarked += st.WireCEMarked
+			s.QueueNotECTDropped += st.WireNotECTDropped
+			s.QueueTailDropped += st.TailDropped
+			s.QueueOffered += st.Offered()
+			s.QueueSumBacklog += st.SumBacklog
+		}
+		cong = &s
+	}
+
 	return shardResult{
-		world:   w,
-		data:    d,
-		obs:     obs,
-		servers: c.Servers,
+		world:      w,
+		data:       d,
+		obs:        obs,
+		servers:    c.Servers,
+		congestion: cong,
 		stats: ShardStats{
 			Shard:       sh.shard,
 			Vantage:     sh.vantage,
@@ -352,6 +454,9 @@ func merge(results []shardResult) *Result {
 		res.PathObs = append(res.PathObs, r.obs...)
 		res.Shards = append(res.Shards, r.stats)
 		res.Events += r.stats.Events
+		if r.congestion != nil {
+			res.Congestion = append(res.Congestion, *r.congestion)
+		}
 		for _, a := range r.servers {
 			if !seen[a] {
 				seen[a] = true

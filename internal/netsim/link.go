@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"time"
+
+	"repro/internal/aqm"
 )
 
 // Node is anything attached to the network that can receive packets:
@@ -17,12 +19,21 @@ type Node interface {
 // Link is a bidirectional point-to-point link with independent delay and
 // loss in each direction. Loss is decided at transmission time from the
 // simulation PRNG, which keeps runs reproducible.
+//
+// A direction is by default an infinite-rate pipe: packets depart
+// immediately and arrive after the propagation delay — the exact
+// behaviour of the pre-congestion substrate, preserved byte-for-byte so
+// uncongested campaigns regenerate identical datasets. SetBottleneck
+// gives a direction a finite serialization rate and an AQM queue;
+// packets then queue when offered load exceeds capacity, and the queue's
+// discipline may CE-mark or drop them.
 type Link struct {
 	sim  *Sim
 	a, b Node
 	// Directional properties, indexed by direction (a→b = 0, b→a = 1).
 	delay [2]time.Duration
 	loss  [2]float64
+	bneck [2]*bottleneck
 
 	// Counters for analysis and capacity tests.
 	sent    [2]uint64
@@ -73,6 +84,8 @@ func (l *Link) Loss(from Node) float64 { return l.loss[l.dir(from)] }
 func (l *Link) Delay(from Node) time.Duration { return l.delay[l.dir(from)] }
 
 // Stats returns packets sent and dropped in the from→peer direction.
+// Dropped covers both random loss draws and AQM queue drops; the queue's
+// own Stats break the latter down.
 func (l *Link) Stats(from Node) (sent, dropped uint64) {
 	d := l.dir(from)
 	return l.sent[d], l.dropped[d]
@@ -88,9 +101,18 @@ func (l *Link) dir(from Node) int {
 	panic("netsim: node not on link " + from.Label())
 }
 
+// peerOf returns the receiving node for direction d.
+func (l *Link) peerOf(d int) Node {
+	if d == 1 {
+		return l.a
+	}
+	return l.b
+}
+
 // Send transmits wire from the given endpoint. The packet is delivered to
-// the peer after the link delay unless the loss draw discards it. Send
-// takes ownership of wire.
+// the peer after the link delay unless the loss draw discards it, or —
+// on a bottlenecked direction — the AQM queue drops it. Send takes
+// ownership of wire.
 func (l *Link) Send(from Node, wire []byte) {
 	d := l.dir(from)
 	l.sent[d]++
@@ -98,9 +120,234 @@ func (l *Link) Send(from Node, wire []byte) {
 		l.dropped[d]++
 		return
 	}
-	to := l.b
-	if d == 1 {
-		to = l.a
+	to := l.peerOf(d)
+	bn := l.bneck[d]
+	if bn == nil {
+		// Infinite-rate path: identical to the pre-congestion substrate.
+		l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
+		return
 	}
-	l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
+	l.injectBackground(d)
+	// Background stays active for a grace period past the last foreground
+	// packet: cross traffic contends with the measurement while it runs,
+	// then quenches so the simulation can drain (the same reason the RTP
+	// receiver self-quenches its feedback timer).
+	bn.fgUntil = l.sim.Now() + bgGrace
+	if !bn.q.Enqueue(l.sim.Now(), &aqm.Packet{Wire: wire, Size: len(wire)}) {
+		l.dropped[d]++
+	}
+	// Serve the queue even when this packet was dropped: the injected
+	// background must drain through the transmitter regardless.
+	l.startTx(d)
+}
+
+// --- bottleneck ----------------------------------------------------------
+
+// Background cross-traffic model: phantom packets of bgPacketSize bytes
+// arrive in periodic on/off bursts at bgPeakFactor × the link rate, with
+// the on fraction chosen so the mean offered load equals the configured
+// utilization. Bursty (rather than fluid-smooth) arrivals are what make
+// the queue's operating point — and therefore the CE-mark ratio — vary
+// smoothly with utilization instead of stepping at 1.0.
+const (
+	bgPacketSize = 512
+	bgPeriod     = 500 * time.Millisecond
+	bgPeakFactor = 1.5
+	bgGrace      = bgPeriod // background lifetime past the last foreground packet
+)
+
+// bottleneck models a finite-rate transmitter with an AQM queue and
+// optional phantom background load on one link direction.
+type bottleneck struct {
+	rate float64 // serialization rate, bytes/sec
+	util float64 // background offered load as a fraction of rate
+	q    aqm.Queue
+
+	busy       bool          // a serialization event is in flight
+	lastInject time.Duration // background accounted up to here
+	credit     float64       // fractional background bytes carried over
+	fgUntil    time.Duration // background active until here (foreground + grace)
+}
+
+// SetBottleneck attaches a serialization-rate bottleneck with AQM queue
+// q to the from→peer direction. rate is in bytes/sec; utilization adds
+// phantom background cross-traffic at utilization×rate mean offered
+// load (0 = the direction carries only foreground traffic). Passing a
+// nil queue or non-positive rate removes the bottleneck, restoring the
+// infinite-rate behaviour.
+func (l *Link) SetBottleneck(from Node, rate, utilization float64, q aqm.Queue) {
+	d := l.dir(from)
+	if q == nil || rate <= 0 {
+		l.bneck[d] = nil
+		return
+	}
+	l.bneck[d] = &bottleneck{rate: rate, util: utilization, q: q, lastInject: l.sim.Now()}
+}
+
+// BottleneckQueue returns the AQM queue shaping the from→peer
+// direction, or nil when the direction is an infinite-rate pipe.
+func (l *Link) BottleneckQueue(from Node) aqm.Queue {
+	if bn := l.bneck[l.dir(from)]; bn != nil {
+		return bn.q
+	}
+	return nil
+}
+
+// startTx begins serializing the queue head if the transmitter is idle.
+// Each serialization boundary is an event: dequeue, hold the wire for
+// size/rate, then hand the packet to propagation and pick up the next.
+func (l *Link) startTx(d int) {
+	bn := l.bneck[d]
+	if bn.busy {
+		return
+	}
+	// CoDel discards not-ECT heads inside Dequeue; surface those in the
+	// link's drop counter so Stats stays truthful for every discipline.
+	before := bn.q.Stats().WireNotECTDropped
+	p, ok := bn.q.Dequeue(l.sim.Now())
+	l.dropped[d] += bn.q.Stats().WireNotECTDropped - before
+	if !ok {
+		return
+	}
+	bn.busy = true
+	tx := time.Duration(float64(p.Size) / bn.rate * float64(time.Second))
+	l.sim.After(tx, func() {
+		// The bottleneck may have been replaced or removed while this
+		// packet was on the wire; only touch shared state if it is
+		// still the live one. The packet itself still delivers.
+		live := l.bneck[d] == bn
+		if live {
+			l.injectBackground(d) // the elapsed interval was a busy one
+		}
+		bn.busy = false
+		if !p.Phantom() {
+			to := l.peerOf(d)
+			wire := p.Wire
+			l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
+		}
+		if live {
+			l.startTx(d)
+		}
+	})
+}
+
+// injectBackground brings the phantom cross-traffic up to date. It runs
+// lazily at every enqueue and serialization boundary, so the background
+// process needs no events of its own and a drained simulation really is
+// finished. While the transmitter is busy, all arrivals since the last
+// update join the queue (its discipline decides their fate); across an
+// idle gap the queue was empty and draining faster than background
+// arrived, so only the net backlog of the recent burst pattern is
+// reconstructed.
+func (l *Link) injectBackground(d int) {
+	bn := l.bneck[d]
+	now := l.sim.Now()
+	// Background only arrives while foreground keeps it alive; beyond
+	// fgUntil the cross-traffic source has quenched.
+	end := min(now, bn.fgUntil)
+	if bn.util <= 0 || end <= bn.lastInject {
+		if bn.util <= 0 || !bn.busy {
+			// The queue drained anything older; restart accounting here.
+			bn.lastInject = now
+			bn.credit = 0
+		}
+		return
+	}
+	var bytes float64
+	if bn.busy {
+		bytes = bn.credit + bn.arrivalBytes(bn.lastInject, end)
+	} else {
+		backlog := bn.idleBacklog(bn.lastInject, end)
+		// Anything accumulated by the quench point drains at line rate
+		// until now.
+		backlog -= bn.rate * (now - end).Seconds()
+		if backlog < 0 {
+			backlog = 0
+		}
+		bytes = backlog
+	}
+	bn.lastInject = now
+	n := int(bytes / bgPacketSize)
+	bn.credit = bytes - float64(n)*bgPacketSize
+	for i := 0; i < n; i++ {
+		bn.q.Enqueue(now, &aqm.Packet{Size: bgPacketSize})
+	}
+}
+
+// arrivalBytes integrates the background arrival process over [t1, t2).
+func (bn *bottleneck) arrivalBytes(t1, t2 time.Duration) float64 {
+	if bn.util >= bgPeakFactor {
+		// Saturated: constant arrivals at util×rate.
+		return bn.util * bn.rate * (t2 - t1).Seconds()
+	}
+	phi := bn.util / bgPeakFactor // on fraction of each period
+	on := time.Duration(phi * float64(bgPeriod))
+	var active time.Duration
+	for k := t1 / bgPeriod; ; k++ {
+		start := k * bgPeriod
+		if start >= t2 {
+			break
+		}
+		s, e := start, start+on
+		if s < t1 {
+			s = t1
+		}
+		if e > t2 {
+			e = t2
+		}
+		if e > s {
+			active += e - s
+		}
+	}
+	return bgPeakFactor * bn.rate * active.Seconds()
+}
+
+// idleBacklog reconstructs the fluid backlog the background alone would
+// have built by t2, starting from the empty queue the idle transmitter
+// implies at t1: bursts grow it at (peak − 1)×rate, off periods drain it
+// at the full rate, clamped to the buffer. Only recent history can
+// matter under the clamp, so the window is bounded.
+func (bn *bottleneck) idleBacklog(t1, t2 time.Duration) float64 {
+	capBytes := float64(bn.q.Cap()) * bgPacketSize
+	if bn.util >= bgPeakFactor {
+		growth := (bn.util - 1) * bn.rate * (t2 - t1).Seconds()
+		if growth > capBytes {
+			return capBytes
+		}
+		if growth < 0 {
+			return 0
+		}
+		return growth
+	}
+	if t2-t1 > 64*bgPeriod {
+		t1 = t2 - 64*bgPeriod
+	}
+	phi := bn.util / bgPeakFactor
+	on := time.Duration(phi * float64(bgPeriod))
+	backlog := 0.0
+	step := func(dt time.Duration, arrivalRate float64) {
+		backlog += (arrivalRate - bn.rate) * dt.Seconds()
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog > capBytes {
+			backlog = capBytes
+		}
+	}
+	for k := t1 / bgPeriod; ; k++ {
+		start := k * bgPeriod
+		if start >= t2 {
+			break
+		}
+		// On phase [start, start+on), then off phase.
+		s, e := max(t1, start), min(t2, start+on)
+		if e > s {
+			step(e-s, bgPeakFactor*bn.rate)
+		}
+		s, e = max(t1, start+on), min(t2, start+bgPeriod)
+		if e > s {
+			step(e-s, 0)
+		}
+	}
+	return backlog
 }

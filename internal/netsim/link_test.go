@@ -1,0 +1,315 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/ecn"
+	"repro/internal/packet"
+)
+
+// sinkNode records deliveries for link-level tests.
+type sinkNode struct {
+	label    string
+	received [][]byte
+	times    []time.Duration
+	sim      *Sim
+}
+
+func (s *sinkNode) Receive(wire []byte, from *Link) {
+	s.received = append(s.received, wire)
+	if s.sim != nil {
+		s.times = append(s.times, s.sim.Now())
+	}
+}
+func (s *sinkNode) Label() string { return s.label }
+
+func testWire(t testing.TB, cp ecn.Codepoint, payload int) []byte {
+	t.Helper()
+	wire, err := packet.BuildUDP(packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2),
+		40000, 123, 64, cp, 1, make([]byte, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestLinkStatsFullLoss: at loss 1.0 every Send is counted and every
+// packet is dropped; nothing reaches the peer and no event is queued.
+func TestLinkStatsFullLoss(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+	l.SetLoss(a, 1.0)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		l.Send(a, testWire(t, ecn.NotECT, 8))
+	}
+	if sent, dropped := l.Stats(a); sent != n || dropped != n {
+		t.Fatalf("Stats(a) = %d sent, %d dropped; want %d, %d", sent, dropped, n, n)
+	}
+	if sent, dropped := l.Stats(b); sent != 0 || dropped != 0 {
+		t.Fatalf("reverse direction Stats = %d, %d; want 0, 0", sent, dropped)
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("%d events pending; fully lost traffic should schedule none", sim.Pending())
+	}
+	sim.Run()
+	if len(b.received) != 0 {
+		t.Fatalf("%d packets delivered through a 100%% lossy link", len(b.received))
+	}
+}
+
+// TestLinkDirPanicForeignNode: addressing a link from a node that is not
+// an endpoint is a programming error and must panic with a message that
+// names the offending node.
+func TestLinkDirPanicForeignNode(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	stranger := &sinkNode{label: "stranger"}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Send from a foreign node did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		if !strings.Contains(msg, "not on link") || !strings.Contains(msg, "stranger") {
+			t.Fatalf("panic message %q should name the foreign node", msg)
+		}
+	}()
+	l.Send(stranger, testWire(t, ecn.NotECT, 8))
+}
+
+// TestLinkLossDeterminismAcrossReseed: the loss-draw sequence after
+// Reseed(s) must equal the sequence of a fresh simulator seeded s —
+// the property the sharded campaign engine's per-shard reseed relies on.
+func TestLinkLossDeterminismAcrossReseed(t *testing.T) {
+	pattern := func(sim *Sim) []bool {
+		a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+		l := newLink(sim, a, b, 0, 0.5)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			before := len(b.received)
+			l.Send(a, testWire(t, ecn.NotECT, 8))
+			sim.Run()
+			out = append(out, len(b.received) > before)
+		}
+		return out
+	}
+
+	reseeded := NewSim(12345) // seed discarded by Reseed below
+	reseeded.RNG().Float64()  // consume some state first
+	reseeded.Reseed(777)
+	fresh := NewSim(777)
+
+	a, b := pattern(reseeded), pattern(fresh)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loss draw %d diverges after Reseed: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBottleneckSerializes: a finite-rate direction delivers packets at
+// the serialization cadence, in order, and leaves the reverse direction
+// untouched.
+func TestBottleneckSerializes(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b", sim: sim}
+	l := newLink(sim, a, b, 0, 0)
+	// 10 kB/s: a 1000-byte wire packet takes 100ms on the wire.
+	l.SetBottleneck(a, 10_000, 0, aqm.NewDropTail(16))
+
+	wire := testWire(t, ecn.NotECT, 1000-packet.IPv4HeaderLen-packet.UDPHeaderLen)
+	if len(wire) != 1000 {
+		t.Fatalf("wire length %d, want 1000", len(wire))
+	}
+	for i := 0; i < 3; i++ {
+		cp := make([]byte, len(wire))
+		copy(cp, wire)
+		l.Send(a, cp)
+	}
+	sim.Run()
+	if len(b.received) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(b.received))
+	}
+	for i, at := range b.times {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if at != want {
+			t.Fatalf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+	if q := l.BottleneckQueue(a); q == nil || q.Stats().Dequeued != 3 {
+		t.Fatal("bottleneck queue stats not visible via BottleneckQueue")
+	}
+	if l.BottleneckQueue(b) != nil {
+		t.Fatal("reverse direction should be unshaped")
+	}
+}
+
+// TestBottleneckQueueDropsCountAsLinkDrops: packets rejected by the AQM
+// discipline surface in the link's Stats dropped counter.
+func TestBottleneckQueueDropsCountAsLinkDrops(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	l := newLink(sim, a, b, 0, 0)
+	l.SetBottleneck(a, 1_000, 0, aqm.NewDropTail(2))
+
+	// Burst far beyond the 2-packet buffer before any event runs.
+	const n = 10
+	for i := 0; i < n; i++ {
+		l.Send(a, testWire(t, ecn.NotECT, 100))
+	}
+	sent, dropped := l.Stats(a)
+	if sent != n || dropped == 0 {
+		t.Fatalf("Stats = %d sent, %d dropped; want %d sent and tail drops", sent, dropped, n)
+	}
+	sim.Run()
+	if got := uint64(len(b.received)); got+dropped != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got, dropped, n)
+	}
+}
+
+// TestBottleneckBackgroundMarksForeground: with RED and background
+// utilization above capacity, a standing queue builds and ECT foreground
+// packets arrive CE-marked; higher utilization marks at least as much.
+func TestBottleneckBackgroundMarksForeground(t *testing.T) {
+	ceRatio := func(util float64) float64 {
+		sim := NewSim(2015)
+		a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+		l := newLink(sim, a, b, time.Millisecond, 0)
+		l.SetBottleneck(a, 125_000, util, aqm.NewRED(50, sim.RNG()))
+
+		// Paced ECT(0) foreground: one packet every 10ms for 20s.
+		var tick func(i int)
+		tick = func(i int) {
+			if i >= 2000 {
+				return
+			}
+			l.Send(a, testWire(t, ecn.ECT0, 100))
+			sim.After(10*time.Millisecond, func() { tick(i + 1) })
+		}
+		tick(0)
+		sim.Run()
+
+		ce, ect := 0, 0
+		for _, wire := range b.received {
+			switch cp, _ := packet.WireECN(wire); cp {
+			case ecn.CE:
+				ce++
+			case ecn.ECT0, ecn.ECT1:
+				ect++
+			}
+		}
+		if ce+ect == 0 {
+			t.Fatalf("util %.1f delivered no ECT-capable packets", util)
+		}
+		return float64(ce) / float64(ce+ect)
+	}
+
+	low, mid, high := ceRatio(0.2), ceRatio(0.9), ceRatio(1.4)
+	if !(low <= mid && mid <= high) {
+		t.Fatalf("CE ratio not monotone in utilization: %.3f, %.3f, %.3f", low, mid, high)
+	}
+	if high == 0 {
+		t.Fatal("overloaded bottleneck never CE-marked foreground")
+	}
+	if low > 0.05 {
+		t.Fatalf("lightly loaded bottleneck CE ratio %.3f, want ≈0", low)
+	}
+}
+
+// TestBottleneckDrainsToCompletion: background phantoms must never keep
+// the event loop alive — a finished foreground load means a finished
+// simulation.
+func TestBottleneckDrainsToCompletion(t *testing.T) {
+	sim := NewSim(7)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+	l.SetBottleneck(a, 50_000, 1.2, aqm.NewRED(32, sim.RNG()))
+	for i := 0; i < 20; i++ {
+		l.Send(a, testWire(t, ecn.ECT0, 200))
+	}
+	done := false
+	sim.After(time.Hour, func() { done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("simulation did not drain")
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("%d events still pending after Run", sim.Pending())
+	}
+}
+
+// TestBottleneckServesQueueAfterForegroundDrop: a foreground packet
+// rejected by a full queue must still kick the idle transmitter, or the
+// reconstructed background backlog would sit forever and blackhole
+// every later foreground packet behind a permanently full buffer.
+func TestBottleneckServesQueueAfterForegroundDrop(t *testing.T) {
+	sim := NewSim(11)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+	// Saturated background and a tiny buffer: after a long idle gap the
+	// reconstructed backlog fills the queue before the foreground
+	// packet is offered, so the first Send of each burst is tail-dropped.
+	l.SetBottleneck(a, 50_000, 2.0, aqm.NewDropTail(8))
+
+	delivered := func() int { return len(b.received) }
+	l.Send(a, testWire(t, ecn.NotECT, 100)) // activates background
+	sim.RunUntil(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		l.Send(a, testWire(t, ecn.NotECT, 100))
+		sim.RunUntil(sim.Now() + 2*time.Second)
+	}
+	sim.Run()
+	if delivered() == 0 {
+		t.Fatal("foreground permanently blackholed behind stranded background backlog")
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("%d events pending after Run", sim.Pending())
+	}
+}
+
+// TestBottleneckRemovalMidFlight: removing the bottleneck while a
+// packet is serializing must not panic, and the in-flight packet still
+// delivers.
+func TestBottleneckRemovalMidFlight(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b"}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+	l.SetBottleneck(a, 1_000, 0.5, aqm.NewDropTail(8)) // 100B = 100ms on the wire
+	l.Send(a, testWire(t, ecn.NotECT, 72))
+	sim.RunUntil(10 * time.Millisecond) // serialization under way
+	l.SetBottleneck(a, 0, 0, nil)
+	l.Send(a, testWire(t, ecn.NotECT, 72)) // now an infinite-rate send
+	sim.Run()
+	if len(b.received) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (in-flight + post-removal)", len(b.received))
+	}
+}
+
+// TestBottleneckRemoval restores the infinite-rate path.
+func TestBottleneckRemoval(t *testing.T) {
+	sim := NewSim(1)
+	a, b := &sinkNode{label: "a"}, &sinkNode{label: "b", sim: sim}
+	l := newLink(sim, a, b, time.Millisecond, 0)
+	l.SetBottleneck(a, 1000, 0, aqm.NewDropTail(1))
+	l.SetBottleneck(a, 0, 0, nil)
+	l.Send(a, testWire(t, ecn.NotECT, 8))
+	l.Send(a, testWire(t, ecn.NotECT, 8))
+	sim.Run()
+	if len(b.received) != 2 {
+		t.Fatalf("delivered %d, want 2 after bottleneck removal", len(b.received))
+	}
+	if b.times[0] != time.Millisecond || b.times[1] != time.Millisecond {
+		t.Fatalf("delivery times %v, want both at 1ms (pure propagation)", b.times)
+	}
+}

@@ -63,6 +63,18 @@ type Conn struct {
 	// because the peer echoed ECE.
 	cwrPending bool
 
+	// Congestion control: a byte-denominated congestion window limits
+	// data in flight. It halves when the peer echoes congestion (ECE)
+	// and on retransmission timeout, and grows additively on forward
+	// progress — enough of RFC 5681/3168 for the endpoints to *react*
+	// to CE, which is what makes the HTTP probes RFC 3168 endpoints
+	// rather than mere negotiators.
+	cwnd    int
+	sendBuf []byte // stream bytes accepted but not yet segmented
+	// recover marks sndNxt at the last window reduction: at most one
+	// reduction per window of data (RFC 3168 §6.1.2).
+	recover uint32
+
 	// Retransmission: segments in flight, oldest first.
 	rtxQueue []sentSegment
 	rtxTimer *netsim.Timer
@@ -90,10 +102,12 @@ type Conn struct {
 	onClose func(error)
 
 	// Telemetry.
-	Retransmits   uint64
-	CEMarksSeen   uint64
-	ECESeen       uint64
-	BytesReceived uint64
+	Retransmits    uint64
+	CEMarksSeen    uint64
+	ECESeen        uint64
+	CWRSent        uint64
+	CwndReductions uint64
+	BytesReceived  uint64
 }
 
 // sentSegment is a queued in-flight segment for retransmission.
@@ -102,6 +116,15 @@ type sentSegment struct {
 	flags   uint8
 	payload []byte
 }
+
+// initialCwnd is the initial congestion window (RFC 6928's 10 segments):
+// large enough that the study's small HTTP exchanges never queue behind
+// it, so uncongested campaigns behave exactly as before this window
+// existed.
+const initialCwnd = 10 * MSS
+
+// minCwnd is the reduction floor (two segments, RFC 5681).
+const minCwnd = 2 * MSS
 
 func newConn(s *Stack, key connKey, st state) *Conn {
 	iss := s.host.Sim().RNG().Uint32()
@@ -112,6 +135,8 @@ func newConn(s *Stack, key connKey, st state) *Conn {
 		iss:        iss,
 		sndNxt:     iss,
 		sndUna:     iss,
+		cwnd:       initialCwnd,
+		recover:    iss,
 		rto:        time.Second,
 		synBackoff: time.Second,
 	}
@@ -121,6 +146,9 @@ func newConn(s *Stack, key connKey, st state) *Conn {
 
 // ECNNegotiated reports whether the handshake agreed to use ECN.
 func (c *Conn) ECNNegotiated() bool { return c.ecnNegotiated }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cwnd }
 
 // State returns a human-readable connection state (for tests/logs).
 func (c *Conn) State() string { return c.st.String() }
@@ -249,20 +277,37 @@ func (c *Conn) armSYNTimer() {
 	})
 }
 
-// sendData segments and transmits application bytes.
+// sendData accepts application bytes into the send buffer and pumps as
+// much as the congestion window allows.
 func (c *Conn) sendData(data []byte) {
-	for len(data) > 0 {
-		n := len(data)
+	c.sendBuf = append(c.sendBuf, data...)
+	c.pump()
+}
+
+// inFlight is the unacknowledged byte count.
+func (c *Conn) inFlight() int { return int(c.sndNxt - c.sndUna) }
+
+// pump segments and transmits buffered bytes up to the congestion
+// window. At least one segment may always be in flight, so a reduced
+// window can stall but never deadlock the stream.
+func (c *Conn) pump() {
+	sentAny := false
+	for len(c.sendBuf) > 0 {
+		n := len(c.sendBuf)
 		if n > MSS {
 			n = MSS
 		}
-		chunk := data[:n]
-		data = data[n:]
+		if fl := c.inFlight(); fl > 0 && fl+n > c.cwnd {
+			break // window full; ACKs re-open it
+		}
+		chunk := c.sendBuf[:n]
+		c.sendBuf = c.sendBuf[n:]
 
 		flags := uint8(packet.TCPAck | packet.TCPPsh)
 		if c.cwrPending {
 			flags |= packet.TCPCwr
 			c.cwrPending = false
+			c.CWRSent++
 		}
 		if c.echoCE {
 			flags |= packet.TCPEce
@@ -271,13 +316,30 @@ func (c *Conn) sendData(data []byte) {
 		c.stack.send(c, hdr, c.dataECN(), chunk)
 		c.rtxQueue = append(c.rtxQueue, sentSegment{seq: c.sndNxt, flags: flags, payload: chunk})
 		c.sndNxt += uint32(len(chunk))
+		sentAny = true
 	}
-	c.armRTO()
+	if sentAny {
+		c.armRTO()
+	}
+}
+
+// reduceWindow is the RFC 3168 congestion response to an ECE echo (and
+// the RTO response): halve the window, at most once per window of data.
+func (c *Conn) reduceWindow() {
+	if !seqLEQ(c.recover, c.sndUna) {
+		return // already reduced within this window of data
+	}
+	c.cwnd /= 2
+	if c.cwnd < minCwnd {
+		c.cwnd = minCwnd
+	}
+	c.recover = c.sndNxt
+	c.CwndReductions++
 }
 
 // maybeSendFIN emits the FIN once all data is acknowledged-or-queued.
 func (c *Conn) maybeSendFIN() {
-	if c.finSent || !c.closeRequested {
+	if c.finSent || !c.closeRequested || len(c.sendBuf) > 0 {
 		return
 	}
 	switch c.st {
@@ -328,6 +390,8 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.stalls++
+	// Timeout is a congestion signal too (the legacy one).
+	c.reduceWindow()
 	// Go-back-N: resend everything outstanding. RFC 3168 §6.1.5:
 	// retransmitted packets must not be ECT-marked.
 	for _, seg := range c.rtxQueue {
@@ -376,6 +440,7 @@ func (c *Conn) handleSegment(ip packet.IPv4Header, hdr packet.TCPHeader, payload
 	if c.ecnNegotiated && hdr.Flags&packet.TCPEce != 0 && hdr.Flags&packet.TCPSyn == 0 {
 		c.ECESeen++
 		c.cwrPending = true
+		c.reduceWindow()
 	}
 
 	if hdr.Flags&packet.TCPRst != 0 {
@@ -488,9 +553,15 @@ func (c *Conn) processACK(ack uint32) {
 	if hdrAckAdvances := seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt); !hdrAckAdvances {
 		return
 	}
+	acked := int(ack - c.sndUna)
 	c.sndUna = ack
 	c.stalls = 0
 	c.rto = time.Second // forward progress: reset backoff
+	// Congestion avoidance: roughly one MSS per window of acknowledged
+	// data, capped so a long-idle window cannot grow without bound.
+	if c.cwnd < 64*MSS {
+		c.cwnd += MSS * acked / c.cwnd
+	}
 	// Drop fully acknowledged segments from the queue.
 	for len(c.rtxQueue) > 0 {
 		seg := c.rtxQueue[0]
@@ -517,6 +588,9 @@ func (c *Conn) processACK(ack uint32) {
 		case stateClosing, stateLastAck:
 			c.teardown(nil)
 		}
+	}
+	if c.st != stateClosed {
+		c.pump() // the advanced window may admit buffered data
 	}
 	c.maybeSendFIN()
 }

@@ -11,13 +11,21 @@
 // ECT(0) marking of data segments on negotiated connections, happens on
 // real TCP headers serialized by the packet package.
 //
+// Connections carry a small congestion controller so the endpoints are
+// genuine RFC 3168 reactors, not mere negotiators: a byte-denominated
+// congestion window limits data in flight, halves when the peer echoes
+// congestion (ECE) or an RTO fires — at most once per window of data —
+// and grows additively on forward progress. The initial window (10
+// segments, RFC 6928) exceeds the study's HTTP exchanges, so the window
+// only binds when the congestion substrate actually marks CE.
+//
 // Deliberate simplifications, irrelevant to reachability measurement and
 // documented here for honesty: a single retransmission timer per
 // connection (go-back-N), no out-of-order reassembly (later segments are
-// dropped and recovered by retransmission), no flow or congestion control
-// beyond the ECE/CWR echo mechanics, and no TIME_WAIT (connections free
-// on close). Retransmitted segments are sent not-ECT, following RFC 3168
-// §6.1.5 as implemented by production stacks.
+// dropped and recovered by retransmission), no receive-window flow
+// control, and no TIME_WAIT (connections free on close). Retransmitted
+// segments are sent not-ECT, following RFC 3168 §6.1.5 as implemented by
+// production stacks.
 package tcpsim
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/aqm"
 	"repro/internal/asn"
 	"repro/internal/dnspool"
 	"repro/internal/geo"
@@ -49,8 +50,18 @@ type builder struct {
 	// transits per region: each entry is the downstream border router.
 	transitDown map[geo.Region][]*netsim.Router
 	transitIdx  map[geo.Region]int
+	// transitCoreDown collects each transit AS's core↔down link, the
+	// placement site of the congested-transit scenario's bottlenecks.
+	transitCoreDown []transitLink
 
 	stubs []*stubInfo
+}
+
+// transitLink remembers a transit-internal link and its endpoints so
+// bottlenecks can name directions.
+type transitLink struct {
+	link       *netsim.Link
+	core, down *netsim.Router
 }
 
 // stubInfo remembers a generated edge network.
@@ -100,6 +111,9 @@ func Build(sim *netsim.Sim, cfg Config) (*World, error) {
 	b.placeFirewalls()
 	b.placeBleachers()
 	b.assignServerRoles()
+	if err := b.placeBottlenecks(); err != nil {
+		return nil, err
+	}
 
 	if err := b.w.Net.ComputeRoutes(); err != nil {
 		return nil, err
@@ -119,6 +133,9 @@ func validate(cfg Config) error {
 		cfg.SourceScopedNotECTServers + cfg.SourceScopedECTServers + cfg.FlakyServers
 	if special > cfg.Servers/2 {
 		return fmt.Errorf("topology: %d special servers exceed half the pool", special)
+	}
+	if (cfg.CongestedVantageAccess || cfg.CongestedTransit) && cfg.BottleneckRate <= 0 {
+		return fmt.Errorf("topology: congested placement requires BottleneckRate > 0")
 	}
 	return nil
 }
@@ -177,7 +194,8 @@ func (b *builder) buildTransits() {
 			core := b.w.Net.AddRouter(fmt.Sprintf("tr-%d-core", asIdx), routerAddr(asIdx, 1), uint32(number))
 			down := b.w.Net.AddRouter(fmt.Sprintf("tr-%d-down", asIdx), routerAddr(asIdx, 2), uint32(number))
 			b.w.Net.Connect(up, core, b.cfg.TransitDelay/2, 0)
-			b.w.Net.Connect(core, down, b.cfg.TransitDelay/2, 0)
+			coreDown := b.w.Net.Connect(core, down, b.cfg.TransitDelay/2, 0)
+			b.transitCoreDown = append(b.transitCoreDown, transitLink{link: coreDown, core: core, down: down})
 			// Dual-home to two tier-1s, spread deterministically.
 			t1a := b.tier1[asIdx%len(b.tier1)]
 			t1b := b.tier1[(asIdx+1)%len(b.tier1)]
@@ -647,6 +665,61 @@ func (b *builder) assignServerRoles() {
 			l.BrokenECE = true
 		}
 	}
+}
+
+// placeBottlenecks attaches the congestion substrate: bandwidth-limited
+// AQM queues on the link directions the Congested* knobs select. The
+// queues draw marking randomness from the simulation PRNG lazily, so an
+// uncongested configuration consumes no additional PRNG state and
+// regenerates byte-identical worlds.
+func (b *builder) placeBottlenecks() error {
+	cfg := b.cfg
+	if !cfg.CongestedVantageAccess && !cfg.CongestedTransit {
+		return nil
+	}
+	qlen := cfg.BottleneckQueueLen
+	if qlen <= 0 {
+		qlen = 50
+	}
+	shape := func(link *netsim.Link, from netsim.Node, vantage, label string) error {
+		q, err := aqm.New(cfg.BottleneckAQM, qlen, b.sim.RNG())
+		if err != nil {
+			return err
+		}
+		link.SetBottleneck(from, cfg.BottleneckRate, cfg.BottleneckUtilization, q)
+		b.w.Bottlenecks = append(b.w.Bottlenecks, &Bottleneck{
+			Vantage:     vantage,
+			Label:       label,
+			Link:        link,
+			Queue:       q,
+			Utilization: cfg.BottleneckUtilization,
+		})
+		return nil
+	}
+
+	if cfg.CongestedVantageAccess {
+		for _, v := range b.w.Vantages {
+			link := v.Host.Uplink()
+			router := link.Peer(v.Host)
+			if err := shape(link, v.Host, v.Name, v.Name+"/up"); err != nil {
+				return err
+			}
+			if err := shape(link, router, v.Name, v.Name+"/down"); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.CongestedTransit {
+		for _, tl := range b.transitCoreDown {
+			if err := shape(tl.link, tl.core, "", tl.core.Label()+"/fwd"); err != nil {
+				return err
+			}
+			if err := shape(tl.link, tl.down, "", tl.down.Label()+"/rev"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // --- small helpers -------------------------------------------------------

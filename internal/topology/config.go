@@ -97,6 +97,37 @@ type Config struct {
 
 	// Link delays.
 	CoreDelay, TransitDelay, EdgeDelay, AccessDelay time.Duration
+
+	// --- Congestion substrate (DESIGN.md §7) ---
+	// The fields below place bandwidth-limited, AQM-managed bottlenecks
+	// in the generated world. All zero (the default) leaves every link
+	// an infinite-rate pipe: no queue ever builds, no router ever marks
+	// CE, and generated worlds are byte-identical to the pre-substrate
+	// behaviour.
+
+	// BottleneckRate is the serialization rate of every placed
+	// bottleneck, in bytes per second. Required (>0) when any
+	// Congested* placement is enabled.
+	BottleneckRate float64
+	// BottleneckQueueLen is each bottleneck's buffer in packets
+	// (default 50).
+	BottleneckQueueLen int
+	// BottleneckAQM names the queueing discipline at bottlenecks:
+	// "droptail", "red" (the default — CE-marks ECT packets and drops
+	// not-ECT per RFC 3168), or "codel".
+	BottleneckAQM string
+	// BottleneckUtilization is the phantom cross-traffic offered load
+	// as a fraction of BottleneckRate; it sets the congestion operating
+	// point the CE-mark report is monotone in.
+	BottleneckUtilization float64
+	// CongestedVantageAccess bottlenecks both directions of every
+	// vantage access link — the campaign's congested-edge scenario.
+	CongestedVantageAccess bool
+	// CongestedTransit bottlenecks both directions of every transit
+	// AS's core↔down link — the congested-transit scenario, where the
+	// marking router sits mid-path like the paper's hypothesised AQM
+	// deployments.
+	CongestedTransit bool
 }
 
 // DefaultConfig returns the paper-scale calibration.

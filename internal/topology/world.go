@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/aqm"
 	"repro/internal/asn"
 	"repro/internal/dnspool"
 	"repro/internal/geo"
@@ -85,7 +86,29 @@ type World struct {
 	// for validating the Figure 4 inference). Keyed by router ID.
 	BleachRouters map[int]string // id → "border" | "interior" | "sometimes-*"
 
+	// Bottlenecks lists the congestion substrate's shaped link
+	// directions and their AQM queues — the ground truth the CE-mark
+	// report compares receiver-side observations against. Empty in an
+	// uncongested world.
+	Bottlenecks []*Bottleneck
+
 	byAddr map[packet.Addr]*Server
+}
+
+// Bottleneck is one bandwidth-limited link direction of the congestion
+// substrate and the AQM queue managing it.
+type Bottleneck struct {
+	// Vantage names the vantage whose access link this is; empty for
+	// transit bottlenecks.
+	Vantage string
+	// Label describes the placement for reports, e.g.
+	// "EC2 Tokyo/down" or "tr-7/fwd".
+	Label string
+	// Link is the shaped link; Queue its AQM discipline instance.
+	Link  *netsim.Link
+	Queue aqm.Queue
+	// Utilization is the configured background load fraction.
+	Utilization float64
 }
 
 // ServerAddrs returns the pool membership in creation order.
