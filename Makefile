@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench fmt vet lint determinism perf-gate check
 
 all: check
 
@@ -20,12 +20,12 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_2.json — campaign wall-clock (uncongested + congested-edge) and
-# AQM CE-mark throughput — which CI uploads as the perf-trajectory
-# artifact.
+# BENCH_3.json — campaign wall-clock (uncongested + congested-edge),
+# pooled AQM CE-mark throughput, and pooled packet-build cost, all with
+# allocs/op — which CI uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_2.json
+	$(GO) run ./cmd/benchreport -o BENCH_3.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -35,5 +35,31 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs golangci-lint (errcheck, staticcheck, ineffassign, govet —
+# see .golangci.yml) when the binary is available; otherwise it falls
+# back to go vet so the target never silently passes without checking
+# anything. CI installs golangci-lint, so the full set always runs
+# there.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "lint: golangci-lint not found; falling back to '$(GO) vet'"; \
+		echo "lint: install it from https://golangci-lint.run/welcome/install/ for the full check"; \
+		$(GO) vet ./...; \
+	fi
+
+# determinism promotes the worker-count invariance test to a pipeline
+# check: for every scenario the merged dataset SHA-256 must be
+# identical at 1, 4 and 13 workers.
+determinism:
+	$(GO) run ./cmd/determinism
+
+# perf-gate benchmarks the working tree against PERF_GATE_BASE
+# (default origin/main) and fails on >10% campaign wall-clock
+# regression or any allocation on the pooled packet-path benchmarks.
+perf-gate:
+	./scripts/perf_gate.sh
 
 check: fmt vet build test

@@ -1,19 +1,22 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_2.json) as a build artifact, so regressions in campaign
-// wall-clock or AQM hot-path throughput are visible across PRs.
+// output (BENCH_3.json) as a build artifact, so regressions in campaign
+// wall-clock or packet hot-path throughput are visible across PRs.
 //
-// Two metric families:
+// Three metric families:
 //
 //   - campaign wall-clock: the small-scale sharded campaign, run under
 //     the uncongested baseline and the congested-edge scenario (the
 //     latter also records the CE-mark ratios as a calibration canary);
 //   - CE-mark throughput: packets/sec through each saturated AQM
-//     discipline — the per-packet cost every congested bottleneck pays.
+//     discipline over pooled wire buffers — the per-packet cost every
+//     congested bottleneck pays — with allocs/op, which must be zero;
+//   - packet build: pooled IPv4+UDP serialization (build→release), the
+//     per-send cost of every probe, also required allocation-free.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_2.json] [-seed N] [-traces N]
+//	benchreport [-o BENCH_3.json] [-seed N] [-traces N]
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/analysis"
@@ -40,61 +44,46 @@ type campaignRow struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	Events      uint64  `json:"events"`
 	TracesRun   int     `json:"traces_run"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 	// Congested scenarios only: the CE-mark report aggregates.
 	ObservedCERatio float64 `json:"ce_observed_ratio,omitempty"`
 	QueueMarkRatio  float64 `json:"ce_queue_ratio,omitempty"`
 }
 
-type aqmRow struct {
-	Discipline     string  `json:"discipline"`
-	PacketsPerSec  float64 `json:"packets_per_sec"`
-	CEMarkFraction float64 `json:"ce_mark_fraction"`
+type hotPathRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	// AQM rows only.
+	CEMarkFraction float64 `json:"ce_mark_fraction,omitempty"`
 }
 
 type report struct {
 	Schema     string        `json:"schema"`
 	GoMaxProcs int           `json:"go_max_procs"`
 	Campaigns  []campaignRow `json:"campaigns"`
-	AQM        []aqmRow      `json:"aqm"`
+	HotPaths   []hotPathRow  `json:"hot_paths"`
 }
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_2.json", "output path (- for stdout)")
+		out    = flag.String("o", "BENCH_3.json", "output path (- for stdout)")
 		seed   = flag.Int64("seed", 2015, "campaign seed")
 		traces = flag.Int("traces", 2, "traces per vantage")
 	)
 	flag.Parse()
 
-	rep := report{Schema: "repro-bench/2", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/3", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	for _, scenario := range []string{campaign.ScenarioUncongested, campaign.ScenarioCongestedEdge} {
-		cfg := campaign.Config{Scale: "small", Scenario: scenario, Traces: *traces, Seed: *seed}
-		start := time.Now()
-		res, err := campaign.Run(cfg)
-		if err != nil {
-			fatal("campaign %s: %v", scenario, err)
-		}
-		row := campaignRow{
-			Scenario:    scenario,
-			Scale:       "small",
-			Traces:      *traces,
-			Workers:     runtime.GOMAXPROCS(0),
-			WallSeconds: time.Since(start).Seconds(),
-			Events:      res.Events,
-			TracesRun:   len(res.Dataset.Traces),
-		}
-		if len(res.Congestion) > 0 {
-			ce := analysis.ComputeCEMarkReport(res.Congestion)
-			row.ObservedCERatio = ce.ObservedCERatio
-			row.QueueMarkRatio = ce.QueueMarkRatio
-		}
-		rep.Campaigns = append(rep.Campaigns, row)
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, *seed, *traces))
 	}
 
 	for _, name := range []string{"droptail", "red", "codel"} {
-		rep.AQM = append(rep.AQM, benchAQM(name))
+		rep.HotPaths = append(rep.HotPaths, benchAQM(name))
 	}
+	rep.HotPaths = append(rep.HotPaths, benchBuildUDP())
 
 	w := os.Stdout
 	if *out != "-" {
@@ -102,7 +91,11 @@ func main() {
 		if err != nil {
 			fatal("create %s: %v", *out, err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal("close %s: %v", *out, err)
+			}
+		}()
 		w = f
 	}
 	enc := json.NewEncoder(w)
@@ -115,11 +108,40 @@ func main() {
 	}
 }
 
-// benchAQM pushes a saturating stream of real ECT packets through the
-// discipline and reports the per-packet throughput of the
-// enqueue→mark→dequeue hot path.
-func benchAQM(name string) aqmRow {
-	const n = 300_000
+// benchCampaign runs one small-scale campaign and records wall clock,
+// executed events, and allocations per campaign run.
+func benchCampaign(scenario string, seed int64, traces int) campaignRow {
+	cfg := campaign.Config{Scale: "small", Scenario: scenario, Traces: traces, Seed: seed}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fatal("campaign %s: %v", scenario, err)
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	row := campaignRow{
+		Scenario:    scenario,
+		Scale:       "small",
+		Traces:      traces,
+		Workers:     runtime.GOMAXPROCS(0),
+		WallSeconds: wall,
+		Events:      res.Events,
+		TracesRun:   len(res.Dataset.Traces),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+	}
+	if len(res.Congestion) > 0 {
+		ce := analysis.ComputeCEMarkReport(res.Congestion)
+		row.ObservedCERatio = ce.ObservedCERatio
+		row.QueueMarkRatio = ce.QueueMarkRatio
+	}
+	return row
+}
+
+// benchAQM measures the pooled enqueue→mark→dequeue hot path of one
+// discipline under saturation, mirroring BenchmarkCEMarkThroughput.
+func benchAQM(name string) hotPathRow {
 	q, err := aqm.New(name, 50, rand.New(rand.NewSource(2015)))
 	if err != nil {
 		fatal("aqm %s: %v", name, err)
@@ -129,24 +151,66 @@ func benchAQM(name string) aqmRow {
 	if err != nil {
 		fatal("build packet: %v", err)
 	}
-	wire := make([]byte, len(template))
-	now := time.Duration(0)
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		copy(wire, template) // restore ECT(0) after any CE mark
-		q.Enqueue(now, &aqm.Packet{Wire: wire, Size: len(wire)})
-		if q.Len() > 30 {
-			q.Dequeue(now)
-		}
-		now += 200 * time.Microsecond
+	ring := make([]*packet.Buf, 64)
+	for i := range ring {
+		ring[i] = packet.NewBuf()
+		ring[i].Write(template)
 	}
-	elapsed := time.Since(start).Seconds()
+	now := time.Duration(0)
+	i := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			bf := ring[i&63]
+			if err := packet.SetWireECN(bf.Bytes(), ecn.ECT0); err != nil {
+				b.Fatal(err)
+			}
+			q.Enqueue(now, aqm.NewPacket(bf.Retain()))
+			if q.Len() > 30 {
+				if p, ok := q.Dequeue(now); ok {
+					p.TakeBuf().Release()
+				}
+			}
+			now += 200 * time.Microsecond
+			i++
+		}
+	})
 	st := q.Stats()
-	row := aqmRow{Discipline: name, PacketsPerSec: n / elapsed}
+	row := hotPathRow{
+		Name:          "aqm/" + name,
+		NsPerOp:       float64(r.NsPerOp()),
+		PacketsPerSec: 1e9 / float64(r.NsPerOp()),
+		AllocsPerOp:   r.AllocsPerOp(),
+	}
 	if st.WireECT > 0 {
 		row.CEMarkFraction = float64(st.WireCEMarked) / float64(st.WireECT)
 	}
 	return row
+}
+
+// benchBuildUDP measures pooled IPv4+UDP serialization: build into a
+// pooled buffer, then release it — the steady-state cost of every
+// probe datagram the campaign sends.
+func benchBuildUDP() hotPathRow {
+	src := packet.AddrFrom4(10, 0, 0, 1)
+	dst := packet.AddrFrom4(10, 0, 0, 2)
+	payload := make([]byte, 48) // NTP-sized
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			bf, err := packet.BuildUDPBuf(src, dst, 123, 123, 64, ecn.ECT0, uint16(n), payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bf.Release()
+		}
+	})
+	return hotPathRow{
+		Name:          "packet/build-udp-pooled",
+		NsPerOp:       float64(r.NsPerOp()),
+		PacketsPerSec: 1e9 / float64(r.NsPerOp()),
+		AllocsPerOp:   r.AllocsPerOp(),
+	}
 }
 
 func fatal(format string, args ...any) {

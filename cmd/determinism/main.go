@@ -1,0 +1,108 @@
+// Command determinism promotes the campaign engine's headline invariant
+// — the merged dataset is byte-identical for any worker count — from a
+// test assertion to an explicit pipeline check. For every scenario it
+// runs the same small-scale campaign at several worker counts, hashes
+// the merged dataset (SHA-256 over the canonical JSON-lines encoding),
+// and exits non-zero on any divergence.
+//
+// CI runs it as the `determinism` job; locally `make determinism` does
+// the same. The default worker counts 1, 4 and 13 match the
+// TestWorkerCountInvariance tiers: sequential, a small pool, and one
+// goroutine per vantage.
+//
+// Usage:
+//
+//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-scenarios a,b]
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 2015, "campaign seed")
+		traces    = flag.Int("traces", 2, "traces per vantage")
+		workers   = flag.String("workers", "1,4,13", "comma-separated worker counts")
+		scenarios = flag.String("scenarios", strings.Join(campaign.Scenarios(), ","), "comma-separated scenarios")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*workers)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	failed := false
+	for _, scenario := range strings.Split(*scenarios, ",") {
+		scenario = strings.TrimSpace(scenario)
+		var ref []byte
+		for i, w := range counts {
+			sum, err := runHash(*seed, *traces, scenario, w)
+			if err != nil {
+				fatal("scenario %s workers=%d: %v", scenario, w, err)
+			}
+			fmt.Printf("%s  scenario=%s workers=%d\n", sum, scenario, w)
+			if i == 0 {
+				ref = []byte(sum)
+			} else if !bytes.Equal(ref, []byte(sum)) {
+				fmt.Fprintf(os.Stderr, "determinism: FAIL: scenario %s diverges at workers=%d\n", scenario, w)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("determinism: OK — merged datasets identical across worker counts")
+}
+
+// runHash executes one campaign and returns the SHA-256 of its merged
+// dataset in canonical JSON-lines form.
+func runHash(seed int64, traces int, scenario string, workers int) (string, error) {
+	cfg := campaign.Config{
+		Scale:    "small",
+		Scenario: scenario,
+		Traces:   traces,
+		Seed:     seed,
+		Workers:  workers,
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	if err := dataset.Write(h, res.Dataset); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("determinism: bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) < 2 {
+		return nil, fmt.Errorf("determinism: need at least two worker counts to compare")
+	}
+	return counts, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "determinism: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -47,7 +47,7 @@ func main() {
 		if err != nil {
 			fatal("open %s: %v", *in, err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; close errors carry no data
 		r = f
 	}
 	d, err := dataset.Read(r)
@@ -80,9 +80,11 @@ func main() {
 		if err != nil {
 			fatal("create %s: %v", path, err)
 		}
-		defer f.Close()
 		if err := emit(f); err != nil {
 			fatal("write %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("close %s: %v", path, err)
 		}
 	}
 

@@ -112,13 +112,15 @@ func main() {
 		if err != nil {
 			fatal("create %s: %v", *out, err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := dataset.Write(w, res.Dataset); err != nil {
 		fatal("write dataset: %v", err)
 	}
 	if *out != "-" {
+		if err := w.Close(); err != nil {
+			fatal("close %s: %v", *out, err)
+		}
 		fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
 	}
 
@@ -127,9 +129,11 @@ func main() {
 		if err != nil {
 			fatal("create %s: %v", *pcapPath, err)
 		}
-		defer f.Close()
 		if err := capture.WritePcap(f, recorder.Records()); err != nil {
 			fatal("write pcap: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("close %s: %v", *pcapPath, err)
 		}
 		fmt.Fprintf(os.Stderr, "pcap: %d packets written to %s (%d displaced by ring)\n",
 			recorder.Len(), *pcapPath, recorder.Overwritten())

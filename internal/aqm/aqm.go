@@ -22,15 +22,21 @@ package aqm
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/ecn"
 	"repro/internal/packet"
 )
 
-// Packet is one queued datagram.
+// Packet is one queued datagram. On the simulator's hot path, shells
+// come from a process-wide pool (NewPacket/NewPhantom) and carry a
+// pooled wire buffer; queues own the packets they hold and release
+// both shell and buffer on every drop they perform. Literal Packets
+// (tests, tools) work identically but are never recycled.
 type Packet struct {
-	// Wire is the serialized IPv4 datagram. It is nil for phantom
+	// Wire is the serialized IPv4 datagram — a view into the pooled
+	// buffer for packets built by NewPacket. It is nil for phantom
 	// background packets, which model cross-traffic load (they consume
 	// queue space and serialization time) without deliverable bytes.
 	Wire []byte
@@ -40,11 +46,69 @@ type Packet struct {
 	// Arrived is when the packet entered the queue; set by Enqueue and
 	// used for sojourn-time accounting and CoDel's control law.
 	Arrived time.Duration
+
+	buf    *packet.Buf // owning buffer reference; nil for phantoms/literals
+	pooled bool        // shell came from pktPool and returns to it
 }
 
 // Phantom reports whether the packet is background load rather than a
 // deliverable datagram.
 func (p *Packet) Phantom() bool { return p.Wire == nil }
+
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket wraps a wire buffer as a queue packet, taking ownership of
+// the caller's buffer reference. The shell comes from a pool; whoever
+// ends the packet's life calls Free (drop paths) or TakeBuf
+// (delivery), returning it.
+func NewPacket(bf *packet.Buf) *Packet {
+	p := pktPool.Get().(*Packet)
+	p.Wire = bf.Bytes()
+	p.Size = bf.Len()
+	p.Arrived = 0
+	p.buf = bf
+	p.pooled = true
+	return p
+}
+
+// NewPhantom returns a pooled background packet of the modelled size.
+func NewPhantom(size int) *Packet {
+	p := pktPool.Get().(*Packet)
+	p.Wire = nil
+	p.Size = size
+	p.Arrived = 0
+	p.buf = nil
+	p.pooled = true
+	return p
+}
+
+// Free ends the packet's life on a drop path: the wire buffer (if any)
+// is released and a pooled shell returns to the pool. Freeing a
+// literal Packet only detaches its buffer reference.
+func (p *Packet) Free() {
+	p.buf.Release()
+	p.buf = nil
+	p.Wire = nil
+	if p.pooled {
+		p.pooled = false
+		pktPool.Put(p)
+	}
+}
+
+// TakeBuf detaches and returns the packet's wire buffer — ownership of
+// the buffer reference moves to the caller — and recycles a pooled
+// shell. It returns nil for phantoms and literal Packets that never
+// carried a buffer.
+func (p *Packet) TakeBuf() *packet.Buf {
+	bf := p.buf
+	p.buf = nil
+	p.Wire = nil
+	if p.pooled {
+		p.pooled = false
+		pktPool.Put(p)
+	}
+	return bf
+}
 
 // ECN returns the packet's codepoint. Phantom background packets are
 // modelled as ECT(0) cross traffic, so congestion actions mark rather
@@ -125,6 +189,12 @@ func (s Stats) WireMarkRatio() float64 {
 // virtual time. Enqueue reports false when the discipline dropped the
 // packet. Dequeue reports false when nothing is queued (a discipline
 // may internally drop head packets before returning the survivor).
+//
+// Ownership: Enqueue always takes the packet — a discipline that drops
+// (tail drop, congestion drop, or a dequeue-time head drop) Frees the
+// packet itself, so an Enqueue returning false means the packet is
+// already gone. Dequeue hands ownership of the returned packet to the
+// caller.
 type Queue interface {
 	// Name identifies the discipline ("droptail", "red", "codel").
 	Name() string
@@ -158,7 +228,8 @@ func New(name string, capacity int, rng *rand.Rand) (Queue, error) {
 
 // fifo is the bounded FIFO buffer shared by every discipline. It keeps
 // the Stats bookkeeping in one place; disciplines layer their
-// congestion actions on top.
+// congestion actions on top. The backing array is reused (compacted in
+// place), so the queue itself never allocates in steady state.
 type fifo struct {
 	pkts    []*Packet
 	head    int

@@ -38,11 +38,11 @@ func TestFactory(t *testing.T) {
 func TestDropTailBounds(t *testing.T) {
 	q := NewDropTail(4)
 	for i := 0; i < 4; i++ {
-		if !q.Enqueue(0, &Packet{Size: 100}) {
+		if !q.Enqueue(0, NewPhantom(100)) {
 			t.Fatalf("enqueue %d rejected below capacity", i)
 		}
 	}
-	if q.Enqueue(0, &Packet{Size: 100}) {
+	if q.Enqueue(0, NewPhantom(100)) {
 		t.Fatal("enqueue accepted above capacity")
 	}
 	if q.Len() != 4 || q.Bytes() != 400 {
@@ -72,7 +72,7 @@ func TestREDCongestionActions(t *testing.T) {
 	q := NewRED(32, rand.New(rand.NewSource(7)))
 	// Saturate the EWMA: a standing backlog above MaxTh.
 	for i := 0; i < 200; i++ {
-		q.Enqueue(0, &Packet{Size: 512})
+		q.Enqueue(0, NewPhantom(512))
 		if q.Len() > int(q.MaxTh)+2 {
 			q.Dequeue(0)
 		}
@@ -189,7 +189,7 @@ func TestREDDeterminism(t *testing.T) {
 func TestCoDelMarksPersistentQueue(t *testing.T) {
 	q := NewCoDel(64)
 	now := time.Duration(0)
-	marked, dropped := 0, 0
+	marked := 0
 	for step := 0; step < 400; step++ {
 		cp := ecn.ECT0
 		if step%4 == 3 {
@@ -208,14 +208,15 @@ func TestCoDelMarksPersistentQueue(t *testing.T) {
 		now += 5 * time.Millisecond
 	}
 	st := q.Stats()
-	dropped = int(st.WireNotECTDropped)
 	if marked == 0 {
 		t.Fatal("CoDel never CE-marked a persistently queued ECT packet")
 	}
 	if st.WireCEMarked == 0 {
 		t.Fatalf("stats lack CE marks: %+v", st)
 	}
-	_ = dropped
+	if st.WireNotECTDropped == 0 {
+		t.Fatalf("CoDel never dropped a not-ECT head: %+v", st)
+	}
 }
 
 // TestCoDelDequeueDropAccounting: a not-ECT packet dropped by the
@@ -271,7 +272,7 @@ func TestCoDelQuietBelowTarget(t *testing.T) {
 func TestPhantomPackets(t *testing.T) {
 	q := NewRED(32, rand.New(rand.NewSource(7)))
 	for i := 0; i < 300; i++ {
-		q.Enqueue(0, &Packet{Size: 512})
+		q.Enqueue(0, NewPhantom(512))
 		if q.Len() > 20 {
 			q.Dequeue(0)
 		}

@@ -46,6 +46,7 @@ func (q *CoDel) Enqueue(now time.Duration, p *Packet) bool {
 	q.observeArrival()
 	if q.Len() >= q.Cap() {
 		q.tailDrop()
+		p.Free()
 		return false
 	}
 	q.admit(now, p)
@@ -81,6 +82,7 @@ func (q *CoDel) Dequeue(now time.Duration) (*Packet, bool) {
 			q.dropNext = now + q.controlInterval()
 			if !q.congest(p) {
 				q.headDropped(p)
+				p.Free()
 				return q.Dequeue(now) // not-ECT head dropped; try the next
 			}
 		}
@@ -91,6 +93,7 @@ func (q *CoDel) Dequeue(now time.Duration) (*Packet, bool) {
 		q.dropNext = now + q.controlInterval()
 		if !q.congest(p) {
 			q.headDropped(p)
+			p.Free()
 			return q.Dequeue(now)
 		}
 	}

@@ -23,6 +23,7 @@ func (q *DropTail) Enqueue(now time.Duration, p *Packet) bool {
 	q.observeArrival()
 	if q.Len() >= q.Cap() {
 		q.tailDrop()
+		p.Free()
 		return false
 	}
 	q.admit(now, p)

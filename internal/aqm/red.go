@@ -84,6 +84,7 @@ func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 
 	if q.Len() >= q.Cap() {
 		q.tailDrop()
+		p.Free()
 		return false
 	}
 
@@ -95,7 +96,7 @@ func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 	case q.avg > q.MinTh:
 		q.count++
 		pb := q.MaxP * (q.avg - q.MinTh) / (q.MaxTh - q.MinTh)
-		pa := pb
+		var pa float64
 		if d := 1 - float64(q.count)*pb; d > 0 {
 			pa = pb / d
 		} else {
@@ -110,6 +111,7 @@ func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 	}
 
 	if action && !q.congest(p) {
+		p.Free()
 		return false // not-ECT: the congestion action was a drop
 	}
 	q.admit(now, p)

@@ -132,7 +132,8 @@ func (d *Directory) AttachSim(h *netsim.Host) error {
 		if err != nil {
 			return
 		}
-		host.SendUDP(ip.Src, udp.DstPort, udp.SrcPort, 64, 0 /* not-ECT */, wire)
+		// Responses to well-formed queries cannot fail to serialize.
+		_ = host.SendUDP(ip.Src, udp.DstPort, udp.SrcPort, 64, 0 /* not-ECT */, wire)
 	})
 	return err
 }

@@ -76,7 +76,7 @@ func Discover(h *netsim.Host, cfg DiscoverConfig, done func(DiscoverResult)) {
 		queryID++
 		id := queryID
 		var port uint16
-		var timer *netsim.Timer
+		var timer netsim.Timer
 		finished := false
 		finish := func() {
 			if finished {
@@ -114,7 +114,8 @@ func Discover(h *netsim.Host, cfg DiscoverConfig, done func(DiscoverResult)) {
 			return
 		}
 		res.QueriesSent++
-		h.SendUDP(cfg.Resolver, port, DNSPort, 64, 0 /* not-ECT */, wire)
+		// A failed send is recovered by the query timeout path.
+		_ = h.SendUDP(cfg.Resolver, port, DNSPort, 64, 0 /* not-ECT */, wire)
 		timer = sim.After(cfg.QueryTimeout, finish)
 	}
 

@@ -11,11 +11,11 @@
 package httpmin
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Errors surfaced by the codec.
@@ -39,47 +39,76 @@ type Response struct {
 	Body       []byte
 }
 
-// Marshal renders the request on the wire.
+// Marshal renders the request on the wire. The message is assembled
+// with plain appends into one exact buffer — no fmt machinery — since
+// the campaign marshals one request per HTTP probe.
 func (r *Request) Marshal() []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
-	writeHeaders(&b, r.Headers)
-	b.WriteString("\r\n")
-	return []byte(b.String())
+	b := make([]byte, 0, len(r.Method)+len(r.Path)+12+headersLen(r.Headers)+2)
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Path...)
+	b = append(b, " HTTP/1.1\r\n"...)
+	b = appendHeaders(b, r.Headers, "", "")
+	return append(b, "\r\n"...)
 }
 
 // Marshal renders the response on the wire, always emitting an accurate
 // Content-Length so the peer can find the message end.
 func (r *Response) Marshal() []byte {
-	var b strings.Builder
 	status := r.Status
 	if status == "" {
 		status = defaultStatusText(r.StatusCode)
 	}
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, status)
-	h := make(map[string]string, len(r.Headers)+1)
-	for k, v := range r.Headers {
-		h[k] = v
-	}
-	h["Content-Length"] = strconv.Itoa(len(r.Body))
-	writeHeaders(&b, h)
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return []byte(b.String())
+	var clBuf [20]byte
+	cl := strconv.AppendInt(clBuf[:0], int64(len(r.Body)), 10)
+	b := make([]byte, 0, 9+4+len(status)+2+headersLen(r.Headers)+16+len(cl)+4+2+len(r.Body))
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, "\r\n"...)
+	b = appendHeaders(b, r.Headers, "Content-Length", string(cl))
+	b = append(b, "\r\n"...)
+	return append(b, r.Body...)
 }
 
-// writeHeaders emits headers in sorted order for deterministic wire
+// headersLen sizes the serialized header block.
+func headersLen(h map[string]string) int {
+	n := 0
+	for k, v := range h {
+		n += len(k) + 2 + len(v) + 2
+	}
+	return n
+}
+
+// appendHeaders emits headers in sorted order for deterministic wire
 // output (the simulator's reproducibility guarantee extends to payload
-// bytes).
-func writeHeaders(b *strings.Builder, h map[string]string) {
-	keys := make([]string, 0, len(h))
+// bytes). A non-empty extraKey is merged into the sort order as if it
+// were in the map, which lets Response.Marshal add Content-Length
+// without copying the header map.
+func appendHeaders(b []byte, h map[string]string, extraKey, extraVal string) []byte {
+	var arr [8]string
+	keys := arr[:0]
 	for k := range h {
 		keys = append(keys, k)
 	}
+	if extraKey != "" {
+		if _, exists := h[extraKey]; !exists {
+			keys = append(keys, extraKey)
+		}
+	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+		v := h[k]
+		if extraKey != "" && k == extraKey {
+			v = extraVal // computed value wins, as an explicit overwrite would
+		}
+		b = append(b, k...)
+		b = append(b, ": "...)
+		b = append(b, v...)
+		b = append(b, "\r\n"...)
 	}
+	return b
 }
 
 func defaultStatusText(code int) string {
@@ -96,22 +125,25 @@ func defaultStatusText(code int) string {
 }
 
 // ParseRequest decodes a request once fully buffered. It returns
-// ErrIncomplete while more bytes are needed.
+// ErrIncomplete while more bytes are needed. Parsing walks the raw
+// bytes; only the retained values (method, path, header keys and
+// values) become strings.
 func ParseRequest(data []byte) (*Request, error) {
 	head, _, ok := splitHead(data)
 	if !ok {
 		return nil, ErrIncomplete
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
-		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+	first, rest := cutLine(head)
+	method, after, ok1 := bytes.Cut(first, []byte(" "))
+	path, proto, ok2 := bytes.Cut(after, []byte(" "))
+	if !ok1 || !ok2 || !bytes.HasPrefix(proto, []byte("HTTP/1.")) {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, first)
 	}
-	headers, err := parseHeaders(lines[1:])
+	headers, err := parseHeaders(rest)
 	if err != nil {
 		return nil, err
 	}
-	return &Request{Method: parts[0], Path: parts[1], Headers: headers}, nil
+	return &Request{Method: string(method), Path: string(path), Headers: headers}, nil
 }
 
 // ParseResponse decodes a response. It returns ErrIncomplete until the
@@ -121,20 +153,17 @@ func ParseResponse(data []byte) (*Response, error) {
 	if !ok {
 		return nil, ErrIncomplete
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
-		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+	first, hdrLines := cutLine(head)
+	proto, after, ok1 := bytes.Cut(first, []byte(" "))
+	if !ok1 || !bytes.HasPrefix(proto, []byte("HTTP/1.")) {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, first)
 	}
-	code, err := strconv.Atoi(parts[1])
+	codeBytes, statusBytes, _ := bytes.Cut(after, []byte(" "))
+	code, err := strconv.Atoi(string(codeBytes))
 	if err != nil {
-		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, codeBytes)
 	}
-	status := ""
-	if len(parts) == 3 {
-		status = parts[2]
-	}
-	headers, err := parseHeaders(lines[1:])
+	headers, err := parseHeaders(hdrLines)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +179,7 @@ func ParseResponse(data []byte) (*Response, error) {
 	}
 	return &Response{
 		StatusCode: code,
-		Status:     status,
+		Status:     string(statusBytes),
 		Headers:    headers,
 		Body:       append([]byte(nil), rest[:bodyLen]...),
 	}, nil
@@ -158,43 +187,77 @@ func ParseResponse(data []byte) (*Response, error) {
 
 // splitHead separates the header block from the body at the first blank
 // line.
-func splitHead(data []byte) (head string, rest []byte, ok bool) {
-	idx := strings.Index(string(data), "\r\n\r\n")
+func splitHead(data []byte) (head, rest []byte, ok bool) {
+	idx := bytes.Index(data, []byte("\r\n\r\n"))
 	if idx < 0 {
-		return "", nil, false
+		return nil, nil, false
 	}
-	return string(data[:idx]), data[idx+4:], true
+	return data[:idx], data[idx+4:], true
+}
+
+// cutLine splits off the first CRLF-terminated line.
+func cutLine(data []byte) (line, rest []byte) {
+	if i := bytes.Index(data, []byte("\r\n")); i >= 0 {
+		return data[:i], data[i+2:]
+	}
+	return data, nil
 }
 
 // parseHeaders decodes "Key: Value" lines, canonicalising the key's
 // first letters (enough for the handful of headers in play).
-func parseHeaders(lines []string) (map[string]string, error) {
-	h := make(map[string]string, len(lines))
-	for _, line := range lines {
-		if line == "" {
+func parseHeaders(block []byte) (map[string]string, error) {
+	h := make(map[string]string, 4)
+	for len(block) > 0 {
+		var line []byte
+		line, block = cutLine(block)
+		if len(line) == 0 {
 			continue
 		}
-		colon := strings.IndexByte(line, ':')
+		colon := bytes.IndexByte(line, ':')
 		if colon < 0 {
 			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
 		}
-		key := canonicalKey(strings.TrimSpace(line[:colon]))
-		h[key] = strings.TrimSpace(line[colon+1:])
+		key := canonicalKey(bytes.TrimSpace(line[:colon]))
+		h[key] = string(bytes.TrimSpace(line[colon+1:]))
 	}
 	return h, nil
 }
 
 // canonicalKey title-cases dash-separated tokens: content-length →
-// Content-Length.
-func canonicalKey(k string) string {
-	parts := strings.Split(k, "-")
-	for i, p := range parts {
-		if p == "" {
-			continue
+// Content-Length. Keys that are already canonical — every header this
+// system itself emits — convert with a single allocation and no
+// intermediate splitting.
+func canonicalKey(k []byte) string {
+	canonical := true
+	startOfToken := true
+	for _, c := range k {
+		if startOfToken {
+			if c >= 'a' && c <= 'z' {
+				canonical = false
+				break
+			}
+		} else if c >= 'A' && c <= 'Z' {
+			canonical = false
+			break
 		}
-		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+		startOfToken = c == '-'
 	}
-	return strings.Join(parts, "-")
+	if canonical {
+		return string(k)
+	}
+	b := make([]byte, len(k))
+	startOfToken = true
+	for i, c := range k {
+		switch {
+		case startOfToken && c >= 'a' && c <= 'z':
+			c -= 'a' - 'A'
+		case !startOfToken && c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+		}
+		b[i] = c
+		startOfToken = c == '-'
+	}
+	return string(b)
 }
 
 // RedirectTarget is where pool-member web servers redirect.

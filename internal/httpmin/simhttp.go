@@ -1,6 +1,7 @@
 package httpmin
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/netsim"
@@ -80,89 +81,130 @@ func Get(stack *tcpsim.Stack, dst packet.Addr, port uint16, path string, request
 	GetWithConfig(stack, dst, port, path, GetConfig{RequestECN: requestECN}, done)
 }
 
-// GetWithConfig is Get with full probe control.
+// GetWithConfig is Get with full probe control. Like ntp.Probe, the
+// exchange's state lives in one struct with pre-bound callbacks: HTTP
+// probes run once per server per trace, so the setup cost matters.
 func GetWithConfig(stack *tcpsim.Stack, dst packet.Addr, port uint16, path string, gcfg GetConfig, done func(GetResult)) {
-	requestECN := gcfg.RequestECN
 	sim := stack.Host().Sim()
-	start := sim.Now()
-	res := GetResult{ECNRequested: requestECN}
-	finished := false
-	var conn *tcpsim.Conn
-	var deadline *netsim.Timer
-	finish := func() {
-		if !finished {
-			finished = true
-			if deadline != nil {
-				deadline.Stop()
-			}
-			if conn != nil {
-				res.ECESeen = conn.ECESeen
-			}
-			res.Elapsed = sim.Now() - start
-			done(res)
-		}
+	g := &getRun{
+		sim:   sim,
+		dst:   dst,
+		path:  path,
+		start: sim.Now(),
+		done:  done,
+		res:   GetResult{ECNRequested: gcfg.RequestECN},
 	}
-	deadline = sim.After(GetTimeout, func() {
-		if finished {
-			return
-		}
-		res.Err = tcpsim.ErrTimeout
-		finish()
-		if conn != nil {
-			conn.Abort()
-		}
-		// A dial still in flight cleans itself up via its SYN timer.
-	})
+	g.deadline = sim.After(GetTimeout, g.onDeadline)
+	stack.Dial(dst, port, tcpsim.DialConfig{RequestECN: gcfg.RequestECN, MarkCE: gcfg.MarkCE}, g.onDial)
+}
 
-	stack.Dial(dst, port, tcpsim.DialConfig{RequestECN: requestECN, MarkCE: gcfg.MarkCE}, func(c *tcpsim.Conn, err error) {
-		if finished {
-			if c != nil {
-				c.Abort() // deadline already fired; drop the late connection
-			}
-			return
+// getRun is the state of one in-flight HTTP probe.
+type getRun struct {
+	sim      *netsim.Sim
+	dst      packet.Addr
+	path     string
+	start    time.Duration
+	done     func(GetResult)
+	res      GetResult
+	conn     *tcpsim.Conn
+	deadline netsim.Timer
+	finished bool
+	buf      []byte
+}
+
+func (g *getRun) finish() {
+	if !g.finished {
+		g.finished = true
+		g.deadline.Stop()
+		if g.conn != nil {
+			g.res.ECESeen = g.conn.ECESeen
 		}
-		if err != nil {
-			res.Err = err
-			finish()
-			return
+		g.res.Elapsed = g.sim.Now() - g.start
+		g.done(g.res)
+	}
+}
+
+func (g *getRun) onDeadline() {
+	if g.finished {
+		return
+	}
+	g.res.Err = tcpsim.ErrTimeout
+	g.finish()
+	if g.conn != nil {
+		g.conn.Abort()
+	}
+	// A dial still in flight cleans itself up via its SYN timer.
+}
+
+func (g *getRun) onDial(c *tcpsim.Conn, err error) {
+	if g.finished {
+		if c != nil {
+			c.Abort() // deadline already fired; drop the late connection
 		}
-		conn = c
-		res.ECNNegotiated = c.ECNNegotiated()
-		var buf []byte
-		c.OnData(func(b []byte) {
-			buf = append(buf, b...)
-			resp, perr := ParseResponse(buf)
-			if perr == ErrIncomplete {
-				return
-			}
-			if perr != nil {
-				res.Err = perr
-				c.Abort()
-				finish()
-				return
-			}
-			res.Response = resp
-			finish()
-			c.Close()
-		})
-		c.OnClose(func(cerr error) {
-			if res.Response == nil && res.Err == nil {
-				if cerr == nil {
-					cerr = tcpsim.ErrClosed
-				}
-				res.Err = cerr
-			}
-			finish()
-		})
-		req := Request{
-			Method: "GET",
-			Path:   path,
-			Headers: map[string]string{
-				"Host":       dst.String(),
-				"User-Agent": "ecnspider/1.0",
-				"Connection": "close",
-			},
+		return
+	}
+	if err != nil {
+		g.res.Err = err
+		g.finish()
+		return
+	}
+	g.conn = c
+	g.res.ECNNegotiated = c.ECNNegotiated()
+	c.OnData(g.onData)
+	c.OnClose(g.onConnClose)
+	c.Write(g.requestBytes())
+}
+
+func (g *getRun) onData(b []byte) {
+	g.buf = append(g.buf, b...)
+	resp, perr := ParseResponse(g.buf)
+	if perr == ErrIncomplete {
+		return
+	}
+	if perr != nil {
+		g.res.Err = perr
+		g.conn.Abort()
+		g.finish()
+		return
+	}
+	g.res.Response = resp
+	g.finish()
+	g.conn.Close()
+}
+
+func (g *getRun) onConnClose(cerr error) {
+	if g.res.Response == nil && g.res.Err == nil {
+		if cerr == nil {
+			cerr = tcpsim.ErrClosed
 		}
-		c.Write(req.Marshal())
-	})
+		g.res.Err = cerr
+	}
+	g.finish()
+}
+
+// requestBytes assembles the GET request directly. The bytes are
+// identical to marshalling a Request with Connection, Host and
+// User-Agent headers (sorted order), without building the map.
+func (g *getRun) requestBytes() []byte {
+	b := make([]byte, 0, 4+len(g.path)+11+19+6+15+2+26+2)
+	b = append(b, "GET "...)
+	b = append(b, g.path...)
+	b = append(b, " HTTP/1.1\r\n"...)
+	b = append(b, "Connection: close\r\n"...)
+	b = append(b, "Host: "...)
+	b = appendDottedQuad(b, g.dst)
+	b = append(b, "\r\n"...)
+	b = append(b, "User-Agent: ecnspider/1.0\r\n"...)
+	return append(b, "\r\n"...)
+}
+
+// appendDottedQuad renders an address without the netip round trip.
+func appendDottedQuad(b []byte, a packet.Addr) []byte {
+	for i, o := range a {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, uint64(o), 10)
+	}
+	return b
 }

@@ -133,36 +133,55 @@ func (h *Host) NextIPID() uint16 {
 
 // SendUDP builds and transmits a UDP datagram with the given ECN
 // codepoint and TTL. It is the primitive under both the NTP prober and
-// the traceroute engine.
+// the traceroute engine. The datagram is serialized into a pooled wire
+// buffer, so steady-state sends allocate nothing.
 func (h *Host) SendUDP(dst packet.Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, payload []byte) error {
-	wire, err := packet.BuildUDP(h.addr, dst, srcPort, dstPort, ttl, cp, h.NextIPID(), payload)
+	b, err := packet.BuildUDPBuf(h.addr, dst, srcPort, dstPort, ttl, cp, h.NextIPID(), payload)
 	if err != nil {
 		return err
 	}
-	h.SendRaw(wire)
+	h.SendBuf(b)
 	return nil
 }
 
-// SendRaw transmits pre-serialized wire bytes (tcpsim uses this).
-func (h *Host) SendRaw(wire []byte) {
+// SendBuf transmits a pre-serialized wire buffer, taking ownership of
+// the caller's reference (tcpsim builds segments straight into pooled
+// buffers and sends them through here).
+func (h *Host) SendBuf(b *packet.Buf) {
 	if !h.online {
+		b.Release()
 		return
 	}
 	h.Sent++
-	for _, t := range h.taps {
-		t(TapOut, h.sim.Now(), wire)
+	if len(h.taps) > 0 {
+		wire := b.Bytes()
+		for _, t := range h.taps {
+			t(TapOut, h.sim.Now(), wire)
+		}
 	}
 	if h.uplink != nil {
-		h.uplink.Send(h, wire)
+		h.uplink.Send(h, b)
+		return
 	}
+	b.Release()
+}
+
+// SendRaw transmits pre-serialized wire bytes, adopting the slice into
+// the pooled-buffer world (the caller must relinquish it).
+func (h *Host) SendRaw(wire []byte) {
+	h.SendBuf(packet.AdoptBuf(wire))
 }
 
 // Receive implements Node: demultiplex to the bound socket surface.
-func (h *Host) Receive(wire []byte, from *Link) {
+// The buffer is released when the handlers return; handlers that keep
+// bytes (capture taps, reassembly buffers) copy them.
+func (h *Host) Receive(b *packet.Buf, from *Link) {
+	defer b.Release()
 	if !h.online {
 		return
 	}
 	h.Received++
+	wire := b.Bytes()
 	for _, t := range h.taps {
 		t(TapIn, h.sim.Now(), wire)
 	}
@@ -206,9 +225,9 @@ func (h *Host) sendPortUnreachable(offending []byte) {
 		return
 	}
 	msg := packet.NewDestUnreachable(packet.ICMPCodePortUnreach, offending)
-	wire, err := packet.BuildICMP(h.addr, ip.Src, 64, h.NextIPID(), msg)
+	b, err := packet.BuildICMPBuf(h.addr, ip.Src, 64, h.NextIPID(), msg)
 	if err != nil {
 		return
 	}
-	h.SendRaw(wire)
+	h.SendBuf(b)
 }

@@ -4,14 +4,16 @@ import (
 	"time"
 
 	"repro/internal/aqm"
+	"repro/internal/packet"
 )
 
 // Node is anything attached to the network that can receive packets:
 // hosts and routers.
 type Node interface {
-	// Receive handles a delivered wire-format IPv4 datagram. The slice is
-	// owned by the receiver.
-	Receive(wire []byte, from *Link)
+	// Receive handles a delivered wire-format IPv4 datagram. The buffer
+	// reference is owned by the receiver: forward it (transferring
+	// ownership again) or Release it when done.
+	Receive(b *packet.Buf, from *Link)
 	// Label names the node for reports and traces.
 	Label() string
 }
@@ -109,22 +111,23 @@ func (l *Link) peerOf(d int) Node {
 	return l.b
 }
 
-// Send transmits wire from the given endpoint. The packet is delivered to
-// the peer after the link delay unless the loss draw discards it, or —
-// on a bottlenecked direction — the AQM queue drops it. Send takes
-// ownership of wire.
-func (l *Link) Send(from Node, wire []byte) {
+// Send transmits a wire buffer from the given endpoint. The packet is
+// delivered to the peer after the link delay unless the loss draw
+// discards it, or — on a bottlenecked direction — the AQM queue drops
+// it. Send takes ownership of the caller's buffer reference.
+func (l *Link) Send(from Node, b *packet.Buf) {
 	d := l.dir(from)
 	l.sent[d]++
 	if l.loss[d] > 0 && l.sim.rng.Float64() < l.loss[d] {
 		l.dropped[d]++
+		b.Release()
 		return
 	}
 	to := l.peerOf(d)
 	bn := l.bneck[d]
 	if bn == nil {
 		// Infinite-rate path: identical to the pre-congestion substrate.
-		l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
+		l.sim.deliverAfter(l.delay[d], to, b, l)
 		return
 	}
 	l.injectBackground(d)
@@ -133,7 +136,9 @@ func (l *Link) Send(from Node, wire []byte) {
 	// then quenches so the simulation can drain (the same reason the RTP
 	// receiver self-quenches its feedback timer).
 	bn.fgUntil = l.sim.Now() + bgGrace
-	if !bn.q.Enqueue(l.sim.Now(), &aqm.Packet{Wire: wire, Size: len(wire)}) {
+	// The queue owns the packet from here: a false return means the
+	// discipline dropped — and already freed — it.
+	if !bn.q.Enqueue(l.sim.Now(), aqm.NewPacket(b)) {
 		l.dropped[d]++
 	}
 	// Serve the queue even when this packet was dropped: the injected
@@ -167,6 +172,12 @@ type bottleneck struct {
 	lastInject time.Duration // background accounted up to here
 	credit     float64       // fractional background bytes carried over
 	fgUntil    time.Duration // background active until here (foreground + grace)
+
+	// txPkt is the packet on the wire; txDone is the serialization-
+	// boundary callback, bound once at SetBottleneck so per-packet
+	// transmission schedules no new closure.
+	txPkt  *aqm.Packet
+	txDone func()
 }
 
 // SetBottleneck attaches a serialization-rate bottleneck with AQM queue
@@ -181,7 +192,9 @@ func (l *Link) SetBottleneck(from Node, rate, utilization float64, q aqm.Queue) 
 		l.bneck[d] = nil
 		return
 	}
-	l.bneck[d] = &bottleneck{rate: rate, util: utilization, q: q, lastInject: l.sim.Now()}
+	bn := &bottleneck{rate: rate, util: utilization, q: q, lastInject: l.sim.Now()}
+	bn.txDone = func() { l.finishTx(d, bn) }
+	l.bneck[d] = bn
 }
 
 // BottleneckQueue returns the AQM queue shaping the from→peer
@@ -210,25 +223,32 @@ func (l *Link) startTx(d int) {
 		return
 	}
 	bn.busy = true
+	bn.txPkt = p
 	tx := time.Duration(float64(p.Size) / bn.rate * float64(time.Second))
-	l.sim.After(tx, func() {
-		// The bottleneck may have been replaced or removed while this
-		// packet was on the wire; only touch shared state if it is
-		// still the live one. The packet itself still delivers.
-		live := l.bneck[d] == bn
-		if live {
-			l.injectBackground(d) // the elapsed interval was a busy one
-		}
-		bn.busy = false
-		if !p.Phantom() {
-			to := l.peerOf(d)
-			wire := p.Wire
-			l.sim.After(l.delay[d], func() { to.Receive(wire, l) })
-		}
-		if live {
-			l.startTx(d)
-		}
-	})
+	l.sim.After(tx, bn.txDone)
+}
+
+// finishTx is the serialization boundary: hand the transmitted packet
+// to propagation and pick up the next queued one.
+func (l *Link) finishTx(d int, bn *bottleneck) {
+	// The bottleneck may have been replaced or removed while this
+	// packet was on the wire; only touch shared state if it is
+	// still the live one. The packet itself still delivers.
+	live := l.bneck[d] == bn
+	if live {
+		l.injectBackground(d) // the elapsed interval was a busy one
+	}
+	bn.busy = false
+	p := bn.txPkt
+	bn.txPkt = nil
+	if !p.Phantom() {
+		l.sim.deliverAfter(l.delay[d], l.peerOf(d), p.TakeBuf(), l)
+	} else {
+		p.Free()
+	}
+	if live {
+		l.startTx(d)
+	}
 }
 
 // injectBackground brings the phantom cross-traffic up to date. It runs
@@ -270,7 +290,7 @@ func (l *Link) injectBackground(d int) {
 	n := int(bytes / bgPacketSize)
 	bn.credit = bytes - float64(n)*bgPacketSize
 	for i := 0; i < n; i++ {
-		bn.q.Enqueue(now, &aqm.Packet{Size: bgPacketSize})
+		bn.q.Enqueue(now, aqm.NewPhantom(bgPacketSize))
 	}
 }
 

@@ -10,7 +10,9 @@ import (
 	"repro/internal/packet"
 )
 
-// sinkNode records deliveries for link-level tests.
+// sinkNode records deliveries for link-level tests. Delivered bytes are
+// copied out before the buffer reference is released, per the ownership
+// rules every Node follows.
 type sinkNode struct {
 	label    string
 	received [][]byte
@@ -18,22 +20,23 @@ type sinkNode struct {
 	sim      *Sim
 }
 
-func (s *sinkNode) Receive(wire []byte, from *Link) {
-	s.received = append(s.received, wire)
+func (s *sinkNode) Receive(b *packet.Buf, from *Link) {
+	s.received = append(s.received, append([]byte(nil), b.Bytes()...))
 	if s.sim != nil {
 		s.times = append(s.times, s.sim.Now())
 	}
+	b.Release()
 }
 func (s *sinkNode) Label() string { return s.label }
 
-func testWire(t testing.TB, cp ecn.Codepoint, payload int) []byte {
+func testWire(t testing.TB, cp ecn.Codepoint, payload int) *packet.Buf {
 	t.Helper()
-	wire, err := packet.BuildUDP(packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2),
+	b, err := packet.BuildUDPBuf(packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2),
 		40000, 123, 64, cp, 1, make([]byte, payload))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return wire
+	return b
 }
 
 // TestLinkStatsFullLoss: at loss 1.0 every Send is counted and every
@@ -128,14 +131,13 @@ func TestBottleneckSerializes(t *testing.T) {
 	// 10 kB/s: a 1000-byte wire packet takes 100ms on the wire.
 	l.SetBottleneck(a, 10_000, 0, aqm.NewDropTail(16))
 
-	wire := testWire(t, ecn.NotECT, 1000-packet.IPv4HeaderLen-packet.UDPHeaderLen)
-	if len(wire) != 1000 {
-		t.Fatalf("wire length %d, want 1000", len(wire))
-	}
+	const payload = 1000 - packet.IPv4HeaderLen - packet.UDPHeaderLen
 	for i := 0; i < 3; i++ {
-		cp := make([]byte, len(wire))
-		copy(cp, wire)
-		l.Send(a, cp)
+		wire := testWire(t, ecn.NotECT, payload)
+		if wire.Len() != 1000 {
+			t.Fatalf("wire length %d, want 1000", wire.Len())
+		}
+		l.Send(a, wire)
 	}
 	sim.Run()
 	if len(b.received) != 3 {

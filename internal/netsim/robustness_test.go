@@ -52,7 +52,7 @@ func TestHostIgnoresMisdelivered(t *testing.T) {
 	wire, _ := packet.BuildUDP(
 		packet.AddrFrom4(10, 9, 9, 9), packet.AddrFrom4(10, 0, 0, 99), // not h's address
 		1, 7, 64, ecn.NotECT, 1, nil)
-	h.Receive(wire, nil)
+	h.Receive(packet.AdoptBuf(wire), nil)
 	sim.Run()
 	if handled {
 		t.Error("host handled a packet addressed elsewhere")

@@ -67,43 +67,52 @@ func (r *Router) AddPolicy(p Policy) { r.policies = append(r.policies, p) }
 // Policies returns the attached policies (for topology dumps).
 func (r *Router) Policies() []Policy { return r.policies }
 
-// Receive implements Node: the router forwarding path.
-func (r *Router) Receive(wire []byte, from *Link) {
+// Receive implements Node: the router forwarding path. The buffer
+// reference is forwarded along the route when the packet survives and
+// released on every drop path.
+func (r *Router) Receive(b *packet.Buf, from *Link) {
+	wire := b.Bytes()
 	for _, p := range r.policies {
 		if p.Apply(r, wire) == Drop {
 			r.PolicyDrops++
+			b.Release()
 			return
 		}
 	}
 
 	ip, _, err := packet.ParseIPv4(wire)
 	if err != nil {
+		b.Release()
 		return // corrupt packets die here, as in a real forwarding plane
 	}
 
 	// Local delivery to the router's own address: routers terminate no
 	// transport protocols in this model, so such packets are absorbed.
 	if ip.Dst == r.addr {
+		b.Release()
 		return
 	}
 
 	ttl, err := packet.DecrementWireTTL(wire)
 	if err != nil {
+		b.Release()
 		return
 	}
 	if ttl == 0 {
 		r.TTLExpiries++
 		r.sendTimeExceeded(ip, wire)
+		b.Release()
 		return
 	}
 
 	link := r.route(ip.Dst)
 	if link == nil {
 		r.NoRouteDrops++
+		b.Release()
 		return
 	}
 	r.Forwarded++
-	link.Send(r, wire)
+	link.Send(r, b)
 }
 
 // route picks the egress link for dst: a directly attached host wins,
@@ -131,11 +140,13 @@ func (r *Router) sendTimeExceeded(ip packet.IPv4Header, dropped []byte) {
 		}
 	}
 	r.ipID++
-	reply, err := packet.BuildICMP(r.addr, ip.Src, 64, r.ipID, packet.NewTimeExceeded(dropped))
+	reply, err := packet.BuildICMPBuf(r.addr, ip.Src, 64, r.ipID, packet.NewTimeExceeded(dropped))
 	if err != nil {
 		return
 	}
 	if link := r.route(ip.Src); link != nil {
 		link.Send(r, reply)
+		return
 	}
+	reply.Release()
 }

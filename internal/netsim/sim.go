@@ -17,24 +17,37 @@
 //   - Determinism. All randomness (link loss, timer jitter in protocols)
 //     is drawn from a single seeded PRNG owned by the Sim. The same seed
 //     reproduces a byte-identical packet history, which the tests rely on.
-//   - Real bytes. Nodes exchange serialized IPv4 datagrams. Routers parse
-//     and mutate the actual wire bytes, so header checksums, TTL handling
-//     and TOS rewrites behave exactly as on a real path.
+//   - Real bytes. Nodes exchange serialized IPv4 datagrams held in pooled
+//     packet.Buf wire buffers. Routers parse and mutate the actual wire
+//     bytes, so header checksums, TTL handling and TOS rewrites behave
+//     exactly as on a real path.
+//   - Zero steady-state allocation. Event bodies live in a slab indexed
+//     by a free list, the priority queue orders pointer-free
+//     (time, seq, index) entries — so sift operations never touch the
+//     write barrier — and packet delivery is a typed event rather than a
+//     closure. Once the pools are warm, the per-packet hot path — build,
+//     send, deliver, receive — allocates nothing.
 package netsim
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/packet"
 )
 
 // Sim is the discrete-event engine. Create one with NewSim, add nodes and
 // links (usually via Network), schedule initial work, then call Run.
 type Sim struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now time.Duration
+	// heap is the pending-event priority queue: pointer-free entries
+	// ordered by (at, seq), with idx addressing the body in slab. Both
+	// backing arrays are reused for the lifetime of the Sim.
+	heap []heapEntry
+	slab []event
+	free []int32 // recycled slab indices
+	seq  uint64
+	rng  *rand.Rand
 	// Stats counters, exposed for benchmarks and capacity planning.
 	executed uint64
 }
@@ -62,23 +75,36 @@ func (s *Sim) Reseed(seed int64) { s.rng.Seed(seed) }
 // Executed reports how many events have run; useful for benchmarks.
 func (s *Sim) Executed() uint64 { return s.executed }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// small value — keep it by value, not behind a pointer, so arming a
+// timer allocates nothing. The handle records the event's generation:
+// once the event fires or is recycled, the handle goes stale and Stop
+// becomes a no-op, so slab slots can be reused without a stale Timer
+// cancelling a stranger. The zero Timer is valid and stopped.
+type Timer struct {
+	s   *Sim
+	idx int32
+	gen uint64
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.fn = nil
+	ev := &t.s.slab[t.idx]
+	if ev.gen != t.gen || ev.fn == nil {
+		return false
+	}
+	ev.fn = nil
 	return true
 }
 
 // After schedules fn to run d from now and returns a cancellable handle.
 // A negative d is treated as zero: the event runs after the events already
 // scheduled for the current instant (FIFO within a timestamp).
-func (s *Sim) After(d time.Duration, fn func()) *Timer {
+func (s *Sim) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -86,34 +112,85 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 }
 
 // At schedules fn at absolute virtual time t (clamped to now).
-func (s *Sim) At(t time.Duration, fn func()) *Timer {
+func (s *Sim) At(t time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("netsim: nil event function")
 	}
+	idx := s.schedule(t)
+	ev := &s.slab[idx]
+	ev.fn = fn
+	return Timer{s: s, idx: idx, gen: ev.gen}
+}
+
+// deliverAfter schedules delivery of a wire buffer to node d from now.
+// Delivery is a typed event — no closure, no allocation — and transfers
+// the caller's buffer reference to the receiving node.
+func (s *Sim) deliverAfter(d time.Duration, node Node, b *packet.Buf, from *Link) {
+	if d < 0 {
+		d = 0
+	}
+	idx := s.schedule(s.now + d)
+	ev := &s.slab[idx]
+	ev.node = node
+	ev.buf = b
+	ev.link = from
+}
+
+// schedule allocates an event body (from the free list when possible)
+// and queues it at absolute time t, returning its slab index.
+func (s *Sim) schedule(t time.Duration) int32 {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.events.push(ev)
-	return &Timer{ev: ev}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slab = append(s.slab, event{})
+		idx = int32(len(s.slab) - 1)
+	}
+	s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+	return idx
+}
+
+// recycle clears an event body, bumps its generation (staling Timer
+// handles), and returns its slot to the free list.
+func (s *Sim) recycle(idx int32) {
+	ev := &s.slab[idx]
+	ev.gen++
+	ev.fn = nil
+	ev.node = nil
+	ev.buf = nil
+	ev.link = nil
+	s.free = append(s.free, idx)
 }
 
 // Step executes the next pending event. It reports whether an event ran.
 func (s *Sim) Step() bool {
 	for {
-		ev, ok := s.events.pop()
-		if !ok {
+		if len(s.heap) == 0 {
 			return false
 		}
-		if ev.fn == nil { // cancelled
+		he := s.heap[0]
+		s.heapPopRoot()
+		ev := &s.slab[he.idx]
+		if ev.fn == nil && ev.node == nil { // cancelled
+			s.recycle(he.idx)
 			continue
 		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		s.now = he.at
 		s.executed++
-		fn()
+		if ev.node != nil {
+			node, buf, link := ev.node, ev.buf, ev.link
+			s.recycle(he.idx)
+			node.Receive(buf, link)
+		} else {
+			fn := ev.fn
+			s.recycle(he.idx)
+			fn()
+		}
 		return true
 	}
 }
@@ -128,8 +205,8 @@ func (s *Sim) Run() {
 // clock to deadline. Events scheduled beyond it remain queued.
 func (s *Sim) RunUntil(deadline time.Duration) {
 	for {
-		ev, ok := s.events.peek()
-		if !ok || ev.at > deadline {
+		at, ok := s.peekLive()
+		if !ok || at > deadline {
 			break
 		}
 		s.Step()
@@ -139,96 +216,103 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 	}
 }
 
+// peekLive returns the earliest live event time, recycling cancelled
+// events it skips over so RunUntil sees true deadlines.
+func (s *Sim) peekLive() (time.Duration, bool) {
+	for {
+		if len(s.heap) == 0 {
+			return 0, false
+		}
+		he := s.heap[0]
+		ev := &s.slab[he.idx]
+		if ev.fn != nil || ev.node != nil {
+			return he.at, true
+		}
+		s.heapPopRoot()
+		s.recycle(he.idx)
+	}
+}
+
 // Pending reports the number of live events in the queue.
 func (s *Sim) Pending() int {
 	n := 0
-	for _, ev := range s.events.h {
-		if ev.fn != nil {
+	for _, he := range s.heap {
+		ev := &s.slab[he.idx]
+		if ev.fn != nil || ev.node != nil {
 			n++
 		}
 	}
 	return n
 }
 
-// event is a scheduled callback. Cancellation nils fn in place; the heap
-// discards dead events lazily on pop.
-type event struct {
+// heapEntry is a queued event reference: ordering fields inline (no
+// pointer chase in comparisons, no write barrier in swaps) plus the
+// slab index of the event body.
+type heapEntry struct {
 	at  time.Duration
 	seq uint64 // tiebreak: FIFO within a timestamp
-	fn  func()
+	idx int32
 }
 
-func (e *event) String() string { return fmt.Sprintf("event@%v#%d", e.at, e.seq) }
+// event is a scheduled callback or packet delivery body. Exactly one of
+// fn and node is set for a live event: fn-events run arbitrary code,
+// node-events hand buf to node (the per-packet fast path, kept
+// closure-free so the hot loop does not allocate). Cancellation nils fn
+// in place; the queue discards dead events lazily.
+type event struct {
+	gen uint64 // incremented on recycle; stales Timer handles
+	fn  func()
 
-// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). A
-// concrete type avoids the interface boxing of container/heap on the
-// simulator's hottest path.
-type eventHeap struct{ h []*event }
+	// Typed delivery payload (node != nil selects it).
+	node Node
+	buf  *packet.Buf
+	link *Link
+}
 
-func (q *eventHeap) less(i, j int) bool {
-	a, b := q.h[i], q.h[j]
+// less orders entries by (at, seq).
+func (a heapEntry) less(b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (q *eventHeap) push(ev *event) {
-	q.h = append(q.h, ev)
-	i := len(q.h) - 1
+func (s *Sim) heapPush(he heapEntry) {
+	h := append(s.heap, he)
+	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !h[i].less(h[parent]) {
 			break
 		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
+	s.heap = h
 }
 
-func (q *eventHeap) peek() (*event, bool) {
-	// Skip over cancelled events so RunUntil sees true deadlines.
-	for len(q.h) > 0 && q.h[0].fn == nil {
-		q.popRoot()
-	}
-	if len(q.h) == 0 {
-		return nil, false
-	}
-	return q.h[0], true
-}
-
-func (q *eventHeap) pop() (*event, bool) {
-	if len(q.h) == 0 {
-		return nil, false
-	}
-	return q.popRoot(), true
-}
-
-func (q *eventHeap) popRoot() *event {
-	root := q.h[0]
-	last := len(q.h) - 1
-	q.h[0] = q.h[last]
-	q.h[last] = nil
-	q.h = q.h[:last]
-	q.siftDown(0)
-	return root
-}
-
-func (q *eventHeap) siftDown(i int) {
-	n := len(q.h)
+func (s *Sim) heapPopRoot() {
+	h := s.heap
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	// Sift down.
+	n := len(h)
+	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && q.less(l, smallest) {
+		if l < n && h[l].less(h[smallest]) {
 			smallest = l
 		}
-		if r < n && q.less(r, smallest) {
+		if r < n && h[r].less(h[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			break
 		}
-		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		h[i], h[smallest] = h[smallest], h[i]
 		i = smallest
 	}
+	s.heap = h
 }

@@ -65,9 +65,9 @@ func TestTimerStop(t *testing.T) {
 	if ran {
 		t.Error("cancelled timer fired")
 	}
-	var nilTimer *Timer
-	if nilTimer.Stop() {
-		t.Error("nil timer Stop should be false")
+	var zeroTimer Timer
+	if zeroTimer.Stop() {
+		t.Error("zero timer Stop should be false")
 	}
 }
 
@@ -175,23 +175,22 @@ func TestDeterminism(t *testing.T) {
 // insertion sequence.
 func TestHeapOrderProperty(t *testing.T) {
 	f := func(delays []uint16) bool {
-		var q eventHeap
-		for i, d := range delays {
-			q.push(&event{at: time.Duration(d), seq: uint64(i), fn: func() {}})
+		s := NewSim(1)
+		for _, d := range delays {
+			s.heapPush(heapEntry{at: time.Duration(d), seq: s.seq, idx: 0})
+			s.seq++
 		}
-		var prev *event
-		for {
-			ev, ok := q.pop()
-			if !ok {
-				return true
+		var prev heapEntry
+		first := true
+		for len(s.heap) > 0 {
+			he := s.heap[0]
+			s.heapPopRoot()
+			if !first && he.less(prev) {
+				return false
 			}
-			if prev != nil {
-				if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
-					return false
-				}
-			}
-			prev = ev
+			prev, first = he, false
 		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -205,8 +204,7 @@ func TestHeapStress(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		s.After(time.Duration(rng.Intn(1_000_000))*time.Microsecond, func() { count++ })
 	}
-	var last time.Duration
-	for s.events.len() > 0 {
+	for len(s.heap) > 0 {
 		before := s.Now()
 		if !s.Step() {
 			break
@@ -214,12 +212,8 @@ func TestHeapStress(t *testing.T) {
 		if s.Now() < before {
 			t.Fatal("time went backwards")
 		}
-		last = s.Now()
 	}
 	if count != 10000 {
 		t.Errorf("executed %d of 10000", count)
 	}
-	_ = last
 }
-
-func (q *eventHeap) len() int { return len(q.h) }

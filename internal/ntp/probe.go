@@ -64,83 +64,102 @@ type ProbeResult struct {
 // simulated host against one NTP server, invoking done exactly once. It
 // drives itself on the host's simulator; the caller must run the
 // simulation for progress.
+//
+// The probe state lives in one struct with pre-bound callbacks: probes
+// are the campaign's innermost loop, so each one costs a handful of
+// allocations rather than a closure per concern.
 func Probe(h *netsim.Host, server packet.Addr, cfg ProbeConfig, done func(ProbeResult)) {
-	cfg = cfg.withDefaults()
-	sim := h.Sim()
-
-	res := ProbeResult{Server: server, ECN: cfg.ECN}
-	var (
-		port     uint16
-		timer    *netsim.Timer
-		finished bool
-		// sent records (transmit timestamp, send time) per attempt. A
-		// response is accepted if its origin matches ANY attempt: the
-		// paper marks a server reachable "if an NTP response is received
-		// after any request".
-		sent []sentAttempt
-	)
-
-	finish := func() {
-		if finished {
-			return
-		}
-		finished = true
-		if timer != nil {
-			timer.Stop()
-		}
-		h.UnbindUDP(port)
-		done(res)
+	p := &probeRun{
+		h:    h,
+		cfg:  cfg.withDefaults(),
+		done: done,
+		res:  ProbeResult{Server: server, ECN: cfg.ECN},
 	}
-
-	var attempt func()
+	p.sent = p.sentArr[:0]
+	p.attemptFn = p.attempt
 
 	var err error
-	port, err = h.BindUDP(0, func(host *netsim.Host, ip packet.IPv4Header, udp packet.UDPHeader, payload []byte) {
-		if finished || ip.Src != server {
-			return
-		}
-		resp, perr := Parse(payload)
-		if perr != nil || resp.Mode != ModeServer {
-			return
-		}
-		for _, s := range sent {
-			if resp.OriginTS == s.xmitTS {
-				res.Reachable = true
-				res.RTT = sim.Now() - s.at
-				res.ResponseECN = ip.ECN()
-				res.Response = resp
-				finish()
-				return
-			}
-		}
-	})
+	p.port, err = h.BindUDP(0, p.onDatagram)
 	if err != nil {
-		done(res)
+		done(p.res)
 		return
 	}
+	p.attempt()
+}
 
-	attempt = func() {
-		if finished {
-			return
-		}
-		if res.Attempts > cfg.Retransmissions {
-			finish() // all attempts timed out: unreachable
-			return
-		}
-		res.Attempts++
-		now := sim.Now()
-		// Perturb the timestamp fraction by the attempt number so each
-		// retransmission is distinguishable even when the virtual clock
-		// has not advanced.
-		ts := TimestampFromSim(now) | uint64(res.Attempts)
-		sent = append(sent, sentAttempt{xmitTS: ts, at: now})
-		req := NewRequest(ts)
-		// Send errors cannot occur for fixed-size NTP requests; if one
-		// did, the timeout path retries regardless.
-		_ = h.SendUDP(server, port, Port, cfg.TTL, cfg.ECN, req.Marshal(nil))
-		timer = sim.After(cfg.Timeout, attempt)
+// probeRun is the state of one in-flight reachability probe.
+type probeRun struct {
+	h        *netsim.Host
+	cfg      ProbeConfig
+	done     func(ProbeResult)
+	res      ProbeResult
+	port     uint16
+	timer    netsim.Timer
+	finished bool
+	// sent records (transmit timestamp, send time) per attempt, backed
+	// by an inline array sized for the default retransmission budget. A
+	// response is accepted if its origin matches ANY attempt: the paper
+	// marks a server reachable "if an NTP response is received after
+	// any request".
+	sent      []sentAttempt
+	sentArr   [8]sentAttempt
+	attemptFn func()
+}
+
+func (p *probeRun) finish() {
+	if p.finished {
+		return
 	}
-	attempt()
+	p.finished = true
+	p.timer.Stop()
+	p.h.UnbindUDP(p.port)
+	p.done(p.res)
+}
+
+func (p *probeRun) onDatagram(host *netsim.Host, ip packet.IPv4Header, udp packet.UDPHeader, payload []byte) {
+	if p.finished || ip.Src != p.res.Server {
+		return
+	}
+	resp, perr := Parse(payload)
+	if perr != nil || resp.Mode != ModeServer {
+		return
+	}
+	for _, s := range p.sent {
+		if resp.OriginTS == s.xmitTS {
+			p.res.Reachable = true
+			p.res.RTT = p.h.Sim().Now() - s.at
+			p.res.ResponseECN = ip.ECN()
+			p.res.Response = resp
+			p.finish()
+			return
+		}
+	}
+}
+
+func (p *probeRun) attempt() {
+	if p.finished {
+		return
+	}
+	if p.res.Attempts > p.cfg.Retransmissions {
+		p.finish() // all attempts timed out: unreachable
+		return
+	}
+	p.res.Attempts++
+	sim := p.h.Sim()
+	now := sim.Now()
+	// Perturb the timestamp fraction by the attempt number so each
+	// retransmission is distinguishable even when the virtual clock
+	// has not advanced.
+	ts := TimestampFromSim(now) | uint64(p.res.Attempts)
+	p.sent = append(p.sent, sentAttempt{xmitTS: ts, at: now})
+	req := NewRequest(ts)
+	// Marshal into a stack scratch buffer: SendUDP copies the payload
+	// into its pooled wire buffer, so the request never escapes.
+	var scratch [PacketLen]byte
+	// Send errors cannot occur for fixed-size NTP requests; if one
+	// did, the timeout path retries regardless.
+	_ = p.h.SendUDP(p.res.Server, p.port, Port, p.cfg.TTL, p.cfg.ECN, req.Marshal(scratch[:0]))
+	p.timer = sim.After(p.cfg.Timeout, p.attemptFn)
 }
 
 // sentAttempt pairs a request's transmit timestamp with its send time.

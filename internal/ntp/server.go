@@ -40,7 +40,9 @@ func (s *Server) AttachSim(h *netsim.Host) error {
 			return // non-client modes are ignored, as real servers do
 		}
 		s.Served++
-		host.SendUDP(ip.Src, udp.DstPort, udp.SrcPort, 64, 0 /* not-ECT */, resp.Marshal(nil))
+		var scratch [PacketLen]byte // SendUDP copies into its pooled buffer
+		// Fixed-size NTP responses cannot fail to serialize.
+		_ = host.SendUDP(ip.Src, udp.DstPort, udp.SrcPort, 64, 0 /* not-ECT */, resp.Marshal(scratch[:0]))
 	})
 	return err
 }

@@ -27,6 +27,23 @@ func finishChecksum(sum uint32) uint16 {
 	return ^uint16(sum)
 }
 
+// incChecksum updates an Internet checksum after one 16-bit header word
+// changed from old to new, per RFC 1624 equation 3:
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// Equation 3 (rather than the withdrawn RFC 1141 form) is required for
+// correctness when the updated sum is zero; the wire fuzz tests check
+// equivalence against a full recompute for every mutation the
+// simulator performs.
+func incChecksum(hc, oldWord, newWord uint16) uint16 {
+	sum := uint32(^hc&0xFFFF) + uint32(^oldWord&0xFFFF) + uint32(newWord)
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
 // pseudoHeaderSum seeds a checksum accumulator with the IPv4 pseudo-header
 // used by the UDP and TCP checksums (RFC 768, RFC 793): source address,
 // destination address, zero, protocol, and transport segment length.

@@ -55,13 +55,11 @@ func Decode(wire []byte) (Datagram, error) {
 	return d, nil
 }
 
-// BuildUDP serializes a complete IPv4+UDP datagram.
-func BuildUDP(src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
-	udp := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
-	seg, err := udp.Marshal(nil, src, dst, payload)
-	if err != nil {
-		return nil, err
-	}
+// AppendUDP serializes a complete IPv4+UDP datagram into b's spare
+// capacity and returns the extended slice. With enough capacity (a
+// pooled buffer) it allocates nothing: both headers are written
+// directly into the destination.
+func AppendUDP(b []byte, src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
 	ip := IPv4Header{
 		TOS:      ecn.SetTOS(0, cp),
 		ID:       id,
@@ -71,19 +69,37 @@ func BuildUDP(src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoin
 		Src:      src,
 		Dst:      dst,
 	}
-	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	b, err := ip.Marshal(b, UDPHeaderLen+len(payload))
 	if err != nil {
 		return nil, err
 	}
-	return append(wire, seg...), nil
+	udp := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	return udp.Marshal(b, src, dst, payload)
 }
 
-// BuildTCP serializes a complete IPv4+TCP datagram.
-func BuildTCP(src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
-	seg, err := hdr.Marshal(nil, src, dst, payload)
+// BuildUDP serializes a complete IPv4+UDP datagram.
+func BuildUDP(src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
+	b := make([]byte, 0, IPv4HeaderLen+UDPHeaderLen+len(payload))
+	return AppendUDP(b, src, dst, srcPort, dstPort, ttl, cp, id, payload)
+}
+
+// BuildUDPBuf serializes a complete IPv4+UDP datagram into a pooled
+// buffer. The caller owns the returned Buf's reference.
+func BuildUDPBuf(src, dst Addr, srcPort, dstPort uint16, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) (*Buf, error) {
+	bf := NewBuf()
+	b, err := AppendUDP(bf.b, src, dst, srcPort, dstPort, ttl, cp, id, payload)
 	if err != nil {
+		bf.Release()
 		return nil, err
 	}
+	bf.b = b
+	return bf, nil
+}
+
+// AppendTCP serializes a complete IPv4+TCP datagram into b's spare
+// capacity; like AppendUDP it is allocation-free given capacity.
+func AppendTCP(b []byte, src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
+	segLen := TCPHeaderLen + (len(hdr.Options)+3)&^3 + len(payload)
 	ip := IPv4Header{
 		TOS:      ecn.SetTOS(0, cp),
 		ID:       id,
@@ -93,20 +109,36 @@ func BuildTCP(src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uin
 		Src:      src,
 		Dst:      dst,
 	}
-	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	b, err := ip.Marshal(b, segLen)
 	if err != nil {
 		return nil, err
 	}
-	return append(wire, seg...), nil
+	return hdr.Marshal(b, src, dst, payload)
 }
 
-// BuildICMP serializes a complete IPv4+ICMP datagram. ICMP messages are
-// always sent not-ECT, as real stacks do for control traffic.
-func BuildICMP(src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) ([]byte, error) {
-	seg, err := msg.Marshal(nil)
+// BuildTCP serializes a complete IPv4+TCP datagram.
+func BuildTCP(src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) ([]byte, error) {
+	b := make([]byte, 0, IPv4HeaderLen+TCPHeaderLen+(len(hdr.Options)+3)&^3+len(payload))
+	return AppendTCP(b, src, dst, hdr, ttl, cp, id, payload)
+}
+
+// BuildTCPBuf serializes a complete IPv4+TCP datagram into a pooled
+// buffer. The caller owns the returned Buf's reference.
+func BuildTCPBuf(src, dst Addr, hdr *TCPHeader, ttl uint8, cp ecn.Codepoint, id uint16, payload []byte) (*Buf, error) {
+	bf := NewBuf()
+	b, err := AppendTCP(bf.b, src, dst, hdr, ttl, cp, id, payload)
 	if err != nil {
+		bf.Release()
 		return nil, err
 	}
+	bf.b = b
+	return bf, nil
+}
+
+// AppendICMP serializes a complete IPv4+ICMP datagram into b's spare
+// capacity. ICMP messages are always sent not-ECT, as real stacks do
+// for control traffic.
+func AppendICMP(b []byte, src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) ([]byte, error) {
 	ip := IPv4Header{
 		ID:       id,
 		TTL:      ttl,
@@ -114,11 +146,30 @@ func BuildICMP(src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) ([]byte, er
 		Src:      src,
 		Dst:      dst,
 	}
-	wire, err := ip.Marshal(make([]byte, 0, IPv4HeaderLen+len(seg)), len(seg))
+	b, err := ip.Marshal(b, ICMPHeaderLen+len(msg.Body))
 	if err != nil {
 		return nil, err
 	}
-	return append(wire, seg...), nil
+	return msg.Marshal(b)
+}
+
+// BuildICMP serializes a complete IPv4+ICMP datagram.
+func BuildICMP(src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) ([]byte, error) {
+	b := make([]byte, 0, IPv4HeaderLen+ICMPHeaderLen+len(msg.Body))
+	return AppendICMP(b, src, dst, ttl, id, msg)
+}
+
+// BuildICMPBuf serializes a complete IPv4+ICMP datagram into a pooled
+// buffer. The caller owns the returned Buf's reference.
+func BuildICMPBuf(src, dst Addr, ttl uint8, id uint16, msg ICMPMessage) (*Buf, error) {
+	bf := NewBuf()
+	b, err := AppendICMP(bf.b, src, dst, ttl, id, msg)
+	if err != nil {
+		bf.Release()
+		return nil, err
+	}
+	bf.b = b
+	return bf, nil
 }
 
 // Flow is a transport 5-tuple in one direction. Flows are comparable, so

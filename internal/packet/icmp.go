@@ -38,11 +38,12 @@ type ICMPMessage struct {
 // returns the extended slice.
 func (m *ICMPMessage) Marshal(b []byte) ([]byte, error) {
 	off := len(b)
-	b = append(b, make([]byte, ICMPHeaderLen)...)
-	b = append(b, m.Body...)
+	b = growSlice(b, ICMPHeaderLen+len(m.Body))
 	seg := b[off:]
+	copy(seg[ICMPHeaderLen:], m.Body)
 	seg[0] = m.Type
 	seg[1] = m.Code
+	seg[2], seg[3] = 0, 0 // checksum computed with field zeroed
 	binary.BigEndian.PutUint32(seg[4:], m.Rest)
 	binary.BigEndian.PutUint16(seg[2:], Checksum(seg))
 	return b, nil

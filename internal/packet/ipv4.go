@@ -51,27 +51,35 @@ func (h *IPv4Header) ECN() ecn.Codepoint { return ecn.FromTOS(h.TOS) }
 func (h *IPv4Header) SetECN(c ecn.Codepoint) { h.TOS = ecn.SetTOS(h.TOS, c) }
 
 // Marshal appends the 20-byte header for a payload of length payloadLen to
-// b, computing the header checksum, and returns the extended slice.
+// b, computing the header checksum, and returns the extended slice. The
+// header is serialized directly into the destination: when b has spare
+// capacity (a pooled buffer), Marshal allocates nothing.
 func (h *IPv4Header) Marshal(b []byte, payloadLen int) ([]byte, error) {
 	total := IPv4HeaderLen + payloadLen
 	if total > 0xFFFF {
 		return nil, fmt.Errorf("%w: datagram %d bytes", ErrBadTotalLen, total)
 	}
-	off := len(b)
-	b = append(b, make([]byte, IPv4HeaderLen)...)
-	hdr := b[off:]
+	b = growSlice(b, IPv4HeaderLen)
+	h.marshalInto(b[len(b)-IPv4HeaderLen:], uint16(total))
+	return b, nil
+}
+
+// marshalInto writes the header into hdr, which must be exactly
+// IPv4HeaderLen bytes. Every byte is overwritten, so hdr may be
+// recycled pool memory.
+func (h *IPv4Header) marshalInto(hdr []byte, total uint16) {
 	hdr[0] = 4<<4 | 5 // version 4, IHL 5
 	hdr[1] = h.TOS
-	binary.BigEndian.PutUint16(hdr[2:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[2:], total)
 	binary.BigEndian.PutUint16(hdr[4:], h.ID)
 	binary.BigEndian.PutUint16(hdr[6:], uint16(h.Flags)<<13|h.FragOff&0x1FFF)
 	hdr[8] = h.TTL
 	hdr[9] = uint8(h.Protocol)
 	// checksum at 10:12 computed over the header with the field zeroed
+	hdr[10], hdr[11] = 0, 0
 	copy(hdr[12:16], h.Src[:])
 	copy(hdr[16:20], h.Dst[:])
-	binary.BigEndian.PutUint16(hdr[10:], Checksum(hdr))
-	return b, nil
+	binary.BigEndian.PutUint16(hdr[10:], Checksum(hdr[:IPv4HeaderLen]))
 }
 
 // ParseIPv4 decodes and validates an IPv4 header from wire bytes,
@@ -111,22 +119,29 @@ func ParseIPv4(data []byte) (IPv4Header, []byte, error) {
 }
 
 // SetWireECN rewrites the ECN bits of a serialized IPv4 packet in place
-// and fixes the header checksum. This is the operation an ECN-bleaching
-// middlebox performs on transit traffic; it is exported so the simulator's
+// and fixes the header checksum with an RFC 1624 incremental update.
+// This is the operation an ECN-bleaching middlebox (or a CE-marking AQM
+// queue) performs on transit traffic; it is exported so the simulator's
 // middleboxes mutate real wire bytes rather than abstract structs.
 func SetWireECN(wire []byte, c ecn.Codepoint) error {
 	if len(wire) < IPv4HeaderLen {
 		return fmt.Errorf("%w: IPv4 header", ErrTruncated)
 	}
+	oldWord := binary.BigEndian.Uint16(wire[0:]) // version/IHL + TOS word
 	wire[1] = ecn.SetTOS(wire[1], c)
-	binary.BigEndian.PutUint16(wire[10:], 0)
-	binary.BigEndian.PutUint16(wire[10:], Checksum(wire[:IPv4HeaderLen]))
+	newWord := binary.BigEndian.Uint16(wire[0:])
+	// Apply RFC 1624 eq. 3 even when the word is unchanged: the update
+	// then degenerates to HC' = ~(~HC + 0xFFFF), which canonicalises a
+	// non-canonical all-ones zero checksum exactly as a full recompute
+	// would (a corner the wire fuzzer found).
+	ck := binary.BigEndian.Uint16(wire[10:])
+	binary.BigEndian.PutUint16(wire[10:], incChecksum(ck, oldWord, newWord))
 	return nil
 }
 
 // DecrementWireTTL decrements the TTL of a serialized IPv4 packet in place
-// and incrementally updates the header checksum, as a forwarding router
-// does. It returns the new TTL.
+// and incrementally updates the header checksum (RFC 1624), as a
+// forwarding router does. It returns the new TTL.
 func DecrementWireTTL(wire []byte) (uint8, error) {
 	if len(wire) < IPv4HeaderLen {
 		return 0, fmt.Errorf("%w: IPv4 header", ErrTruncated)
@@ -134,11 +149,10 @@ func DecrementWireTTL(wire []byte) (uint8, error) {
 	if wire[8] == 0 {
 		return 0, errors.New("packet: TTL already zero")
 	}
+	old := binary.BigEndian.Uint16(wire[8:]) // TTL + protocol word
 	wire[8]--
-	// Recompute rather than RFC 1624 incremental update: unconditionally
-	// correct and still cheap at simulator scale.
-	binary.BigEndian.PutUint16(wire[10:], 0)
-	binary.BigEndian.PutUint16(wire[10:], Checksum(wire[:IPv4HeaderLen]))
+	ck := binary.BigEndian.Uint16(wire[10:])
+	binary.BigEndian.PutUint16(wire[10:], incChecksum(ck, old, old-0x0100))
 	return wire[8], nil
 }
 

@@ -96,9 +96,9 @@ func (t *TCPHeader) Marshal(b []byte, src, dst Addr, payload []byte) ([]byte, er
 		return nil, fmt.Errorf("%w: TCP segment %d bytes", ErrBadTotalLen, segLen)
 	}
 	off := len(b)
-	b = append(b, make([]byte, hdrLen)...)
-	b = append(b, payload...)
+	b = growSlice(b, segLen)
 	seg := b[off:]
+	copy(seg[hdrLen:], payload)
 	binary.BigEndian.PutUint16(seg[0:], t.SrcPort)
 	binary.BigEndian.PutUint16(seg[2:], t.DstPort)
 	binary.BigEndian.PutUint32(seg[4:], t.Seq)
@@ -106,9 +106,12 @@ func (t *TCPHeader) Marshal(b []byte, src, dst Addr, payload []byte) ([]byte, er
 	seg[12] = uint8(hdrLen/4) << 4
 	seg[13] = t.Flags
 	binary.BigEndian.PutUint16(seg[14:], t.Window)
-	// checksum at 16:18 computed with field zeroed
+	seg[16], seg[17] = 0, 0 // checksum computed with field zeroed
 	binary.BigEndian.PutUint16(seg[18:], t.Urgent)
-	copy(seg[TCPHeaderLen:], t.Options)
+	n := copy(seg[TCPHeaderLen:hdrLen], t.Options)
+	for i := TCPHeaderLen + n; i < hdrLen; i++ {
+		seg[i] = 0 // options pad to a 4-byte boundary with zeros
+	}
 	binary.BigEndian.PutUint16(seg[16:], transportChecksum(src, dst, ProtoTCP, seg))
 	return b, nil
 }

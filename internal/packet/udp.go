@@ -26,13 +26,13 @@ func (u *UDPHeader) Marshal(b []byte, src, dst Addr, payload []byte) ([]byte, er
 	}
 	u.Length = uint16(segLen)
 	off := len(b)
-	b = append(b, make([]byte, UDPHeaderLen)...)
-	b = append(b, payload...)
+	b = growSlice(b, segLen)
 	seg := b[off:]
+	copy(seg[UDPHeaderLen:], payload)
 	binary.BigEndian.PutUint16(seg[0:], u.SrcPort)
 	binary.BigEndian.PutUint16(seg[2:], u.DstPort)
 	binary.BigEndian.PutUint16(seg[4:], u.Length)
-	// checksum field seg[6:8] is zero during computation
+	seg[6], seg[7] = 0, 0 // checksum field is zero during computation
 	ck := transportChecksum(src, dst, ProtoUDP, seg)
 	if ck == 0 {
 		ck = 0xFFFF // RFC 768: transmitted as all ones if computed zero

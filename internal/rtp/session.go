@@ -85,7 +85,7 @@ type Sender struct {
 	ts      uint32
 	stats   SenderStats
 	stopped bool
-	timer   *netsim.Timer
+	timer   netsim.Timer
 }
 
 // NewSender binds a sender on host toward dst:dport. Call Start.
@@ -132,9 +132,7 @@ func (s *Sender) Start(dur time.Duration, done func(SenderStats)) {
 
 func (s *Sender) stop() {
 	s.stopped = true
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	s.host.UnbindUDP(s.sport)
 	s.stats.FinalRate = s.rate
 }
@@ -224,7 +222,7 @@ type Receiver struct {
 	lastSeq      uint16
 	seqSeen      bool
 	fbSeq        uint16
-	timer        *netsim.Timer
+	timer        netsim.Timer
 	armed        bool
 	stopped      bool
 	intervalLost uint32
@@ -258,9 +256,7 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // Stop cancels feedback and releases the port.
 func (r *Receiver) Stop() {
 	r.stopped = true
-	if r.timer != nil {
-		r.timer.Stop()
-	}
+	r.timer.Stop()
 	r.host.UnbindUDP(r.port)
 }
 

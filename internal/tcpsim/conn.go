@@ -77,8 +77,17 @@ type Conn struct {
 
 	// Retransmission: segments in flight, oldest first.
 	rtxQueue []sentSegment
-	rtxTimer *netsim.Timer
+	rtxTimer netsim.Timer
 	rto      time.Duration
+
+	// rtoFn and synFn are the timer callbacks, bound once at
+	// construction so re-arming a timer allocates no closure. hdrScratch
+	// backs header(): the header is marshalled into the wire buffer
+	// before the next segment is built, so one scratch per connection
+	// suffices.
+	rtoFn      func()
+	synFn      func()
+	hdrScratch packet.TCPHeader
 
 	// SYN handling.
 	synRetriesLeft int
@@ -128,7 +137,7 @@ const minCwnd = 2 * MSS
 
 func newConn(s *Stack, key connKey, st state) *Conn {
 	iss := s.host.Sim().RNG().Uint32()
-	return &Conn{
+	c := &Conn{
 		stack:      s,
 		key:        key,
 		st:         st,
@@ -140,6 +149,9 @@ func newConn(s *Stack, key connKey, st state) *Conn {
 		rto:        time.Second,
 		synBackoff: time.Second,
 	}
+	c.rtoFn = c.onRTO
+	c.synFn = c.onSYNTimer
+	return c
 }
 
 // --- Public API ---------------------------------------------------------
@@ -201,9 +213,11 @@ func (c *Conn) Abort() {
 
 // --- Segment construction ----------------------------------------------
 
-// header builds a TCP header for the current connection state.
+// header builds a TCP header for the current connection state into the
+// connection's scratch (valid until the next header call; the stack
+// marshals it into wire bytes immediately).
 func (c *Conn) header(flags uint8) *packet.TCPHeader {
-	return &packet.TCPHeader{
+	c.hdrScratch = packet.TCPHeader{
 		SrcPort: c.key.localPort,
 		DstPort: c.key.remotePort,
 		Seq:     c.sndNxt,
@@ -211,6 +225,7 @@ func (c *Conn) header(flags uint8) *packet.TCPHeader {
 		Flags:   flags,
 		Window:  65535,
 	}
+	return &c.hdrScratch
 }
 
 // dataECN picks the IP codepoint for a data-bearing segment.
@@ -230,6 +245,10 @@ func (c *Conn) brokenECE() bool {
 	return c.listener != nil && c.listener.BrokenECE
 }
 
+// mssOption is the MSS option every SYN carries, encoded once. Marshal
+// copies option bytes into the segment, so sharing the slice is safe.
+var mssOption = packet.MSSOption(MSS)
+
 func (c *Conn) sendSYN() {
 	flags := uint8(packet.TCPSyn)
 	if c.requestECN {
@@ -239,7 +258,7 @@ func (c *Conn) sendSYN() {
 	}
 	hdr := c.header(flags)
 	hdr.Ack = 0
-	hdr.Options = packet.MSSOption(MSS)
+	hdr.Options = mssOption
 	c.stack.send(c, hdr, cpNotECT, nil)
 	c.armSYNTimer()
 }
@@ -250,7 +269,7 @@ func (c *Conn) sendSYNACK() {
 		flags |= packet.TCPEce // ECN-setup SYN-ACK: ECE without CWR
 	}
 	hdr := c.header(flags)
-	hdr.Options = packet.MSSOption(MSS)
+	hdr.Options = mssOption
 	c.stack.send(c, hdr, cpNotECT, nil)
 	c.armSYNTimer()
 }
@@ -258,23 +277,26 @@ func (c *Conn) sendSYNACK() {
 // armSYNTimer retransmits handshake segments with exponential backoff.
 func (c *Conn) armSYNTimer() {
 	c.stopTimer()
-	c.rtxTimer = c.stack.after(c.synBackoff, func() {
-		if c.st != stateSynSent && c.st != stateSynRcvd {
-			return
-		}
-		if c.synRetriesLeft <= 0 {
-			c.teardown(ErrTimeout)
-			return
-		}
-		c.synRetriesLeft--
-		c.synBackoff *= 2
-		c.Retransmits++
-		if c.st == stateSynSent {
-			c.sendSYN()
-		} else {
-			c.sendSYNACK()
-		}
-	})
+	c.rtxTimer = c.stack.after(c.synBackoff, c.synFn)
+}
+
+// onSYNTimer is the handshake retransmission callback.
+func (c *Conn) onSYNTimer() {
+	if c.st != stateSynSent && c.st != stateSynRcvd {
+		return
+	}
+	if c.synRetriesLeft <= 0 {
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.synRetriesLeft--
+	c.synBackoff *= 2
+	c.Retransmits++
+	if c.st == stateSynSent {
+		c.sendSYN()
+	} else {
+		c.sendSYNACK()
+	}
 }
 
 // sendData accepts application bytes into the send buffer and pumps as
@@ -378,7 +400,7 @@ func (c *Conn) armRTO() {
 		return
 	}
 	c.stopTimer()
-	c.rtxTimer = c.stack.after(c.rto, c.onRTO)
+	c.rtxTimer = c.stack.after(c.rto, c.rtoFn)
 }
 
 func (c *Conn) onRTO() {
@@ -405,10 +427,8 @@ func (c *Conn) onRTO() {
 }
 
 func (c *Conn) stopTimer() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
+	c.rtxTimer = netsim.Timer{}
 }
 
 // --- Segment processing -------------------------------------------------

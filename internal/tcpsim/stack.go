@@ -225,30 +225,32 @@ func (s *Stack) sendRST(dst packet.Addr, in packet.TCPHeader) {
 		rst.Seq = in.Ack
 		rst.Ack = 0
 	}
-	wire, err := packet.BuildTCP(s.host.Addr(), dst, rst, s.TTL, 0 /* not-ECT */, s.host.NextIPID(), nil)
+	b, err := packet.BuildTCPBuf(s.host.Addr(), dst, rst, s.TTL, 0 /* not-ECT */, s.host.NextIPID(), nil)
 	if err != nil {
 		return
 	}
 	s.RSTsSent++
 	s.SegmentsOut++
-	s.host.SendRaw(wire)
+	s.host.SendBuf(b)
 }
 
-// send transmits a segment for a connection with the given ECN codepoint.
+// send transmits a segment for a connection with the given ECN
+// codepoint. Segments are serialized into pooled wire buffers, so the
+// per-segment path allocates nothing in steady state.
 func (s *Stack) send(c *Conn, hdr *packet.TCPHeader, cp uint8, payload []byte) {
-	wire, err := packet.BuildTCP(s.host.Addr(), c.key.remote, hdr, s.TTL,
+	b, err := packet.BuildTCPBuf(s.host.Addr(), c.key.remote, hdr, s.TTL,
 		ecnCodepoint(cp), s.host.NextIPID(), payload)
 	if err != nil {
 		return
 	}
 	s.SegmentsOut++
-	s.host.SendRaw(wire)
+	s.host.SendBuf(b)
 }
 
 // drop removes a connection from the demux table.
 func (s *Stack) drop(c *Conn) { delete(s.conns, c.key) }
 
 // after schedules on the host's simulator.
-func (s *Stack) after(d time.Duration, fn func()) *netsim.Timer {
+func (s *Stack) after(d time.Duration, fn func()) netsim.Timer {
 	return s.host.Sim().After(d, fn)
 }

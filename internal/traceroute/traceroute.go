@@ -188,7 +188,7 @@ type session struct {
 	ttl        int
 	attempt    int
 	sentAt     time.Duration
-	timer      *netsim.Timer
+	timer      netsim.Timer
 	silentTTLs int
 	responded  bool // any response at current TTL
 	finished   bool
@@ -268,9 +268,7 @@ func (s *session) onICMP(ip packet.IPv4Header, msg packet.ICMPMessage, quoted pa
 	if srcPort != s.srcPort || dstPort != s.dstPort(s.probeIdx) {
 		return // stale probe (earlier TTL): ignore
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	obs := Observation{
 		TTL:        s.ttl,
 		Attempt:    s.attempt,
@@ -295,9 +293,7 @@ func (s *session) finish() {
 		return
 	}
 	s.finished = true
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	s.mux.host.UnbindUDP(s.srcPort)
 	delete(s.mux.sessions, s.target)
 	s.done(s.res)

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# perf_gate.sh — benchmark regression gate: base ref vs working tree.
+#
+# Runs the hot-path benchmark set twice — once in a git worktree of the
+# base ref, once in the current tree — renders a benchstat comparison,
+# and fails on either of:
+#
+#   * >PERF_GATE_MAX_REGRESSION_PCT (default 10) slowdown in campaign
+#     wall-clock (BenchmarkCampaignWorkers);
+#   * any allocs/op > 0 on the pooled packet-path benchmarks
+#     (BenchmarkCEMarkThroughput, BenchmarkBuildUDPBuf).
+#
+# Environment knobs:
+#   PERF_GATE_BASE                base ref to compare against (default origin/main)
+#   PERF_GATE_COUNT               benchmark repetitions (default 5)
+#   PERF_GATE_MAX_REGRESSION_PCT  campaign slowdown tolerance (default 10)
+set -euo pipefail
+
+BASE_REF="${PERF_GATE_BASE:-origin/main}"
+COUNT="${PERF_GATE_COUNT:-5}"
+MAX_PCT="${PERF_GATE_MAX_REGRESSION_PCT:-10}"
+# Campaign runs few iterations (each is a whole campaign); the packet
+# hot-path benches run many so pool warmup amortises to a true
+# 0 allocs/op steady state.
+CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$'
+HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$'
+
+root="$(git rev-parse --show-toplevel)"
+cd "$root"
+work="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$work/base" >/dev/null 2>&1 || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+run_bench() (
+    cd "$1"
+    # Small world, few traces: the gate measures per-packet cost, not scale.
+    REPRO_SCALE=small REPRO_TRACES=2 go test -run='^$' -bench="$CAMPAIGN_FILTER" \
+        -benchmem -benchtime=2x -count="$COUNT" ./internal/campaign/
+    go test -run='^$' -bench="$HOTPATH_FILTER" \
+        -benchmem -benchtime=20000x -count="$COUNT" ./internal/aqm/ ./internal/packet/
+)
+
+echo "perf-gate: benchmarking working tree (count=$COUNT)..."
+run_bench "$root" | tee "$work/head.txt"
+
+echo "perf-gate: benchmarking base ($BASE_REF)..."
+git worktree add --quiet --detach "$work/base" "$BASE_REF"
+run_bench "$work/base" > "$work/base.txt" || {
+    echo "perf-gate: base benchmarks failed (new benchmarks on an old base are fine); continuing with what ran"
+}
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "perf-gate: benchstat comparison (base vs head):"
+    benchstat "$work/base.txt" "$work/head.txt" || true
+else
+    echo "perf-gate: benchstat not installed — skipping the pretty report" \
+         "(go install golang.org/x/perf/cmd/benchstat@latest)"
+fi
+
+fail=0
+
+# Gate 1: zero allocs/op on the pooled packet-path benchmarks.
+bad_allocs="$(awk '/^Benchmark(CEMarkThroughput|BuildUDPBuf)/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i+0 > 0) print $1, $i, "allocs/op"
+}' "$work/head.txt" | sort -u)"
+if [ -n "$bad_allocs" ]; then
+    echo "perf-gate: FAIL — pooled packet-path benchmarks must report 0 allocs/op:"
+    echo "$bad_allocs"
+    fail=1
+fi
+
+# Gate 2: campaign wall-clock regression vs base, on mean ns/op.
+regressions="$(awk -v maxpct="$MAX_PCT" '
+    function basename(n) { sub(/-[0-9]+$/, "", n); return n }
+    FNR == 1 { file++ }
+    /^BenchmarkCampaignWorkers/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") {
+            n = basename($1)
+            if (file == 1) { hsum[n] += $i; hcnt[n]++ } else { bsum[n] += $i; bcnt[n]++ }
+        }
+    }
+    END {
+        for (n in hsum) {
+            if (!(n in bsum)) continue  # benchmark absent on base: nothing to gate
+            head = hsum[n] / hcnt[n]; base = bsum[n] / bcnt[n]
+            pct = (head - base) * 100 / base
+            printf "%s base=%.0fns/op head=%.0fns/op delta=%+.1f%%\n", n, base, head, pct
+            if (pct > maxpct) bad = 1
+        }
+        exit bad
+    }
+' "$work/head.txt" "$work/base.txt")" || {
+    echo "perf-gate: FAIL — campaign wall-clock regressed more than ${MAX_PCT}%:"
+    echo "$regressions"
+    fail=1
+}
+[ $fail -eq 1 ] || echo "$regressions"
+
+if [ $fail -ne 0 ]; then
+    exit 1
+fi
+echo "perf-gate: OK"
