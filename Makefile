@@ -20,12 +20,14 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_3.json — campaign wall-clock (uncongested + congested-edge),
-# pooled AQM CE-mark throughput, and pooled packet-build cost, all with
-# allocs/op — which CI uploads as the perf-trajectory artifact.
+# BENCH_4.json — campaign wall-clock for all three scenarios plus
+# worker × slice scaling rows, world compile/instantiate fixed costs,
+# scheduler (wheel vs heap) throughput, pooled AQM CE-mark throughput,
+# and pooled packet-build cost, all with allocs/op — which CI uploads
+# as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_3.json
+	$(GO) run ./cmd/benchreport -o BENCH_4.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,9 +52,10 @@ lint:
 		$(GO) vet ./...; \
 	fi
 
-# determinism promotes the worker-count invariance test to a pipeline
+# determinism promotes the parallelism-invariance tests to a pipeline
 # check: for every scenario the merged dataset SHA-256 must be
-# identical at 1, 4 and 13 workers.
+# identical across slices {1,2,8} × workers {1,4,13}, on both the
+# timing-wheel and heap schedulers.
 determinism:
 	$(GO) run ./cmd/determinism
 

@@ -1,22 +1,27 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_3.json) as a build artifact, so regressions in campaign
+// output (BENCH_4.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
-// Three metric families:
+// Four metric families:
 //
-//   - campaign wall-clock: the small-scale sharded campaign, run under
-//     the uncongested baseline and the congested-edge scenario (the
-//     latter also records the CE-mark ratios as a calibration canary);
-//   - CE-mark throughput: packets/sec through each saturated AQM
-//     discipline over pooled wire buffers — the per-packet cost every
-//     congested bottleneck pays — with allocs/op, which must be zero;
-//   - packet build: pooled IPv4+UDP serialization (build→release), the
-//     per-send cost of every probe, also required allocation-free.
+//   - campaign wall-clock: the small-scale sharded campaign under every
+//     scenario — uncongested, congested-edge and congested-transit (the
+//     congested rows also record the CE-mark ratios as a calibration
+//     canary) — plus worker × slice scaling rows that show how
+//     sub-vantage sharding packs the worker pool;
+//   - world setup: compiling the frozen topology blueprint (once per
+//     campaign) vs instantiating a shard world from it (once per
+//     shard) — the fixed costs sharding multiplies;
+//   - scheduler throughput: the simulator event loop on the mixed
+//     near/far timer workload, timing wheel vs heap fallback, with
+//     allocs/op (must be zero);
+//   - CE-mark throughput and packet build: the pooled per-packet costs,
+//     also required allocation-free.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_3.json] [-seed N] [-traces N]
+//	benchreport [-o BENCH_4.json] [-seed N] [-traces N]
 package main
 
 import (
@@ -33,7 +38,9 @@ import (
 	"repro/internal/aqm"
 	"repro/internal/campaign"
 	"repro/internal/ecn"
+	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/topology"
 )
 
 type campaignRow struct {
@@ -41,6 +48,8 @@ type campaignRow struct {
 	Scale       string  `json:"scale"`
 	Traces      int     `json:"traces_per_vantage"`
 	Workers     int     `json:"workers"`
+	Slices      int     `json:"slices_per_vantage"`
+	Shards      int     `json:"shards"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Events      uint64  `json:"events"`
 	TracesRun   int     `json:"traces_run"`
@@ -53,7 +62,8 @@ type campaignRow struct {
 type hotPathRow struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
-	PacketsPerSec float64 `json:"packets_per_sec"`
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+	EventsPerSec  float64 `json:"events_per_sec,omitempty"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	// AQM rows only.
 	CEMarkFraction float64 `json:"ce_mark_fraction,omitempty"`
@@ -68,22 +78,39 @@ type report struct {
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_3.json", "output path (- for stdout)")
+		out    = flag.String("o", "BENCH_4.json", "output path (- for stdout)")
 		seed   = flag.Int64("seed", 2015, "campaign seed")
 		traces = flag.Int("traces", 2, "traces per vantage")
 	)
 	flag.Parse()
 
-	rep := report{Schema: "repro-bench/3", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/4", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
-	for _, scenario := range []string{campaign.ScenarioUncongested, campaign.ScenarioCongestedEdge} {
-		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, *seed, *traces))
-	}
-
+	// Hot paths run first, in a clean heap: the campaigns below leave
+	// hundreds of megabytes of dataset behind, and measuring
+	// cache-sensitive microbenchmarks in that environment understates
+	// them.
+	rep.HotPaths = append(rep.HotPaths, benchScheduler()...)
+	rep.HotPaths = append(rep.HotPaths, benchWorldSetup(*seed)...)
 	for _, name := range []string{"droptail", "red", "codel"} {
 		rep.HotPaths = append(rep.HotPaths, benchAQM(name))
 	}
 	rep.HotPaths = append(rep.HotPaths, benchBuildUDP())
+
+	// Scenario rows: every congestion scenario at the default shape.
+	for _, scenario := range campaign.Scenarios() {
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, *seed, *traces, 0, 0))
+	}
+	// Scaling rows: worker pool × sub-vantage slicing on the uncongested
+	// baseline. With slices > 1 the campaign splits into more shards
+	// than vantages, so an 8-worker pool stays packed instead of idling
+	// behind the 13-shard cap.
+	for _, shape := range []struct{ workers, slices int }{
+		{1, 1}, {4, 1}, {8, 1}, {8, 2}, {8, 4},
+	} {
+		rep.Campaigns = append(rep.Campaigns,
+			benchCampaign(campaign.ScenarioUncongested, *seed, *traces, shape.workers, shape.slices))
+	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -110,8 +137,15 @@ func main() {
 
 // benchCampaign runs one small-scale campaign and records wall clock,
 // executed events, and allocations per campaign run.
-func benchCampaign(scenario string, seed int64, traces int) campaignRow {
-	cfg := campaign.Config{Scale: "small", Scenario: scenario, Traces: traces, Seed: seed}
+func benchCampaign(scenario string, seed int64, traces, workers, slices int) campaignRow {
+	cfg := campaign.Config{
+		Scale:            "small",
+		Scenario:         scenario,
+		Traces:           traces,
+		Seed:             seed,
+		Workers:          workers,
+		SlicesPerVantage: slices,
+	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -121,11 +155,19 @@ func benchCampaign(scenario string, seed int64, traces int) campaignRow {
 	}
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if slices == 0 {
+		slices = 1
+	}
 	row := campaignRow{
 		Scenario:    scenario,
 		Scale:       "small",
 		Traces:      traces,
-		Workers:     runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Slices:      slices,
+		Shards:      len(res.Shards),
 		WallSeconds: wall,
 		Events:      res.Events,
 		TracesRun:   len(res.Dataset.Traces),
@@ -137,6 +179,66 @@ func benchCampaign(scenario string, seed int64, traces int) campaignRow {
 		row.QueueMarkRatio = ce.QueueMarkRatio
 	}
 	return row
+}
+
+// benchWorldSetup measures the campaign's fixed costs: compiling the
+// frozen blueprint (once per campaign) and instantiating a shard world
+// from it (once per shard — the cost sub-vantage slicing multiplies,
+// and the reason shared worlds exist).
+func benchWorldSetup(seed int64) []hotPathRow {
+	cfg := topology.SmallConfig()
+	compile := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := topology.Compile(cfg, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bp, err := topology.Compile(cfg, seed)
+	if err != nil {
+		fatal("compile blueprint: %v", err)
+	}
+	instantiate := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := bp.Instantiate(netsim.NewSim(seed)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []hotPathRow{
+		{Name: "world/compile", NsPerOp: float64(compile.NsPerOp()), AllocsPerOp: compile.AllocsPerOp()},
+		{Name: "world/instantiate", NsPerOp: float64(instantiate.NsPerOp()), AllocsPerOp: instantiate.AllocsPerOp()},
+	}
+}
+
+// benchScheduler measures the simulator event loop on a mixed near/far
+// timer churn — the workload shape campaigns produce — for the default
+// timing wheel and the heap fallback.
+func benchScheduler() []hotPathRow {
+	var rows []hotPathRow
+	for _, sched := range []netsim.Scheduler{netsim.SchedWheel, netsim.SchedHeap} {
+		// netsim.ScheduleBenchWorkload is the same kernel the perf-gated
+		// BenchmarkSimSchedule runs, so this row tracks the gate. Each
+		// calibration run gets a fresh, warmed simulator so the measured
+		// region matches the go-test benchmark's shape.
+		r := testing.Benchmark(func(b *testing.B) {
+			b.StopTimer()
+			s := netsim.NewSimSched(1, sched)
+			netsim.ScheduleBenchWorkload(s, 4096) // warm the slab and free list
+			b.ReportAllocs()
+			b.StartTimer()
+			netsim.ScheduleBenchWorkload(s, b.N)
+		})
+		rows = append(rows, hotPathRow{
+			Name:         "sim/sched-" + sched.Name(),
+			NsPerOp:      float64(r.NsPerOp()),
+			EventsPerSec: 1e9 / float64(r.NsPerOp()),
+			AllocsPerOp:  r.AllocsPerOp(),
+		})
+	}
+	return rows
 }
 
 // benchAQM measures the pooled enqueue→mark→dequeue hot path of one

@@ -1,22 +1,24 @@
 // Command determinism promotes the campaign engine's headline invariant
-// — the merged dataset is byte-identical for any worker count — from a
-// test assertion to an explicit pipeline check. For every scenario it
-// runs the same small-scale campaign at several worker counts, hashes
-// the merged dataset (SHA-256 over the canonical JSON-lines encoding),
-// and exits non-zero on any divergence.
+// — the merged dataset is byte-identical for any parallelism shape —
+// from a test assertion to an explicit pipeline check. For every
+// scenario it runs the same small-scale campaign across the full
+// slices × workers grid, hashes each merged dataset (SHA-256 over the
+// canonical JSON-lines encoding), and exits non-zero on any divergence.
 //
 // CI runs it as the `determinism` job; locally `make determinism` does
-// the same. The default worker counts 1, 4 and 13 match the
-// TestWorkerCountInvariance tiers: sequential, a small pool, and one
-// goroutine per vantage.
+// the same. The default grid — slices ∈ {1, 2, 8} × workers ∈ {1, 4,
+// 13} — spans one-shard-per-vantage through more-slices-than-traces,
+// and sequential through one-goroutine-per-vantage, matching the
+// TestSliceCountInvariance and TestWorkerCountInvariance tiers. The
+// -sched flag reruns the grid on the heap scheduler fallback, whose
+// hashes must equal the timing wheel's.
 //
 // Usage:
 //
-//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-scenarios a,b]
+//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenarios a,b] [-sched wheel,heap]
 package main
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"flag"
 	"fmt"
@@ -33,48 +35,65 @@ func main() {
 		seed      = flag.Int64("seed", 2015, "campaign seed")
 		traces    = flag.Int("traces", 2, "traces per vantage")
 		workers   = flag.String("workers", "1,4,13", "comma-separated worker counts")
+		slices    = flag.String("slices", "1,2,8", "comma-separated sub-vantage slice counts")
 		scenarios = flag.String("scenarios", strings.Join(campaign.Scenarios(), ","), "comma-separated scenarios")
+		scheds    = flag.String("sched", "wheel,heap", "comma-separated simulator schedulers")
 	)
 	flag.Parse()
 
-	counts, err := parseCounts(*workers)
+	workerCounts, err := parseCounts("worker", *workers)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sliceCounts, err := parseCounts("slice", *slices)
 	if err != nil {
 		fatal("%v", err)
 	}
 
 	failed := false
+	runs := 0
 	for _, scenario := range strings.Split(*scenarios, ",") {
 		scenario = strings.TrimSpace(scenario)
-		var ref []byte
-		for i, w := range counts {
-			sum, err := runHash(*seed, *traces, scenario, w)
-			if err != nil {
-				fatal("scenario %s workers=%d: %v", scenario, w, err)
-			}
-			fmt.Printf("%s  scenario=%s workers=%d\n", sum, scenario, w)
-			if i == 0 {
-				ref = []byte(sum)
-			} else if !bytes.Equal(ref, []byte(sum)) {
-				fmt.Fprintf(os.Stderr, "determinism: FAIL: scenario %s diverges at workers=%d\n", scenario, w)
-				failed = true
+		var ref string
+		for _, sched := range strings.Split(*scheds, ",") {
+			sched = strings.TrimSpace(sched)
+			for _, sl := range sliceCounts {
+				for _, w := range workerCounts {
+					sum, err := runHash(*seed, *traces, scenario, w, sl, sched)
+					if err != nil {
+						fatal("scenario %s sched=%s slices=%d workers=%d: %v", scenario, sched, sl, w, err)
+					}
+					fmt.Printf("%s  scenario=%s sched=%s slices=%d workers=%d\n", sum, scenario, sched, sl, w)
+					runs++
+					if ref == "" {
+						ref = sum
+					} else if sum != ref {
+						fmt.Fprintf(os.Stderr,
+							"determinism: FAIL: scenario %s diverges at sched=%s slices=%d workers=%d\n",
+							scenario, sched, sl, w)
+						failed = true
+					}
+				}
 			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("determinism: OK — merged datasets identical across worker counts")
+	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler grid\n", runs)
 }
 
 // runHash executes one campaign and returns the SHA-256 of its merged
 // dataset in canonical JSON-lines form.
-func runHash(seed int64, traces int, scenario string, workers int) (string, error) {
+func runHash(seed int64, traces int, scenario string, workers, slices int, sched string) (string, error) {
 	cfg := campaign.Config{
-		Scale:    "small",
-		Scenario: scenario,
-		Traces:   traces,
-		Seed:     seed,
-		Workers:  workers,
+		Scale:            "small",
+		Scenario:         scenario,
+		Traces:           traces,
+		Seed:             seed,
+		Workers:          workers,
+		SlicesPerVantage: slices,
+		Scheduler:        sched,
 	}
 	res, err := campaign.Run(cfg)
 	if err != nil {
@@ -87,17 +106,17 @@ func runHash(seed int64, traces int, scenario string, workers int) (string, erro
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
-func parseCounts(s string) ([]int, error) {
+func parseCounts(what, s string) ([]int, error) {
 	var counts []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("determinism: bad worker count %q", part)
+			return nil, fmt.Errorf("determinism: bad %s count %q", what, part)
 		}
 		counts = append(counts, n)
 	}
-	if len(counts) < 2 {
-		return nil, fmt.Errorf("determinism: need at least two worker counts to compare")
+	if len(counts) < 1 {
+		return nil, fmt.Errorf("determinism: need at least one %s count", what)
 	}
 	return counts, nil
 }

@@ -4,19 +4,23 @@
 // four-measurement trace (UDP ±ECT(0), TCP ±ECN) from each vantage
 // point, writing the dataset as JSON lines.
 //
-// The campaign is sharded by vantage point and runs shards in parallel
-// on -workers goroutines; the merged dataset is byte-identical for any
-// worker count.
+// The campaign is sharded into (vantage, slice) units — each vantage's
+// trace quota split into -slices contiguous blocks — and runs shards in
+// parallel on -workers goroutines; the merged dataset is byte-identical
+// for any worker count and any slice count.
 //
 // Usage:
 //
-//	ecnspider [-seed N] [-scale paper|small] [-scenario name] [-traces N] [-workers N] [-discover] [-o dataset.jsonl]
+//	ecnspider [-seed N] [-scale paper|small] [-scenario name] [-traces N] [-workers N] [-slices N] [-discover] [-o dataset.jsonl]
 //
 // -traces N overrides the per-vantage trace count (0 = the paper's
 // 210-trace plan at paper scale, 2 per vantage at small scale).
 // -scenario selects the congestion scenario (uncongested, the default;
 // congested-edge; congested-transit) — congested runs append a CE-mark
-// report to stderr.
+// report to stderr. -slices N lifts campaign parallelism past the 13
+// vantage points (13×N shards); -sched heap selects the simulator's
+// binary-heap fallback instead of the default timing wheel, for
+// differential runs.
 package main
 
 import (
@@ -40,6 +44,8 @@ func main() {
 		scenario = flag.String("scenario", "", "congestion scenario: "+strings.Join(campaign.Scenarios(), ", "))
 		traces   = flag.Int("traces", 0, "traces per vantage (0 = scale default)")
 		workers  = flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
+		slices   = flag.Int("slices", 0, "sub-vantage slices per vantage (0 = 1: one shard per vantage)")
+		sched    = flag.String("sched", "", "simulator scheduler: wheel (default) or heap")
 		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
 		out      = flag.String("o", "dataset.jsonl", "output dataset path (- for stdout)")
 		pcapPath = flag.String("pcap", "", "capture the first shard's vantage traffic to this pcap file (last 100k packets)")
@@ -55,12 +61,14 @@ func main() {
 	}
 
 	cfg := campaign.Config{
-		Scale:    *scale,
-		Scenario: *scenario,
-		Traces:   perVantage,
-		Discover: *discover,
-		Seed:     *seed,
-		Workers:  *workers,
+		Scale:            *scale,
+		Scenario:         *scenario,
+		Traces:           perVantage,
+		Discover:         *discover,
+		Seed:             *seed,
+		Workers:          *workers,
+		SlicesPerVantage: *slices,
+		Scheduler:        *sched,
 	}
 
 	// Optional tcpdump-style capture, like the parallel capture sessions

@@ -207,6 +207,15 @@ type Queue interface {
 	Enqueue(now time.Duration, p *Packet) bool
 	Dequeue(now time.Duration) (*Packet, bool)
 	Stats() Stats
+	// ResetTransient returns the discipline's control state (EWMA
+	// averages, uniformization counters, dropping-state machines) to its
+	// initial value, as a long-idle queue converges to anyway. Queued
+	// packets and lifetime Stats are untouched. The campaign engine
+	// calls it at trace boundaries so a trace's marking behaviour
+	// depends only on the trace's own traffic, never on which traces
+	// happened to share the simulator — the invariant that lets traces
+	// be regrouped into shards without changing a byte of output.
+	ResetTransient()
 }
 
 // New constructs a discipline by name: "droptail", "red", "codel". An

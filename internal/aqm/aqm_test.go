@@ -305,3 +305,74 @@ func TestStatsHelpers(t *testing.T) {
 		t.Error("zero stats should yield zero ratios")
 	}
 }
+
+// TestResetTransient: the reset clears control state (so trace-boundary
+// marking behaviour is history-free) but preserves lifetime stats and
+// queued packets.
+func TestResetTransient(t *testing.T) {
+	t.Run("red", func(t *testing.T) {
+		q := NewRED(16, rand.New(rand.NewSource(1)))
+		now := time.Duration(0)
+		for i := 0; i < 64; i++ {
+			q.Enqueue(now, &Packet{Wire: wirePacket(t, ecn.ECT0), Size: 100})
+			if q.Len() > 12 {
+				if p, ok := q.Dequeue(now); ok {
+					p.Free()
+				}
+			}
+			now += time.Millisecond
+		}
+		if q.Avg() == 0 {
+			t.Fatal("EWMA never built")
+		}
+		stats := q.Stats()
+		backlog := q.Len()
+		q.ResetTransient()
+		if q.Avg() != 0 || q.count != 0 || q.idle {
+			t.Errorf("control state survives reset: avg=%v count=%d idle=%v", q.Avg(), q.count, q.idle)
+		}
+		if q.Stats() != stats {
+			t.Error("lifetime stats must survive the reset")
+		}
+		if q.Len() != backlog {
+			t.Errorf("queued packets lost: %d vs %d", q.Len(), backlog)
+		}
+		// Behaviour after reset matches a fresh queue fed the same input:
+		// the very next arrival sees avg rebuilt from zero.
+		q.Enqueue(now, &Packet{Wire: wirePacket(t, ecn.ECT0), Size: 100})
+		if want := q.Wq * float64(backlog); q.Avg() != want {
+			t.Errorf("post-reset avg = %v, want %v", q.Avg(), want)
+		}
+	})
+	t.Run("codel", func(t *testing.T) {
+		q := NewCoDel(64)
+		now := time.Duration(0)
+		for i := 0; i < 64; i++ {
+			q.Enqueue(now, &Packet{Wire: wirePacket(t, ecn.ECT0), Size: 100})
+		}
+		// Drain slowly so sojourn stays above target and dropping engages.
+		now += 200 * time.Millisecond
+		for i := 0; i < 32; i++ {
+			if p, ok := q.Dequeue(now); ok {
+				p.Free()
+			}
+			now += 20 * time.Millisecond
+		}
+		if !q.dropping {
+			t.Fatal("CoDel never entered dropping state")
+		}
+		q.ResetTransient()
+		if q.dropping || q.firstAbove != 0 || q.dropNext != 0 || q.count != 0 {
+			t.Error("CoDel control state survives reset")
+		}
+	})
+	t.Run("droptail", func(t *testing.T) {
+		q := NewDropTail(4)
+		q.Enqueue(0, &Packet{Wire: wirePacket(t, ecn.ECT0), Size: 100})
+		stats := q.Stats()
+		q.ResetTransient() // memoryless: must be a no-op
+		if q.Stats() != stats || q.Len() != 1 {
+			t.Error("DropTail reset changed state")
+		}
+	})
+}

@@ -40,6 +40,15 @@ func NewCoDel(capacity int) *CoDel {
 // Name implements Queue.
 func (q *CoDel) Name() string { return "codel" }
 
+// ResetTransient implements Queue: leaves dropping state and forgets the
+// above-target window, as an emptied queue does on its own.
+func (q *CoDel) ResetTransient() {
+	q.firstAbove = 0
+	q.dropNext = 0
+	q.count = 0
+	q.dropping = false
+}
+
 // Enqueue implements Queue: CoDel admits everything short of a full
 // buffer; its intelligence runs at dequeue.
 func (q *CoDel) Enqueue(now time.Duration, p *Packet) bool {

@@ -18,6 +18,9 @@ func NewDropTail(capacity int) *DropTail {
 // Name implements Queue.
 func (q *DropTail) Name() string { return "droptail" }
 
+// ResetTransient implements Queue: DropTail is memoryless.
+func (q *DropTail) ResetTransient() {}
+
 // Enqueue implements Queue.
 func (q *DropTail) Enqueue(now time.Duration, p *Packet) bool {
 	q.observeArrival()

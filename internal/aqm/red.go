@@ -67,6 +67,18 @@ func (q *RED) Name() string { return "red" }
 // Avg exposes the current EWMA occupancy (for tests and reports).
 func (q *RED) Avg() float64 { return q.avg }
 
+// ResetTransient implements Queue: clears the EWMA average, the
+// uniformization counter and the idle-aging state. A queue left idle
+// for long decays to exactly this state (the aging power underflows to
+// zero), so the reset canonicalises "long idle" rather than inventing a
+// new regime.
+func (q *RED) ResetTransient() {
+	q.avg = 0
+	q.count = 0
+	q.idle = false
+	q.idleSince = 0
+}
+
 // Enqueue implements Queue: the accept/mark/drop decision point.
 func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 	q.observeArrival()

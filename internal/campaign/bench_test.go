@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
 )
 
 // benchRun executes a campaign configuration repeatedly. The REPRO_*
@@ -43,16 +46,67 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkShardBuild isolates the per-shard fixed cost — world
-// generation plus route computation — by running a single one-trace
-// shard with no traceroute sweep.
+// BenchmarkCampaignSlices holds the worker pool at GOMAXPROCS and varies
+// sub-vantage slicing: with more shards than vantages the pool packs
+// better (no long-tail shard pins a worker), at the price of more world
+// instantiations — which the shared blueprint keeps cheap.
+func BenchmarkCampaignSlices(b *testing.B) {
+	for _, slices := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("slices=%d", slices), func(b *testing.B) {
+			cfg, err := FromEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.SlicesPerVantage = slices
+			benchRun(b, cfg)
+		})
+	}
+}
+
+// BenchmarkShardBuild isolates the per-shard fixed cost a campaign pays
+// for every (vantage, slice) shard: instantiating a world into a fresh
+// simulator from the compiled blueprint. Before shared worlds this was
+// a full generation plus an all-pairs route computation per shard;
+// scripts/perf_gate.sh keeps it collapsed.
 func BenchmarkShardBuild(b *testing.B) {
 	cfg, err := FromEnv()
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg.TracePlan = map[string]int{"EC2 Ireland": 1}
-	cfg.Stride = 0
-	cfg.Workers = 1
-	benchRun(b, cfg)
+	topo, err := cfg.topologyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp, err := topology.Compile(topo, cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Instantiate(netsim.NewSim(cfg.Seed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldCompile is the campaign's one-time fixed cost: full
+// world generation plus routing, paid once per Run however many shards
+// fan out from it.
+func BenchmarkWorldCompile(b *testing.B) {
+	cfg, err := FromEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := cfg.topologyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Compile(topo, cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,25 +1,36 @@
 // Package campaign is the sharded, parallel campaign engine: it
-// partitions the paper's vantage×server probe plan into one shard per
-// vantage point, runs every shard in its own independent discrete-event
-// simulation on a bounded pool of worker goroutines, and deterministically
-// merges the per-shard results in canonical vantage order.
+// partitions the paper's vantage×server probe plan into shards, runs
+// every shard in its own independent discrete-event simulation on a
+// bounded pool of worker goroutines, and deterministically merges the
+// per-shard results in canonical order.
 //
-// Sharding exploits the structure of the study: each vantage point's
-// traces are statistically independent observations of the same Internet,
-// so the campaign is embarrassingly parallel across vantages. Two
-// properties make the parallel run equivalent to the sequential one:
+// A shard is a (vantage, slice) pair: each vantage's trace quota is
+// split into SlicesPerVantage contiguous blocks, so parallelism is no
+// longer capped at the paper's 13 vantage points — a paper-scale
+// campaign splits into 13×slices independent simulations. Three
+// properties make any slicing equivalent to the sequential run:
 //
-//   - Identical worlds. Every shard builds its world from the campaign
-//     seed, so all shards observe the same generated Internet — the same
-//     servers behind the same middleboxes (Figure 3's "same set of
-//     servers from every location" depends on this).
-//   - Independent measurement randomness. After the build, each shard's
-//     PRNG is reseeded with a splitmix64 hash of seed^shardID, giving
-//     shards pairwise-distinct, scheduling-independent random streams.
+//   - One frozen world. The topology is compiled once
+//     (topology.Compile) from the campaign seed and instantiated into
+//     every shard simulation: identical ground truth by construction
+//     (Figure 3's "same set of servers from every location" depends on
+//     this), with the read-only skeleton — routes, geo, ASN, DNS
+//     membership — shared rather than rebuilt per shard.
+//   - History-free measurement phases. Every phase runs in its own
+//     deterministic context: the simulator PRNG is reseeded from the
+//     phase's identity (TraceSeed for trace k of a vantage, the sweep
+//     and discovery seeds per vantage), the phase starts at a virtual
+//     time pinned to its own epoch (traceStartAt), and transient world
+//     state is reset at the boundary (World.ResetTransientState). A
+//     trace therefore executes identically whether it shares a
+//     simulator with its vantage's other traces or runs alone.
+//   - Canonical merge. dataset.Merge reassembles the per-shard datasets
+//     in (vantage, slice) order; since slices are contiguous trace
+//     blocks, the result is the vantage-major trace sequence.
 //
-// Because no state is shared between shards and the merge order is fixed,
-// the merged dataset is byte-identical for any worker count or
-// GOMAXPROCS setting.
+// Together these make the merged dataset byte-identical for any worker
+// count, any GOMAXPROCS setting, and any SlicesPerVantage — the
+// invariant cmd/determinism verifies across the whole grid.
 package campaign
 
 import (
@@ -31,8 +42,10 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/aqm"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dnspool"
 	"repro/internal/ecn"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -63,12 +76,17 @@ type Config struct {
 	// Batch2Fraction is the share of each vantage's traces run under
 	// batch-2 (July/August) conditions. Default 0.5.
 	Batch2Fraction float64
-	// SettleTime separates consecutive traces in virtual time.
+	// SettleTime separates consecutive traces in the sequential
+	// core.Campaign loop. The sharded engine ignores it: traces are
+	// pinned to fixed virtual epochs instead, which is what keeps their
+	// start times independent of how the campaign is sliced.
 	SettleTime time.Duration
 
 	// Discover enumerates the pool via DNS inside each shard before
 	// probing (each shard discovers independently, as a real distributed
-	// deployment would). When false, shards probe the ground-truth list.
+	// deployment would; the discovery PRNG stream is keyed by vantage
+	// alone, so every slice of a vantage probes the same pool). When
+	// false, shards probe the ground-truth list.
 	Discover bool
 	// DiscoveryRounds overrides the DNS polling rounds (default 50).
 	DiscoveryRounds int
@@ -79,16 +97,29 @@ type Config struct {
 	// Traceroute is the per-path probe configuration.
 	Traceroute traceroute.Config
 
-	// Seed is the campaign seed: worlds build from it verbatim, and each
-	// shard's measurement phase reseeds with ShardSeed(Seed, shard).
+	// Seed is the campaign seed: the world blueprint compiles from it
+	// verbatim, and every measurement phase's PRNG stream derives from
+	// it (ShardSeed, TraceSeed).
 	Seed int64
 	// Workers bounds the number of shards running concurrently.
 	// Zero means GOMAXPROCS. The result does not depend on Workers.
 	Workers int
+	// SlicesPerVantage splits each vantage's trace quota into this many
+	// contiguous sub-shards (env REPRO_SLICES, ecnspider -slices),
+	// lifting the one-shard-per-vantage parallelism cap. Zero or one
+	// keeps a single shard per vantage. The merged result does not
+	// depend on the slice count.
+	SlicesPerVantage int
+	// Scheduler selects the simulator's pending-event structure:
+	// "wheel" (the default O(1) hierarchical timing wheel) or "heap"
+	// (the legacy binary heap, kept for differential testing; env
+	// REPRO_SCHED). The merged result does not depend on the choice.
+	Scheduler string
 
 	// ShardHook, when non-nil, runs in the worker goroutine after a
 	// shard's world is built and reseeded but before its campaign starts
-	// — e.g. to attach a packet capture tap. It must not share mutable
+	// — e.g. to attach a packet capture tap. With SlicesPerVantage > 1
+	// it runs once per (vantage, slice) shard. It must not share mutable
 	// state across shards without its own synchronisation.
 	ShardHook func(shard int, vantage string, w *topology.World)
 }
@@ -102,6 +133,8 @@ type Config struct {
 //	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
 //	REPRO_SEED=N              campaign seed         (default 2015)
 //	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
+//	REPRO_SLICES=N            sub-shards per vantage (default 1)
+//	REPRO_SCHED=wheel|heap    simulator scheduler   (default wheel)
 //
 // Malformed values are an error, not a silent fallback: these knobs
 // select entire measurement campaigns, and a typo'd REPRO_TRACES=1O
@@ -110,6 +143,7 @@ func FromEnv() (Config, error) {
 	cfg := Config{
 		Scale:      os.Getenv("REPRO_SCALE"),
 		Scenario:   os.Getenv("REPRO_SCENARIO"),
+		Scheduler:  os.Getenv("REPRO_SCHED"),
 		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
 	}
 	switch cfg.Scale {
@@ -119,6 +153,9 @@ func FromEnv() (Config, error) {
 	}
 	if err := ApplyScenario(&topology.Config{}, cfg.Scenario); err != nil {
 		return Config{}, fmt.Errorf("REPRO_SCENARIO: %w", err)
+	}
+	if _, ok := netsim.SchedulerByName(cfg.Scheduler); !ok {
+		return Config{}, fmt.Errorf("campaign: REPRO_SCHED=%q: want wheel or heap", cfg.Scheduler)
 	}
 
 	var err error
@@ -139,6 +176,9 @@ func FromEnv() (Config, error) {
 		return Config{}, err
 	}
 	if cfg.Workers, err = envCount("REPRO_WORKERS", 0); err != nil {
+		return Config{}, err
+	}
+	if cfg.SlicesPerVantage, err = envCount("REPRO_SLICES", 0); err != nil {
 		return Config{}, err
 	}
 	if v := os.Getenv("REPRO_TRACES"); v != "paper" {
@@ -172,7 +212,9 @@ type ShardStats struct {
 	// Shard is the vantage's fixed index in topology.VantageNames order;
 	// it, not the dense execution order, feeds the seed derivation, so a
 	// vantage keeps its random stream whatever subset of the plan runs.
-	Shard   int
+	Shard int
+	// Slice is the shard's sub-vantage index (0 when unsliced).
+	Slice   int
 	Vantage string
 	Seed    int64
 	Traces  int
@@ -192,38 +234,105 @@ type Result struct {
 	// PathObs holds the traceroute campaign's hop observations, in the
 	// same canonical vantage order.
 	PathObs []traceroute.PathObservation
-	// World is the first shard's world — every shard builds an identical
-	// one — for Geo/ASN lookups and follow-on experiments.
+	// World is the first shard's world — every shard instantiates the
+	// same frozen blueprint — for Geo/ASN lookups and follow-on
+	// experiments.
 	World *topology.World
 	// Servers is the union of probed targets in first-seen shard order.
 	Servers []packet.Addr
-	// Shards reports per-shard execution stats in canonical order.
+	// Shards reports per-shard execution stats in canonical
+	// (vantage, slice) order.
 	Shards []ShardStats
 	// Events is the total executed event count across all shards.
 	Events uint64
-	// Congestion holds one CE-mark sample per shard (canonical order)
+	// Congestion holds one CE-mark sample per vantage (canonical order)
 	// when the scenario places bottlenecks; empty for uncongested runs.
-	// Feed it to analysis.ComputeCEMarkReport.
+	// Samples aggregate over the vantage's slices, so the report is
+	// independent of the slice count. Feed it to
+	// analysis.ComputeCEMarkReport.
 	Congestion []analysis.CEMarkSample
 }
 
-// ShardSeed derives shard's measurement-phase seed from the campaign
-// seed via a splitmix64 finalizer of seed^shard. The mapping is bijective
-// in the xor'd input, so distinct shards of one campaign always receive
-// pairwise-distinct seeds.
-func ShardSeed(seed int64, shard int) int64 {
-	z := uint64(seed) ^ uint64(shard)
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(z uint64) uint64 {
 	z += 0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return int64(z ^ (z >> 31))
+	return z ^ (z >> 31)
 }
 
-// shardSpec is one unit of parallel work: a vantage and its trace quota.
+// Seed-stream domains. Every measurement phase draws from a stream keyed
+// by (campaign seed, phase identity); the domain constant separates the
+// phase kinds so e.g. trace 0 and slice 0 can never collide.
+const (
+	seedDomainShard = 0x5348_4152 // shard sims & per-vantage discovery
+	seedDomainTrace = 0x5452_4143 // one stream per (vantage, trace)
+	seedDomainSweep = 0x5357_4545 // the per-vantage traceroute sweep
+)
+
+func deriveSeed(seed int64, domain, a, b int) int64 {
+	z := splitmix64(uint64(seed) ^ splitmix64(uint64(domain)<<40|uint64(a)<<20|uint64(b)))
+	return int64(z)
+}
+
+// ShardSeed derives the (vantage, slice) shard's measurement-phase seed
+// from the campaign seed via nested splitmix64 finalizers. Distinct
+// shards of one campaign receive pairwise-distinct seeds, all different
+// from the raw campaign seed the world blueprint compiles from.
+func ShardSeed(seed int64, vantage, slice int) int64 {
+	return deriveSeed(seed, seedDomainShard, vantage, slice)
+}
+
+// TraceSeed derives the PRNG stream for trace k of a vantage's quota.
+// It is keyed by the vantage's fixed Table 2 index and the trace's
+// per-vantage index — never by slice — so the trace's randomness is
+// identical however the quota is sliced into shards.
+func TraceSeed(seed int64, vantage, k int) int64 {
+	return deriveSeed(seed, seedDomainTrace, vantage, k)
+}
+
+// sweepSeed keys the per-vantage traceroute sweep stream.
+func sweepSeed(seed int64, vantage int) int64 {
+	return deriveSeed(seed, seedDomainSweep, vantage, 0)
+}
+
+// Virtual-time layout. Every measurement phase is pinned to its own
+// epoch: discovery owns [0, shardEpoch), trace k of a vantage starts at
+// traceStartAt(k), and the traceroute sweep follows the last planned
+// trace. Pinned starts make a trace's virtual timeline (including the
+// recorded Trace.Started) independent of which traces preceded it in
+// the same simulator — the other half, with per-phase reseeding, of
+// slice-count invariance. Virtual time is free: a sparse timeline costs
+// the timing wheel a few bitmap scans per jump, not events.
+//
+// shardEpoch bounds one trace's duration (probes, timeouts and TCP
+// teardown included). A worst-case paper-scale trace — every one of
+// 2500 servers offline, every probe driven to its full retransmission
+// schedule — stays under two virtual days; runShard fails loudly if a
+// trace ever overruns its epoch rather than silently skewing the next.
+// The epoch is a multiple of the background cross-traffic period, so
+// bottleneck burst phases align identically in every epoch.
+const shardEpoch = 7 * 24 * time.Hour
+
+// traceStartAt pins trace k (per-vantage index) to its virtual epoch.
+func traceStartAt(k int) time.Duration {
+	return shardEpoch * time.Duration(k+1)
+}
+
+// sweepStartAt pins a vantage's traceroute sweep after its last trace.
+func sweepStartAt(planned int) time.Duration {
+	return shardEpoch * time.Duration(planned+1)
+}
+
+// shardSpec is one unit of parallel work: a contiguous block of one
+// vantage's traces.
 type shardSpec struct {
 	shard   int // fixed vantage index, not dense position
+	slice   int
 	vantage string
-	traces  int
+	planned int // the vantage's full trace quota
+	lo, hi  int // this slice's trace range [lo, hi)
+	sweep   bool
 	seed    int64
 }
 
@@ -272,19 +381,44 @@ func (cfg Config) plan() map[string]int {
 	return core.PaperTracePlan()
 }
 
+func (cfg Config) batch2Fraction() float64 {
+	if cfg.Batch2Fraction == 0 {
+		return 0.5
+	}
+	return cfg.Batch2Fraction
+}
+
 // shardSpecs returns the campaign's work partition in canonical order:
-// one shard per vantage present in the trace plan, ordered by the paper's
-// Table 2 vantage order.
+// for each vantage present in the trace plan (in the paper's Table 2
+// vantage order), its quota split into SlicesPerVantage contiguous
+// blocks. Empty blocks (more slices than traces) are skipped; the slice
+// holding trace 0 also owns the vantage's traceroute sweep.
 func (cfg Config) shardSpecs() []shardSpec {
 	plan := cfg.plan()
+	slices := cfg.SlicesPerVantage
+	if slices < 1 {
+		slices = 1
+	}
 	var shards []shardSpec
 	for i, name := range topology.VantageNames() {
-		if n := plan[name]; n > 0 {
+		n := plan[name]
+		if n <= 0 {
+			continue
+		}
+		for s := 0; s < slices; s++ {
+			lo, hi := s*n/slices, (s+1)*n/slices
+			if hi <= lo {
+				continue
+			}
 			shards = append(shards, shardSpec{
 				shard:   i,
+				slice:   s,
 				vantage: name,
-				traces:  n,
-				seed:    ShardSeed(cfg.Seed, i),
+				planned: n,
+				lo:      lo,
+				hi:      hi,
+				sweep:   lo == 0,
+				seed:    ShardSeed(cfg.Seed, i, s),
 			})
 		}
 	}
@@ -292,16 +426,28 @@ func (cfg Config) shardSpecs() []shardSpec {
 }
 
 // Run executes the sharded campaign and returns the merged result. The
-// merged output is byte-identical for any Workers value or GOMAXPROCS
-// setting: shards share no state, and the merge runs in canonical order.
+// merged output is byte-identical for any Workers value, GOMAXPROCS
+// setting, SlicesPerVantage count or Scheduler choice: shards share
+// only the frozen world blueprint, every measurement phase is
+// history-free, and the merge runs in canonical order.
 func Run(cfg Config) (*Result, error) {
 	topo, err := cfg.topologyConfig()
 	if err != nil {
 		return nil, err
 	}
+	sched, ok := netsim.SchedulerByName(cfg.Scheduler)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown scheduler %q (want wheel or heap)", cfg.Scheduler)
+	}
 	shards := cfg.shardSpecs()
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("campaign: trace plan selects no vantages")
+	}
+	// Compile the world once; every shard instantiates the frozen
+	// blueprint instead of regenerating and re-routing its own copy.
+	bp, err := topology.Compile(topo, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
 
 	workers := cfg.Workers
@@ -321,7 +467,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = runShard(cfg, topo, shards[i])
+				results[i], errs[i] = runShard(cfg, bp, shards[i], sched)
 			}
 		}()
 	}
@@ -339,19 +485,27 @@ func Run(cfg Config) (*Result, error) {
 	return merge(results), nil
 }
 
-// runShard executes one shard in a private simulation: build the world
-// from the campaign seed, reseed for the shard, run the vantage's traces
-// and (optionally) its traceroute sweep.
-func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, error) {
+// runShard executes one shard in a private simulation: instantiate the
+// frozen world, then run the shard's trace block — every trace in its
+// own reseeded, transient-reset, epoch-pinned context — and, on the
+// vantage's first slice, the traceroute sweep.
+func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Scheduler) (shardResult, error) {
 	start := time.Now()
-	sim := netsim.NewSim(cfg.Seed)
-	w, err := topology.Build(sim, topo)
+	fail := func(err error) (shardResult, error) {
+		return shardResult{}, fmt.Errorf("campaign: shard %d/%d (%s): %w", sh.shard, sh.slice, sh.vantage, err)
+	}
+	sim := netsim.NewSimSched(cfg.Seed, sched)
+	w, err := bp.Instantiate(sim)
 	if err != nil {
-		return shardResult{}, fmt.Errorf("campaign: shard %d (%s): build world: %w", sh.shard, sh.vantage, err)
+		return fail(err)
 	}
 	sim.Reseed(sh.seed)
 	if cfg.ShardHook != nil {
 		cfg.ShardHook(sh.shard, sh.vantage, w)
+	}
+	v, ok := w.VantageByName(sh.vantage)
+	if !ok {
+		return fail(fmt.Errorf("vantage missing from world"))
 	}
 
 	// On congested scenarios, observe arriving ECN codepoints at the
@@ -360,53 +514,117 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 	// measurement or its randomness.
 	var inECT, inCE, inNotECT uint64
 	if len(w.Bottlenecks) > 0 {
-		if v, ok := w.VantageByName(sh.vantage); ok {
-			v.Host.AddTap(func(dir netsim.TapDirection, _ time.Duration, wire []byte) {
-				if dir != netsim.TapIn {
-					return
-				}
-				switch cp, err := packet.WireECN(wire); {
-				case err != nil:
-				case cp == ecn.CE:
-					inCE++
-				case cp.IsECT():
-					inECT++
-				default:
-					inNotECT++
-				}
-			})
+		v.Host.AddTap(func(dir netsim.TapDirection, _ time.Duration, wire []byte) {
+			if dir != netsim.TapIn {
+				return
+			}
+			switch cp, err := packet.WireECN(wire); {
+			case err != nil:
+			case cp == ecn.CE:
+				inCE++
+			case cp.IsECT():
+				inECT++
+			default:
+				inNotECT++
+			}
+		})
+	}
+
+	// Target list: ground truth, or per-shard DNS discovery in the
+	// pre-trace epoch. The discovery stream is keyed by vantage alone
+	// (slice 0's shard seed), so every slice enumerates the same pool.
+	servers := w.ServerAddrs()
+	if cfg.Discover {
+		sim.Reseed(ShardSeed(cfg.Seed, sh.shard, 0))
+		rounds := cfg.DiscoveryRounds
+		if rounds == 0 {
+			rounds = 50
+		}
+		var got []packet.Addr
+		found := false
+		dnspool.Discover(v.Host, dnspool.DiscoverConfig{
+			Resolver:      w.DNSAddr,
+			Zones:         w.CountryZones,
+			Rounds:        rounds,
+			QueryGap:      100 * time.Millisecond,
+			RoundInterval: time.Minute,
+		}, func(r dnspool.DiscoverResult) {
+			got = r.Servers
+			found = true
+		})
+		sim.Run()
+		if !found {
+			return fail(fmt.Errorf("discovery did not complete"))
+		}
+		servers = got
+	}
+
+	// Discovery runs in every slice (each needs the server list), but a
+	// vantage's congestion sample must count its traffic exactly once —
+	// as the unsliced run does — for the CE-mark report to stay
+	// slice-invariant. Non-sweep slices therefore snapshot the tap and
+	// queue counters here and report only the delta.
+	var baseInECT, baseInCE, baseInNotECT uint64
+	var baseQueue []aqm.Stats
+	if !sh.sweep && len(w.Bottlenecks) > 0 {
+		baseInECT, baseInCE, baseInNotECT = inECT, inCE, inNotECT
+		baseQueue = make([]aqm.Stats, len(w.Bottlenecks))
+		for i, bn := range w.Bottlenecks {
+			baseQueue[i] = bn.Queue.Stats()
 		}
 	}
 
-	c := core.NewCampaign(w, core.CampaignConfig{
-		TracesPerVantage: map[string]int{sh.vantage: sh.traces},
-		Batch2Fraction:   cfg.Batch2Fraction,
-		SettleTime:       cfg.SettleTime,
-		DiscoverServers:  cfg.Discover,
-		DiscoveryRounds:  cfg.DiscoveryRounds,
-		DiscoveryVantage: sh.vantage,
-	})
-	var d *dataset.Dataset
-	c.Run(func(got *dataset.Dataset) { d = got })
-	sim.Run()
-	if d == nil {
-		return shardResult{}, fmt.Errorf("campaign: shard %d (%s) did not complete", sh.shard, sh.vantage)
+	d := &dataset.Dataset{}
+	for k := sh.lo; k < sh.hi; k++ {
+		at := traceStartAt(k)
+		if sim.Now() >= at {
+			return fail(fmt.Errorf("trace %d overran its epoch: clock %v past %v", k-1, sim.Now(), at))
+		}
+		k := k
+		completed := false
+		sim.At(at, func() {
+			sim.Reseed(TraceSeed(cfg.Seed, sh.shard, k))
+			w.ResetTransientState()
+			batch := core.BatchFor(k, sh.planned, cfg.batch2Fraction())
+			w.ApplyTraceConditions(v, batch, sim.RNG())
+			core.RunTrace(v, servers, batch, k, func(t dataset.Trace) {
+				d.Traces = append(d.Traces, t)
+				completed = true
+			})
+		})
+		sim.Run()
+		if !completed {
+			return fail(fmt.Errorf("trace %d did not complete", k))
+		}
 	}
 
 	var obs []traceroute.PathObservation
-	if cfg.Stride > 0 {
-		core.RunTracerouteCampaign(w, core.TracerouteCampaignConfig{
-			Vantages:     []string{sh.vantage},
-			TargetStride: cfg.Stride,
-			Config:       cfg.Traceroute,
-		}, func(o []core.PathObservation) { obs = o })
+	if cfg.Stride > 0 && sh.sweep {
+		at := sweepStartAt(sh.planned)
+		if sim.Now() >= at {
+			return fail(fmt.Errorf("trace %d overran into the sweep epoch at %v", sh.hi-1, at))
+		}
+		sim.At(at, func() {
+			sim.Reseed(sweepSeed(cfg.Seed, sh.shard))
+			w.ResetTransientState()
+			core.RunTracerouteCampaign(w, core.TracerouteCampaignConfig{
+				Vantages:     []string{sh.vantage},
+				TargetStride: cfg.Stride,
+				Config:       cfg.Traceroute,
+			}, func(o []core.PathObservation) { obs = o })
+		})
 		sim.Run()
 	}
 
 	var cong *analysis.CEMarkSample
 	if len(w.Bottlenecks) > 0 {
-		s := analysis.CEMarkSample{Vantage: sh.vantage, InECT: inECT, InCE: inCE, InNotECT: inNotECT}
-		for _, bn := range w.Bottlenecks {
+		s := analysis.CEMarkSample{
+			Vantage:  sh.vantage,
+			InECT:    inECT - baseInECT,
+			InCE:     inCE - baseInCE,
+			InNotECT: inNotECT - baseInNotECT,
+		}
+		for i, bn := range w.Bottlenecks {
 			// Edge bottlenecks belong to one vantage; only this shard's
 			// carries foreground traffic. Transit bottlenecks (empty
 			// Vantage) all sit on this shard's paths.
@@ -414,13 +632,17 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 				continue
 			}
 			st := bn.Queue.Stats()
+			var base aqm.Stats
+			if baseQueue != nil {
+				base = baseQueue[i]
+			}
 			s.Utilization = bn.Utilization
-			s.QueueECT += st.WireECT
-			s.QueueCEMarked += st.WireCEMarked
-			s.QueueNotECTDropped += st.WireNotECTDropped
-			s.QueueTailDropped += st.TailDropped
-			s.QueueOffered += st.Offered()
-			s.QueueSumBacklog += st.SumBacklog
+			s.QueueECT += st.WireECT - base.WireECT
+			s.QueueCEMarked += st.WireCEMarked - base.WireCEMarked
+			s.QueueNotECTDropped += st.WireNotECTDropped - base.WireNotECTDropped
+			s.QueueTailDropped += st.TailDropped - base.TailDropped
+			s.QueueOffered += st.Offered() - base.Offered()
+			s.QueueSumBacklog += st.SumBacklog - base.SumBacklog
 		}
 		cong = &s
 	}
@@ -429,10 +651,11 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 		world:      w,
 		data:       d,
 		obs:        obs,
-		servers:    c.Servers,
+		servers:    servers,
 		congestion: cong,
 		stats: ShardStats{
 			Shard:       sh.shard,
+			Slice:       sh.slice,
 			Vantage:     sh.vantage,
 			Seed:        sh.seed,
 			Traces:      len(d.Traces),
@@ -443,7 +666,10 @@ func runShard(cfg Config, topo topology.Config, sh shardSpec) (shardResult, erro
 	}, nil
 }
 
-// merge combines per-shard results in canonical (slice) order.
+// merge combines per-shard results in canonical (vantage, slice) order.
+// Congestion samples aggregate per vantage: counters sum over the
+// vantage's slices, so the CE-mark report — like the dataset — is
+// independent of how the campaign was sliced.
 func merge(results []shardResult) *Result {
 	res := &Result{Shards: make([]ShardStats, 0, len(results))}
 	parts := make([]*dataset.Dataset, 0, len(results))
@@ -455,7 +681,20 @@ func merge(results []shardResult) *Result {
 		res.Shards = append(res.Shards, r.stats)
 		res.Events += r.stats.Events
 		if r.congestion != nil {
-			res.Congestion = append(res.Congestion, *r.congestion)
+			if n := len(res.Congestion); n > 0 && res.Congestion[n-1].Vantage == r.congestion.Vantage {
+				agg := &res.Congestion[n-1]
+				agg.InECT += r.congestion.InECT
+				agg.InCE += r.congestion.InCE
+				agg.InNotECT += r.congestion.InNotECT
+				agg.QueueECT += r.congestion.QueueECT
+				agg.QueueCEMarked += r.congestion.QueueCEMarked
+				agg.QueueNotECTDropped += r.congestion.QueueNotECTDropped
+				agg.QueueTailDropped += r.congestion.QueueTailDropped
+				agg.QueueOffered += r.congestion.QueueOffered
+				agg.QueueSumBacklog += r.congestion.QueueSumBacklog
+			} else {
+				res.Congestion = append(res.Congestion, *r.congestion)
+			}
 		}
 		for _, a := range r.servers {
 			if !seen[a] {

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -121,21 +122,31 @@ func TestIdenticalWorldsAcrossShards(t *testing.T) {
 	}
 }
 
-// TestShardSeedsPairwiseDistinct checks the splitmix derivation: distinct
-// shards of the same campaign get distinct measurement seeds, and they
-// all differ from the raw campaign seed used for world generation.
+// TestShardSeedsPairwiseDistinct checks the splitmix derivation: every
+// (vantage, slice) shard seed, (vantage, trace) trace seed and sweep
+// seed of one campaign is pairwise distinct, and none equals the raw
+// campaign seed used for world generation.
 func TestShardSeedsPairwiseDistinct(t *testing.T) {
 	for _, campaignSeed := range []int64{0, 1, 2015, -7, 1 << 40} {
-		seen := map[int64]int{}
-		for shard := 0; shard < 100; shard++ {
-			s := ShardSeed(campaignSeed, shard)
+		seen := map[int64]string{}
+		check := func(s int64, label string) {
+			t.Helper()
 			if prev, dup := seen[s]; dup {
-				t.Fatalf("seed %d: shards %d and %d share seed %d", campaignSeed, prev, shard, s)
+				t.Fatalf("seed %d: %s and %s share seed %d", campaignSeed, prev, label, s)
 			}
 			if s == campaignSeed {
-				t.Fatalf("seed %d: shard %d seed equals the campaign seed", campaignSeed, shard)
+				t.Fatalf("seed %d: %s equals the campaign seed", campaignSeed, label)
 			}
-			seen[s] = shard
+			seen[s] = label
+		}
+		for vantage := 0; vantage < 13; vantage++ {
+			for slice := 0; slice < 32; slice++ {
+				check(ShardSeed(campaignSeed, vantage, slice), fmt.Sprintf("shard(%d,%d)", vantage, slice))
+			}
+			for k := 0; k < 32; k++ {
+				check(TraceSeed(campaignSeed, vantage, k), fmt.Sprintf("trace(%d,%d)", vantage, k))
+			}
+			check(sweepSeed(campaignSeed, vantage), fmt.Sprintf("sweep(%d)", vantage))
 		}
 	}
 }
@@ -159,7 +170,7 @@ func TestSameSeedReproduces(t *testing.T) {
 // naming the offending variable instead of a silent default.
 func TestFromEnv(t *testing.T) {
 	allKnobs := []string{"REPRO_SCALE", "REPRO_SCENARIO", "REPRO_TRACES",
-		"REPRO_STRIDE", "REPRO_SEED", "REPRO_WORKERS"}
+		"REPRO_STRIDE", "REPRO_SEED", "REPRO_WORKERS", "REPRO_SLICES", "REPRO_SCHED"}
 	cases := []struct {
 		name    string
 		env     map[string]string
@@ -179,10 +190,11 @@ func TestFromEnv(t *testing.T) {
 			name: "all set",
 			env: map[string]string{"REPRO_SCALE": "small", "REPRO_TRACES": "4",
 				"REPRO_STRIDE": "5", "REPRO_SEED": "-99", "REPRO_WORKERS": "3",
-				"REPRO_SCENARIO": "congested-edge"},
+				"REPRO_SCENARIO": "congested-edge", "REPRO_SLICES": "4", "REPRO_SCHED": "heap"},
 			check: func(t *testing.T, cfg Config) {
 				if cfg.Scale != "small" || cfg.Traces != 4 || cfg.Stride != 5 ||
-					cfg.Seed != -99 || cfg.Workers != 3 || cfg.Scenario != "congested-edge" {
+					cfg.Seed != -99 || cfg.Workers != 3 || cfg.Scenario != "congested-edge" ||
+					cfg.SlicesPerVantage != 4 || cfg.Scheduler != "heap" {
 					t.Fatalf("FromEnv = %+v", cfg)
 				}
 			},
@@ -215,6 +227,9 @@ func TestFromEnv(t *testing.T) {
 		{name: "stride negative", env: map[string]string{"REPRO_STRIDE": "-1"}, wantErr: "REPRO_STRIDE"},
 		{name: "workers garbage", env: map[string]string{"REPRO_WORKERS": "all"}, wantErr: "REPRO_WORKERS"},
 		{name: "workers negative", env: map[string]string{"REPRO_WORKERS": "-4"}, wantErr: "REPRO_WORKERS"},
+		{name: "slices garbage", env: map[string]string{"REPRO_SLICES": "many"}, wantErr: "REPRO_SLICES"},
+		{name: "slices negative", env: map[string]string{"REPRO_SLICES": "-1"}, wantErr: "REPRO_SLICES"},
+		{name: "bad scheduler", env: map[string]string{"REPRO_SCHED": "fibheap"}, wantErr: "REPRO_SCHED"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -148,6 +148,19 @@ func PaperTracePlan() map[string]int {
 	return plan
 }
 
+// BatchFor assigns trace k of a vantage's n-trace quota to a collection
+// batch: the final floor(n×batch2Fraction) traces belong to batch 2
+// (July/August conditions), the rest to batch 1. Both the sequential
+// campaign loop below and the sharded engine use this, so slicing a
+// vantage's quota across shards cannot move a trace between batches.
+func BatchFor(k, n int, batch2Fraction float64) topology.Batch {
+	batch2 := int(float64(n) * batch2Fraction)
+	if k >= n-batch2 {
+		return topology.Batch2
+	}
+	return topology.Batch1
+}
+
 // Campaign drives a full measurement campaign over a generated world.
 type Campaign struct {
 	World *topology.World
@@ -219,13 +232,8 @@ func (c *Campaign) runTraces(done func(*dataset.Dataset)) {
 		if n == 0 {
 			continue
 		}
-		batch2 := int(float64(n) * c.Cfg.Batch2Fraction)
 		for i := 0; i < n; i++ {
-			b := topology.Batch1
-			if i >= n-batch2 {
-				b = topology.Batch2
-			}
-			jobs = append(jobs, job{v: v, batch: b, index: index})
+			jobs = append(jobs, job{v: v, batch: BatchFor(i, n, c.Cfg.Batch2Fraction), index: index})
 			index++
 		}
 	}

@@ -122,13 +122,17 @@ func (d *Dataset) Servers() []packet.Addr {
 // Merge concatenates datasets in argument order and renumbers the trace
 // Index field to a single ascending campaign-wide sequence. Callers that
 // split a campaign into independently-executed shards pass the per-shard
-// datasets in canonical shard order; because each part is internally
-// ordered and the concatenation order is fixed, the merged output is
-// byte-identical however the shards were scheduled.
+// datasets in canonical (vantage, slice) order; because each part is
+// internally ordered, slices are contiguous trace blocks, and the
+// concatenation order is fixed, the merged output is byte-identical
+// however the shards were scheduled — and however many slices each
+// vantage was split into.
 //
-// Trace.Started is left untouched: it remains each part's own virtual
-// clock, so in a merged dataset it is monotonic within a part but resets
-// across part boundaries. Order merged traces by Index, not Started.
+// Trace.Started is each trace's virtual start time. The sharded engine
+// pins it to the trace's own epoch (a function of the trace's
+// per-vantage index alone), so it merges monotonic per vantage and
+// identical across slicings; order merged traces by Index, which is
+// campaign-wide.
 func Merge(parts ...*Dataset) *Dataset {
 	total := 0
 	for _, p := range parts {

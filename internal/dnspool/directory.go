@@ -63,6 +63,23 @@ func (d *Directory) addTo(name string, addr packet.Addr) {
 	z.members = append(z.members, addr)
 }
 
+// Clone returns a directory with the same zone membership and fresh
+// round-robin cursors. The member lists are shared (they are append-only
+// once built), so cloning a 2500-server directory copies only the zone
+// index — the campaign engine clones its blueprint's directory into
+// every shard simulation this way.
+func (d *Directory) Clone() *Directory {
+	c := NewDirectory()
+	for name, z := range d.zones {
+		// Full-slice expression clamps capacity to length: an AddServer
+		// on the clone then reallocates instead of appending in place
+		// over the template's backing array, which sibling clones and
+		// the frozen blueprint share.
+		c.zones[name] = &zone{members: z.members[:len(z.members):len(z.members)]}
+	}
+	return c
+}
+
 // Zones lists the zone names in sorted order.
 func (d *Directory) Zones() []string {
 	names := make([]string, 0, len(d.zones))

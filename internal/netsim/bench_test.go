@@ -8,6 +8,34 @@ import (
 	"repro/internal/packet"
 )
 
+// BenchmarkSimSchedule compares the timing wheel against the heap
+// fallback on the mixed near/far timer workload (ScheduleBenchWorkload,
+// shared with cmd/benchreport). Registered in scripts/perf_gate.sh:
+// both variants must stay at 0 allocs/op.
+func BenchmarkSimSchedule(b *testing.B) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		b.Run("sched="+sched.Name(), func(b *testing.B) {
+			s := NewSimSched(1, sched)
+			ScheduleBenchWorkload(s, 4096) // warm slab, free list, wheel due buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			ScheduleBenchWorkload(s, b.N)
+		})
+	}
+}
+
+// TestSimScheduleAllocFree pins the scheduler hot path at zero
+// allocations per event on both schedulers once pools are warm.
+func TestSimScheduleAllocFree(t *testing.T) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		s := NewSimSched(1, sched)
+		ScheduleBenchWorkload(s, 8192) // warm up
+		if allocs := testing.AllocsPerRun(10, func() { ScheduleBenchWorkload(s, 1024) }); allocs > 0 {
+			t.Errorf("%s scheduler: %.1f allocs per 1024-event batch, want 0", sched.Name(), allocs)
+		}
+	}
+}
+
 func BenchmarkEventLoop(b *testing.B) {
 	s := NewSim(1)
 	b.ReportAllocs()

@@ -1,0 +1,37 @@
+package netsim
+
+import "time"
+
+// ScheduleBenchWorkload is the shared scheduler-benchmark kernel: a
+// steady-state churn of mixed near and far timers — the shape
+// congested campaigns produce, where per-packet deliveries (ns–µs)
+// coexist with protocol timeouts (ms–s) and long-lived idle timers
+// (minutes+), and far timers mostly cancel, as retransmission timers
+// usually do. BenchmarkSimSchedule (gated by scripts/perf_gate.sh) and
+// cmd/benchreport's sim/sched rows both run exactly this function, so
+// the CI artifact and the perf gate cannot drift apart.
+func ScheduleBenchWorkload(s *Sim, n int) {
+	var far [64]Timer
+	for i := 0; i < n; i++ {
+		var d time.Duration
+		switch i & 7 {
+		case 0, 1, 2, 3:
+			d = time.Duration(i%1000) * time.Microsecond
+		case 4, 5:
+			d = time.Duration(i%50) * time.Millisecond
+		case 6:
+			d = time.Duration(i%10) * time.Second
+		default:
+			d = 5 * time.Minute
+		}
+		tm := s.After(d, func() {})
+		if i&7 == 7 {
+			far[(i>>3)&63].Stop() // churn cancelled far timers, heap's worst case
+			far[(i>>3)&63] = tm
+		}
+		if i%512 == 0 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+}

@@ -20,10 +20,24 @@ type Network struct {
 	// hostAttach maps a host address to its host and attachment router.
 	hostAttach map[packet.Addr]hostAttachment
 
-	// nextHop[src][dst] is the link router #src uses toward router #dst;
-	// nil means unreachable. Built by ComputeRoutes.
-	nextHop [][]*Link
+	// nextHop[src][dst] is the index (into links) of the link router
+	// #src uses toward router #dst; -1 means unreachable. Built by
+	// ComputeRoutes or shared read-only across Networks via
+	// ExportRoutes/ImportRoutes — indices, not pointers, so networks
+	// instantiated from one frozen topology can share a single table.
+	nextHop [][]int32
 	routed  bool
+}
+
+// RouteTable is a frozen forwarding table: for every (source router,
+// destination router) pair, the index of the egress link in the owning
+// Network's creation-order link slice. It is immutable once exported and
+// safe to share across concurrently-running Networks whose graphs were
+// built by an identical construction sequence.
+type RouteTable struct {
+	nextHop [][]int32
+	routers int
+	links   int
 }
 
 type hostAttachment struct {
@@ -149,30 +163,30 @@ func (n *Network) AttachmentRouter(a packet.Addr) (*Router, bool) {
 // study's observation that the same servers fail from every vantage point.
 func (n *Network) ComputeRoutes() error {
 	nr := len(n.routers)
-	// adjacency: router id -> (neighbor id, link)
+	// adjacency: router id -> (neighbor id, link index)
 	type edge struct {
 		to   int
-		link *Link
+		link int32
 	}
 	adj := make([][]edge, nr)
-	for _, l := range n.links {
+	for li, l := range n.links {
 		ra, aOK := l.a.(*Router)
 		rb, bOK := l.b.(*Router)
 		if aOK && bOK {
-			adj[ra.id] = append(adj[ra.id], edge{rb.id, l})
-			adj[rb.id] = append(adj[rb.id], edge{ra.id, l})
+			adj[ra.id] = append(adj[ra.id], edge{rb.id, int32(li)})
+			adj[rb.id] = append(adj[rb.id], edge{ra.id, int32(li)})
 		}
 	}
 
-	n.nextHop = make([][]*Link, nr)
+	n.nextHop = make([][]int32, nr)
 	queue := make([]int, 0, nr)
-	parentLink := make([]*Link, nr)
+	parentLink := make([]int32, nr)
 	visited := make([]bool, nr)
 
 	for src := 0; src < nr; src++ {
 		for i := range visited {
 			visited[i] = false
-			parentLink[i] = nil
+			parentLink[i] = -1
 		}
 		queue = queue[:0]
 		queue = append(queue, src)
@@ -192,10 +206,40 @@ func (n *Network) ComputeRoutes() error {
 				queue = append(queue, e.to)
 			}
 		}
-		row := make([]*Link, nr)
+		row := make([]int32, nr)
 		copy(row, parentLink)
 		n.nextHop[src] = row
 	}
+	n.routed = true
+	return nil
+}
+
+// ExportRoutes freezes the computed forwarding tables for reuse. The
+// returned table shares this Network's backing arrays; neither may be
+// mutated afterwards (the Network never does — routes are only ever
+// recomputed wholesale, which allocates fresh rows).
+func (n *Network) ExportRoutes() (*RouteTable, error) {
+	if !n.routed {
+		return nil, fmt.Errorf("netsim: ExportRoutes before ComputeRoutes")
+	}
+	return &RouteTable{nextHop: n.nextHop, routers: len(n.routers), links: len(n.links)}, nil
+}
+
+// ImportRoutes installs a shared forwarding table instead of running
+// ComputeRoutes. The Network's graph must have been built by the same
+// construction sequence as the table's origin — same routers, same links,
+// in the same creation order — which the router and link counts check
+// cheaply; the topology blueprint guarantees the rest by replaying one
+// recorded build.
+func (n *Network) ImportRoutes(rt *RouteTable) error {
+	if rt == nil {
+		return fmt.Errorf("netsim: ImportRoutes with nil table")
+	}
+	if len(n.routers) != rt.routers || len(n.links) != rt.links {
+		return fmt.Errorf("netsim: route table shape mismatch: network has %d routers / %d links, table %d / %d",
+			len(n.routers), len(n.links), rt.routers, rt.links)
+	}
+	n.nextHop = rt.nextHop
 	n.routed = true
 	return nil
 }
@@ -215,14 +259,22 @@ func (n *Network) nextHopLink(r *Router, dst packet.Addr) *Link {
 			if rid == r.id {
 				return nil
 			}
-			return n.nextHop[r.id][rid]
+			return n.linkAt(n.nextHop[r.id][rid])
 		}
 		return nil
 	}
 	if att.routerID == r.id {
 		return r.hostLinks[dst]
 	}
-	return n.nextHop[r.id][att.routerID]
+	return n.linkAt(n.nextHop[r.id][att.routerID])
+}
+
+// linkAt resolves a next-hop index to the link object, nil for -1.
+func (n *Network) linkAt(idx int32) *Link {
+	if idx < 0 {
+		return nil
+	}
+	return n.links[idx]
 }
 
 // routerIDByAddr performs a linear scan; router-addressed traffic (ICMP

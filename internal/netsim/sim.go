@@ -11,9 +11,9 @@
 //
 // Design notes:
 //
-//   - Virtual time. Events are (time, sequence)-ordered in a binary heap;
-//     Run drains the heap. There are no wall-clock sleeps, so a campaign
-//     covering hours of virtual time completes in seconds.
+//   - Virtual time. Events are (time, sequence)-ordered; Run drains the
+//     pending set. There are no wall-clock sleeps, so a campaign covering
+//     hours of virtual time completes in seconds.
 //   - Determinism. All randomness (link loss, timer jitter in protocols)
 //     is drawn from a single seeded PRNG owned by the Sim. The same seed
 //     reproduces a byte-identical packet history, which the tests rely on.
@@ -21,12 +21,19 @@
 //     packet.Buf wire buffers. Routers parse and mutate the actual wire
 //     bytes, so header checksums, TTL handling and TOS rewrites behave
 //     exactly as on a real path.
+//   - O(1) scheduling. The default scheduler is a hierarchical timing
+//     wheel (wheel.go) over the event slab: insert and fire are O(1)
+//     amortized, against the O(log n) per event a binary heap pays on
+//     multi-million-event congested runs. The heap remains available as
+//     SchedHeap for differential testing; both pop in exactly the same
+//     (time, seq) order, so a campaign's traces are bit-identical under
+//     either scheduler.
 //   - Zero steady-state allocation. Event bodies live in a slab indexed
-//     by a free list, the priority queue orders pointer-free
-//     (time, seq, index) entries — so sift operations never touch the
-//     write barrier — and packet delivery is a typed event rather than a
-//     closure. Once the pools are warm, the per-packet hot path — build,
-//     send, deliver, receive — allocates nothing.
+//     by a free list; the wheel's slots and the heap's entries are
+//     pointer-free (they address the slab by index), so scheduling never
+//     touches the write barrier, and packet delivery is a typed event
+//     rather than a closure. Once the pools are warm, the per-packet hot
+//     path — build, send, deliver, receive — allocates nothing.
 package netsim
 
 import (
@@ -36,25 +43,77 @@ import (
 	"repro/internal/packet"
 )
 
+// Scheduler selects the Sim's pending-event data structure.
+type Scheduler uint8
+
+// The available schedulers. SchedWheel is the default; SchedHeap is the
+// legacy binary heap, kept as a differential-testing fallback so the
+// wheel's ordering can always be checked against a second implementation.
+const (
+	SchedWheel Scheduler = iota
+	SchedHeap
+)
+
+// SchedulerByName maps the REPRO_SCHED / -sched vocabulary ("wheel",
+// "heap", "" = default) to a Scheduler. Unknown names report ok=false.
+func SchedulerByName(name string) (Scheduler, bool) {
+	switch name {
+	case "", "wheel":
+		return SchedWheel, true
+	case "heap":
+		return SchedHeap, true
+	default:
+		return SchedWheel, false
+	}
+}
+
+// Name returns the scheduler's REPRO_SCHED vocabulary name.
+func (s Scheduler) Name() string {
+	if s == SchedHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
 // Sim is the discrete-event engine. Create one with NewSim, add nodes and
 // links (usually via Network), schedule initial work, then call Run.
 type Sim struct {
 	now time.Duration
-	// heap is the pending-event priority queue: pointer-free entries
-	// ordered by (at, seq), with idx addressing the body in slab. Both
-	// backing arrays are reused for the lifetime of the Sim.
+	// wheel is the default O(1) scheduler; nil selects the heap fallback.
+	wheel *timingWheel
+	// heap is the fallback pending-event priority queue: pointer-free
+	// entries ordered by (at, seq), with idx addressing the body in slab.
 	heap []heapEntry
 	slab []event
 	free []int32 // recycled slab indices
 	seq  uint64
+	live int // scheduled, not yet fired or cancelled
 	rng  *rand.Rand
 	// Stats counters, exposed for benchmarks and capacity planning.
 	executed uint64
 }
 
-// NewSim returns a simulator whose randomness derives from seed.
-func NewSim(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+// NewSim returns a simulator whose randomness derives from seed, using
+// the default timing-wheel scheduler.
+func NewSim(seed int64) *Sim { return NewSimSched(seed, SchedWheel) }
+
+// NewSimSched returns a simulator with an explicit scheduler choice. The
+// two schedulers fire events in exactly the same order; SchedHeap exists
+// so differential tests can prove that.
+func NewSimSched(seed int64, sched Scheduler) *Sim {
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	if sched == SchedWheel {
+		s.wheel = newTimingWheel()
+	}
+	return s
+}
+
+// SchedulerName reports which scheduler the Sim runs on.
+func (s *Sim) SchedulerName() string {
+	if s.wheel != nil {
+		return SchedWheel.Name()
+	}
+	return SchedHeap.Name()
 }
 
 // Now returns the current virtual time.
@@ -66,10 +125,12 @@ func (s *Sim) RNG() *rand.Rand { return s.rng }
 
 // Reseed rewinds the simulation's random source to a fresh stream derived
 // from seed. The generator is reseeded in place, so components that
-// captured RNG() earlier (links, middlebox policies) observe the new
-// stream too. The sharded campaign engine uses this to give every shard
-// an identical generated world (same build seed) but an independent,
-// shard-specific measurement phase.
+// captured RNG() earlier (links, middlebox policies, AQM queues) observe
+// the new stream too. The sharded campaign engine uses this to give each
+// measurement phase — discovery, every trace, the traceroute sweep — a
+// stream derived from its own identity rather than from whatever ran
+// before it in the same simulator, which is what makes the merged
+// dataset independent of how traces are grouped into shards.
 func (s *Sim) Reseed(seed int64) { s.rng.Seed(seed) }
 
 // Executed reports how many events have run; useful for benchmarks.
@@ -98,6 +159,7 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	ev.fn = nil
+	t.s.live--
 	return true
 }
 
@@ -151,7 +213,16 @@ func (s *Sim) schedule(t time.Duration) int32 {
 		s.slab = append(s.slab, event{})
 		idx = int32(len(s.slab) - 1)
 	}
-	s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+	ev := &s.slab[idx]
+	ev.at = t
+	ev.seq = s.seq
+	ev.next = -1
+	s.live++
+	if s.wheel != nil {
+		s.wheelInsert(idx, t)
+	} else {
+		s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+	}
 	return idx
 }
 
@@ -164,31 +235,49 @@ func (s *Sim) recycle(idx int32) {
 	ev.node = nil
 	ev.buf = nil
 	ev.link = nil
+	ev.next = -1
 	s.free = append(s.free, idx)
+}
+
+// dead reports whether an event was cancelled before firing.
+func (ev *event) dead() bool { return ev.fn == nil && ev.node == nil }
+
+// popNext removes and returns the earliest pending event (live or
+// cancelled) from the active scheduler.
+func (s *Sim) popNext() (int32, time.Duration, bool) {
+	if s.wheel != nil {
+		return s.wheelPop()
+	}
+	if len(s.heap) == 0 {
+		return 0, 0, false
+	}
+	he := s.heap[0]
+	s.heapPopRoot()
+	return he.idx, he.at, true
 }
 
 // Step executes the next pending event. It reports whether an event ran.
 func (s *Sim) Step() bool {
 	for {
-		if len(s.heap) == 0 {
+		idx, at, ok := s.popNext()
+		if !ok {
 			return false
 		}
-		he := s.heap[0]
-		s.heapPopRoot()
-		ev := &s.slab[he.idx]
-		if ev.fn == nil && ev.node == nil { // cancelled
-			s.recycle(he.idx)
+		ev := &s.slab[idx]
+		if ev.dead() { // cancelled
+			s.recycle(idx)
 			continue
 		}
-		s.now = he.at
+		s.now = at
 		s.executed++
+		s.live--
 		if ev.node != nil {
 			node, buf, link := ev.node, ev.buf, ev.link
-			s.recycle(he.idx)
+			s.recycle(idx)
 			node.Receive(buf, link)
 		} else {
 			fn := ev.fn
-			s.recycle(he.idx)
+			s.recycle(idx)
 			fn()
 		}
 		return true
@@ -219,13 +308,16 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 // peekLive returns the earliest live event time, recycling cancelled
 // events it skips over so RunUntil sees true deadlines.
 func (s *Sim) peekLive() (time.Duration, bool) {
+	if s.wheel != nil {
+		return s.wheelPeek()
+	}
 	for {
 		if len(s.heap) == 0 {
 			return 0, false
 		}
 		he := s.heap[0]
 		ev := &s.slab[he.idx]
-		if ev.fn != nil || ev.node != nil {
+		if !ev.dead() {
 			return he.at, true
 		}
 		s.heapPopRoot()
@@ -234,16 +326,7 @@ func (s *Sim) peekLive() (time.Duration, bool) {
 }
 
 // Pending reports the number of live events in the queue.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, he := range s.heap {
-		ev := &s.slab[he.idx]
-		if ev.fn != nil || ev.node != nil {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) Pending() int { return s.live }
 
 // heapEntry is a queued event reference: ordering fields inline (no
 // pointer chase in comparisons, no write barrier in swaps) plus the
@@ -258,7 +341,7 @@ type heapEntry struct {
 // fn and node is set for a live event: fn-events run arbitrary code,
 // node-events hand buf to node (the per-packet fast path, kept
 // closure-free so the hot loop does not allocate). Cancellation nils fn
-// in place; the queue discards dead events lazily.
+// in place; the schedulers discard dead events lazily.
 type event struct {
 	gen uint64 // incremented on recycle; stales Timer handles
 	fn  func()
@@ -267,6 +350,13 @@ type event struct {
 	node Node
 	buf  *packet.Buf
 	link *Link
+
+	// Scheduling fields, shared by both schedulers: the event's absolute
+	// time and FIFO sequence, plus the timing wheel's intrusive
+	// singly-linked slot chain.
+	at   time.Duration
+	seq  uint64
+	next int32
 }
 
 // less orders entries by (at, seq).

@@ -8,128 +8,192 @@ import (
 	"time"
 )
 
+// forEachSched runs a subtest against both schedulers: every observable
+// Sim behaviour must be identical on the wheel and the heap.
+func forEachSched(t *testing.T, f func(t *testing.T, newSim func(seed int64) *Sim)) {
+	t.Helper()
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		sched := sched
+		t.Run(sched.Name(), func(t *testing.T) {
+			f(t, func(seed int64) *Sim { return NewSimSched(seed, sched) })
+		})
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	for name, want := range map[string]Scheduler{"": SchedWheel, "wheel": SchedWheel, "heap": SchedHeap} {
+		got, ok := SchedulerByName(name)
+		if !ok || got != want {
+			t.Errorf("SchedulerByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := SchedulerByName("fibheap"); ok {
+		t.Error("unknown scheduler name accepted")
+	}
+	if NewSim(1).SchedulerName() != "wheel" {
+		t.Error("default scheduler is not the wheel")
+	}
+}
+
 func TestSimOrdering(t *testing.T) {
-	s := NewSim(1)
-	var got []int
-	s.After(30*time.Millisecond, func() { got = append(got, 3) })
-	s.After(10*time.Millisecond, func() { got = append(got, 1) })
-	s.After(20*time.Millisecond, func() { got = append(got, 2) })
-	s.Run()
-	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
-		t.Errorf("execution order = %v", got)
-	}
-	if s.Now() != 30*time.Millisecond {
-		t.Errorf("final time = %v", s.Now())
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var got []int
+		s.After(30*time.Millisecond, func() { got = append(got, 3) })
+		s.After(10*time.Millisecond, func() { got = append(got, 1) })
+		s.After(20*time.Millisecond, func() { got = append(got, 2) })
+		s.Run()
+		if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Errorf("execution order = %v", got)
+		}
+		if s.Now() != 30*time.Millisecond {
+			t.Errorf("final time = %v", s.Now())
+		}
+	})
 }
 
 func TestSimFIFOWithinTimestamp(t *testing.T) {
-	s := NewSim(1)
-	var got []int
-	for i := 0; i < 100; i++ {
-		i := i
-		s.After(5*time.Millisecond, func() { got = append(got, i) })
-	}
-	s.Run()
-	if !sort.IntsAreSorted(got) {
-		t.Error("same-timestamp events must run FIFO")
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var got []int
+		for i := 0; i < 100; i++ {
+			i := i
+			s.After(5*time.Millisecond, func() { got = append(got, i) })
+		}
+		s.Run()
+		if !sort.IntsAreSorted(got) {
+			t.Error("same-timestamp events must run FIFO")
+		}
+	})
 }
 
 func TestSimNestedScheduling(t *testing.T) {
-	s := NewSim(1)
-	var fired []time.Duration
-	s.After(time.Second, func() {
-		fired = append(fired, s.Now())
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var fired []time.Duration
 		s.After(time.Second, func() {
 			fired = append(fired, s.Now())
+			s.After(time.Second, func() {
+				fired = append(fired, s.Now())
+			})
 		})
+		s.Run()
+		if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+			t.Errorf("fired = %v", fired)
+		}
 	})
-	s.Run()
-	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
-		t.Errorf("fired = %v", fired)
-	}
 }
 
 func TestTimerStop(t *testing.T) {
-	s := NewSim(1)
-	ran := false
-	tm := s.After(time.Second, func() { ran = true })
-	if !tm.Stop() {
-		t.Error("Stop should report pending timer")
-	}
-	if tm.Stop() {
-		t.Error("second Stop should report dead timer")
-	}
-	s.Run()
-	if ran {
-		t.Error("cancelled timer fired")
-	}
-	var zeroTimer Timer
-	if zeroTimer.Stop() {
-		t.Error("zero timer Stop should be false")
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		ran := false
+		tm := s.After(time.Second, func() { ran = true })
+		if !tm.Stop() {
+			t.Error("Stop should report pending timer")
+		}
+		if tm.Stop() {
+			t.Error("second Stop should report dead timer")
+		}
+		s.Run()
+		if ran {
+			t.Error("cancelled timer fired")
+		}
+		var zeroTimer Timer
+		if zeroTimer.Stop() {
+			t.Error("zero timer Stop should be false")
+		}
+	})
 }
 
 func TestNegativeDelayClamped(t *testing.T) {
-	s := NewSim(1)
-	ran := false
-	s.After(-time.Second, func() { ran = true })
-	s.Run()
-	if !ran || s.Now() != 0 {
-		t.Errorf("negative delay handling: ran=%v now=%v", ran, s.Now())
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		ran := false
+		s.After(-time.Second, func() { ran = true })
+		s.Run()
+		if !ran || s.Now() != 0 {
+			t.Errorf("negative delay handling: ran=%v now=%v", ran, s.Now())
+		}
+	})
 }
 
 func TestRunUntil(t *testing.T) {
-	s := NewSim(1)
-	var fired []int
-	s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
-	s.After(30*time.Millisecond, func() { fired = append(fired, 2) })
-	s.RunUntil(20 * time.Millisecond)
-	if len(fired) != 1 {
-		t.Errorf("fired = %v, want only first", fired)
-	}
-	if s.Now() != 20*time.Millisecond {
-		t.Errorf("now = %v, want 20ms", s.Now())
-	}
-	s.Run()
-	if len(fired) != 2 {
-		t.Errorf("remaining event lost: %v", fired)
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var fired []int
+		s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+		s.After(30*time.Millisecond, func() { fired = append(fired, 2) })
+		s.RunUntil(20 * time.Millisecond)
+		if len(fired) != 1 {
+			t.Errorf("fired = %v, want only first", fired)
+		}
+		if s.Now() != 20*time.Millisecond {
+			t.Errorf("now = %v, want 20ms", s.Now())
+		}
+		s.Run()
+		if len(fired) != 2 {
+			t.Errorf("remaining event lost: %v", fired)
+		}
+	})
+}
+
+// TestRunUntilThenEarlierInsert pins the subtlety the wheel's cursor
+// discipline exists for: after RunUntil stops short of a far event, a
+// new event scheduled between the deadline and that far event must still
+// fire first and in order.
+func TestRunUntilThenEarlierInsert(t *testing.T) {
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var fired []int
+		s.After(90*time.Minute, func() { fired = append(fired, 2) })
+		s.RunUntil(10 * time.Minute)
+		// Insert between the deadline and the pending far event.
+		s.At(40*time.Minute, func() { fired = append(fired, 1) })
+		s.Run()
+		if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+			t.Errorf("fired = %v, want [1 2]", fired)
+		}
+	})
 }
 
 func TestRunUntilSkipsCancelled(t *testing.T) {
-	s := NewSim(1)
-	tm := s.After(5*time.Millisecond, func() {})
-	tm.Stop()
-	s.RunUntil(time.Second)
-	if s.Now() != time.Second {
-		t.Errorf("now = %v", s.Now())
-	}
-	if s.Pending() != 0 {
-		t.Errorf("pending = %d", s.Pending())
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		tm := s.After(5*time.Millisecond, func() {})
+		tm.Stop()
+		s.RunUntil(time.Second)
+		if s.Now() != time.Second {
+			t.Errorf("now = %v", s.Now())
+		}
+		if s.Pending() != 0 {
+			t.Errorf("pending = %d", s.Pending())
+		}
+	})
 }
 
 func TestStepReturnsFalseWhenEmpty(t *testing.T) {
-	s := NewSim(1)
-	if s.Step() {
-		t.Error("Step on empty queue must be false")
-	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		if s.Step() {
+			t.Error("Step on empty queue must be false")
+		}
+	})
 }
 
 func TestAtClampsToPast(t *testing.T) {
-	s := NewSim(1)
-	s.After(time.Second, func() {
-		// Scheduling in the past must clamp to now, not rewind the clock.
-		s.At(0, func() {
-			if s.Now() != time.Second {
-				t.Errorf("past event ran at %v", s.Now())
-			}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		s.After(time.Second, func() {
+			// Scheduling in the past must clamp to now, not rewind the clock.
+			s.At(0, func() {
+				if s.Now() != time.Second {
+					t.Errorf("past event ran at %v", s.Now())
+				}
+			})
 		})
+		s.Run()
 	})
-	s.Run()
 }
 
 func TestNilEventPanics(t *testing.T) {
@@ -141,41 +205,98 @@ func TestNilEventPanics(t *testing.T) {
 	NewSim(1).After(0, nil)
 }
 
-func TestDeterminism(t *testing.T) {
-	run := func() []time.Duration {
-		s := NewSim(42)
-		var times []time.Duration
-		var schedule func(depth int)
-		schedule = func(depth int) {
-			if depth == 0 {
-				return
-			}
-			d := time.Duration(s.RNG().Intn(1000)) * time.Microsecond
-			s.After(d, func() {
-				times = append(times, s.Now())
-				schedule(depth - 1)
-			})
+func TestPendingCountBothSchedulers(t *testing.T) {
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		timers := make([]Timer, 10)
+		for i := range timers {
+			timers[i] = s.After(time.Duration(i+1)*time.Second, func() {})
 		}
-		schedule(50)
+		if s.Pending() != 10 {
+			t.Fatalf("pending = %d, want 10", s.Pending())
+		}
+		timers[3].Stop()
+		timers[7].Stop()
+		if s.Pending() != 8 {
+			t.Fatalf("pending after 2 stops = %d, want 8", s.Pending())
+		}
+		s.Step()
+		if s.Pending() != 7 {
+			t.Fatalf("pending after a step = %d, want 7", s.Pending())
+		}
 		s.Run()
-		return times
-	}
-	a, b := run(), run()
-	if len(a) != len(b) {
-		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		if s.Pending() != 0 {
+			t.Fatalf("pending after drain = %d", s.Pending())
 		}
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		run := func() []time.Duration {
+			s := newSim(42)
+			var times []time.Duration
+			var schedule func(depth int)
+			schedule = func(depth int) {
+				if depth == 0 {
+					return
+				}
+				d := time.Duration(s.RNG().Intn(1000)) * time.Microsecond
+				s.After(d, func() {
+					times = append(times, s.Now())
+					schedule(depth - 1)
+				})
+			}
+			schedule(50)
+			s.Run()
+			return times
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// TestFarTimersCascade exercises the wheel across level boundaries: a
+// mix of nanosecond-to-multi-day timers must fire in exact time order on
+// both schedulers.
+func TestFarTimersCascade(t *testing.T) {
+	delays := []time.Duration{
+		3, 200, 255, 256, 257, 65535, 65536, 70000,
+		3 * time.Millisecond, time.Second, 90 * time.Second,
+		time.Hour, 27 * time.Hour, 9 * 24 * time.Hour, 200 * 24 * time.Hour,
 	}
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			t.Fatalf("fired %d of %d", len(fired), len(delays))
+		}
+		sorted := append([]time.Duration(nil), delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if fired[i] != sorted[i] {
+				t.Fatalf("fire %d at %v, want %v", i, fired[i], sorted[i])
+			}
+		}
+	})
 }
 
 // Property: the event heap pops in nondecreasing (at, seq) order for any
 // insertion sequence.
 func TestHeapOrderProperty(t *testing.T) {
 	f := func(delays []uint16) bool {
-		s := NewSim(1)
+		s := NewSimSched(1, SchedHeap)
 		for _, d := range delays {
 			s.heapPush(heapEntry{at: time.Duration(d), seq: s.seq, idx: 0})
 			s.seq++
@@ -197,23 +318,135 @@ func TestHeapOrderProperty(t *testing.T) {
 	}
 }
 
-func TestHeapStress(t *testing.T) {
-	s := NewSim(7)
-	rng := rand.New(rand.NewSource(99))
-	count := 0
-	for i := 0; i < 10000; i++ {
-		s.After(time.Duration(rng.Intn(1_000_000))*time.Microsecond, func() { count++ })
-	}
-	for len(s.heap) > 0 {
-		before := s.Now()
-		if !s.Step() {
-			break
+// Property: wheel and heap fire any random schedule/cancel workload in
+// the identical (event id, time) sequence — the differential guarantee
+// the campaign's scheduler fallback rests on.
+func TestSchedulerEquivalenceProperty(t *testing.T) {
+	run := func(sched Scheduler, seed int64) []int {
+		s := NewSimSched(1, sched)
+		rng := rand.New(rand.NewSource(seed))
+		var order []int
+		id := 0
+		var timers []Timer
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				me := id
+				id++
+				// Delays straddle wheel level boundaries, including 0.
+				d := time.Duration(rng.Intn(5)) * time.Duration(1<<uint(rng.Intn(20)))
+				tm := s.After(d, func() {
+					order = append(order, me)
+					if depth > 0 {
+						spawn(depth - 1)
+					}
+				})
+				timers = append(timers, tm)
+			}
+			// Cancel a random earlier timer now and then.
+			if len(timers) > 0 && rng.Intn(3) == 0 {
+				timers[rng.Intn(len(timers))].Stop()
+			}
 		}
-		if s.Now() < before {
-			t.Fatal("time went backwards")
+		spawn(6)
+		s.Run()
+		return order
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		w, h := run(SchedWheel, seed), run(SchedHeap, seed)
+		if len(w) != len(h) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(w), len(h))
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				t.Fatalf("seed %d: divergence at %d: wheel=%d heap=%d", seed, i, w[i], h[i])
+			}
 		}
 	}
-	if count != 10000 {
-		t.Errorf("executed %d of 10000", count)
+}
+
+// TestSchedulerEquivalencePhased drains the simulator to empty between
+// bursts of scheduling, with cancelled far-future timers left behind —
+// the campaign's phase structure (build, discovery, traces, sweep), and
+// the exact pattern that once stranded the wheel's cursor past the Sim
+// clock.
+func TestSchedulerEquivalencePhased(t *testing.T) {
+	run := func(sched Scheduler, seed int64) []int64 {
+		s := NewSimSched(1, sched)
+		rng := rand.New(rand.NewSource(seed))
+		var log []int64
+		id := 0
+		for phase := 0; phase < 6; phase++ {
+			var timers []Timer
+			for i := 0; i < 40; i++ {
+				me := id
+				id++
+				var d time.Duration
+				switch rng.Intn(4) {
+				case 0:
+					d = time.Duration(rng.Intn(512))
+				case 1:
+					d = time.Duration(rng.Intn(1 << 20))
+				case 2:
+					d = time.Duration(rng.Int63n(int64(time.Hour)))
+				case 3:
+					d = time.Duration(rng.Int63n(int64(30 * 24 * time.Hour)))
+				}
+				timers = append(timers, s.After(d, func() {
+					log = append(log, int64(me), int64(s.Now()))
+				}))
+			}
+			// Cancel some — including, often, every far timer, so the
+			// drain ends chasing only dead entries.
+			for _, tm := range timers {
+				if rng.Intn(2) == 0 {
+					tm.Stop()
+				}
+			}
+			if rng.Intn(2) == 0 {
+				s.RunUntil(s.Now() + time.Duration(rng.Int63n(int64(24*time.Hour))))
+			}
+			s.Run()
+			if s.Pending() != 0 {
+				t.Fatalf("%s seed %d phase %d: %d events stranded after Run",
+					sched.Name(), seed, phase, s.Pending())
+			}
+		}
+		return log
 	}
+	for seed := int64(0); seed < 25; seed++ {
+		w, h := run(SchedWheel, seed), run(SchedHeap, seed)
+		if len(w) != len(h) {
+			t.Fatalf("seed %d: wheel logged %d, heap %d", seed, len(w), len(h))
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				t.Fatalf("seed %d: divergence at %d: wheel=%d heap=%d", seed, i, w[i], h[i])
+			}
+		}
+	}
+}
+
+func TestSchedulerStress(t *testing.T) {
+	forEachSched(t, func(t *testing.T, newSim func(int64) *Sim) {
+		s := newSim(7)
+		rng := rand.New(rand.NewSource(99))
+		count := 0
+		for i := 0; i < 10000; i++ {
+			s.After(time.Duration(rng.Intn(1_000_000))*time.Microsecond, func() { count++ })
+		}
+		for s.Pending() > 0 {
+			before := s.Now()
+			if !s.Step() {
+				break
+			}
+			if s.Now() < before {
+				t.Fatal("time went backwards")
+			}
+		}
+		if count != 10000 {
+			t.Errorf("executed %d of 10000", count)
+		}
+	})
 }

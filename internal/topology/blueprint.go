@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/dnspool"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+)
+
+// Blueprint is a compiled, frozen world: the (seed, Config) pair's
+// generation run captured once, so that any number of simulations can
+// instantiate structurally identical worlds without re-drawing the
+// stochastic build decisions or re-computing routes.
+//
+// The sharded campaign engine is the customer: before blueprints, every
+// shard rebuilt the full world — regenerating the same middlebox
+// placement from the same seed and re-running the all-pairs BFS whose
+// output is identical across shards. A Blueprint splits the world into
+// its immutable skeleton, built once and shared read-only:
+//
+//   - the recorded stochastic decisions (firewall placement permutation,
+//     server role rolls), replayed instead of re-drawn;
+//   - the forwarding tables (netsim.RouteTable — by far the largest
+//     per-shard allocation, O(routers²));
+//   - the geo and ASN databases and the pool DNS zone membership;
+//
+// and the cheap per-simulation overlay that Instantiate still builds
+// fresh for every shard: hosts, routers, links, queues, protocol stacks
+// — everything owning mutable state (clocks, counters, queue contents,
+// PRNG draws) that concurrent shards must not share.
+//
+// A Blueprint is immutable after Compile and safe for concurrent
+// Instantiate calls.
+type Blueprint struct {
+	cfg    Config
+	seed   int64
+	trace  decisionTrace
+	shared sharedParts
+}
+
+// decisionTrace records the stochastic choices of one generation run.
+type decisionTrace struct {
+	perm  []int     // firewall placement permutation
+	rolls []float64 // server role draws, in consumption order
+}
+
+// sharedParts is the read-only world skeleton every instance references.
+type sharedParts struct {
+	geo    *geo.DB
+	asn    *asn.Table
+	dir    *dnspool.Directory // membership template; cloned per instance
+	zones  []string
+	routes *netsim.RouteTable
+}
+
+// Compile generates the (seed, cfg) world once on a throwaway simulator,
+// recording its decisions and freezing its shareable parts.
+func Compile(cfg Config, seed int64) (*Blueprint, error) {
+	bp := &Blueprint{cfg: cfg, seed: seed}
+	b := newBuilder(netsim.NewSim(seed), cfg)
+	b.rec = &bp.trace
+	w, err := b.run()
+	if err != nil {
+		return nil, fmt.Errorf("topology: compile: %w", err)
+	}
+	routes, err := w.Net.ExportRoutes()
+	if err != nil {
+		return nil, fmt.Errorf("topology: compile: %w", err)
+	}
+	bp.shared = sharedParts{
+		geo:    w.Geo,
+		asn:    w.ASN,
+		dir:    w.Directory,
+		zones:  w.CountryZones,
+		routes: routes,
+	}
+	return bp, nil
+}
+
+// Config returns the compiled world configuration.
+func (bp *Blueprint) Config() Config { return bp.cfg }
+
+// Seed returns the generation seed the blueprint was compiled from.
+func (bp *Blueprint) Seed() int64 { return bp.seed }
+
+// Instantiate builds a world on sim from the frozen blueprint: the same
+// construction sequence as Build with the same seed, but with recorded
+// decisions replayed (consuming none of sim's PRNG state) and the
+// skeleton shared. The returned world is fully private to sim except for
+// the read-only shared parts.
+func (bp *Blueprint) Instantiate(sim *netsim.Sim) (*World, error) {
+	b := newBuilder(sim, bp.cfg)
+	b.rep = &bp.trace
+	b.shared = &bp.shared
+	w, err := b.run()
+	if err != nil {
+		return nil, fmt.Errorf("topology: instantiate: %w", err)
+	}
+	return w, nil
+}

@@ -44,6 +44,18 @@ type builder struct {
 	sim *netsim.Sim
 	w   *World
 
+	// rec, when non-nil, captures every stochastic build decision so a
+	// Blueprint can replay the construction without consuming RNG state.
+	rec *decisionTrace
+	// rep, when non-nil, substitutes recorded decisions for fresh draws
+	// (Blueprint.Instantiate); repPos is the roll read cursor.
+	rep    *decisionTrace
+	repPos int
+	// shared, when non-nil, provides the frozen read-only world parts
+	// (geo, ASN, DNS membership, routes); the builder then skips
+	// regenerating them.
+	shared *sharedParts
+
 	nextAS int
 	// tier-1 core routers per tier-1 AS.
 	tier1 [][]*netsim.Router
@@ -75,12 +87,16 @@ type stubInfo struct {
 	hasQuirk bool // hosts a firewalled/scoped server: excluded from bleaching
 }
 
-// Build generates a world on the given simulator.
+// Build generates a world on the given simulator, drawing every
+// stochastic choice from the simulator's PRNG. For campaigns that build
+// one world per shard, Compile + Blueprint.Instantiate produce identical
+// worlds while paying the generation and routing cost once.
 func Build(sim *netsim.Sim, cfg Config) (*World, error) {
-	if err := validate(cfg); err != nil {
-		return nil, err
-	}
-	b := &builder{
+	return newBuilder(sim, cfg).run()
+}
+
+func newBuilder(sim *netsim.Sim, cfg Config) *builder {
+	return &builder{
 		cfg: cfg,
 		sim: sim,
 		w: &World{
@@ -95,6 +111,22 @@ func Build(sim *netsim.Sim, cfg Config) (*World, error) {
 		},
 		transitDown: make(map[geo.Region][]*netsim.Router),
 		transitIdx:  make(map[geo.Region]int),
+	}
+}
+
+func (b *builder) run() (*World, error) {
+	if err := validate(b.cfg); err != nil {
+		return nil, err
+	}
+	if b.shared != nil {
+		// Replay over a frozen blueprint: the read-only lookups are
+		// shared as-is (the builder consults ASN during construction, so
+		// they install up front); the DNS directory is cloned because
+		// its round-robin cursors are per-simulation state.
+		b.w.Geo = b.shared.geo
+		b.w.ASN = b.shared.asn
+		b.w.Directory = b.shared.dir.Clone()
+		b.w.CountryZones = b.shared.zones
 	}
 
 	b.buildTier1s()
@@ -115,10 +147,42 @@ func Build(sim *netsim.Sim, cfg Config) (*World, error) {
 		return nil, err
 	}
 
-	if err := b.w.Net.ComputeRoutes(); err != nil {
+	if b.shared != nil {
+		if err := b.w.Net.ImportRoutes(b.shared.routes); err != nil {
+			return nil, err
+		}
+	} else if err := b.w.Net.ComputeRoutes(); err != nil {
 		return nil, err
 	}
 	return b.w, nil
+}
+
+// drawPerm returns the firewall-placement permutation: a fresh draw from
+// the simulation PRNG (recorded when compiling a blueprint), or the
+// recorded one on replay.
+func (b *builder) drawPerm(n int) []int {
+	if b.rep != nil {
+		return b.rep.perm
+	}
+	perm := b.sim.RNG().Perm(n)
+	if b.rec != nil {
+		b.rec.perm = perm
+	}
+	return perm
+}
+
+// drawFloat returns the next role-assignment roll, fresh or replayed.
+func (b *builder) drawFloat() float64 {
+	if b.rep != nil {
+		v := b.rep.rolls[b.repPos]
+		b.repPos++
+		return v
+	}
+	v := b.sim.RNG().Float64()
+	if b.rec != nil {
+		b.rec.rolls = append(b.rec.rolls, v)
+	}
+	return v
 }
 
 func validate(cfg Config) error {
@@ -140,12 +204,15 @@ func validate(cfg Config) error {
 	return nil
 }
 
-// allocAS reserves the next AS index and registers its prefix.
+// allocAS reserves the next AS index and registers its prefix. On
+// blueprint replay the shared ASN table already holds the entry.
 func (b *builder) allocAS(name string, tier int) (int, asn.ASN) {
 	idx := b.nextAS
 	b.nextAS++
 	number := asn.ASN(1000 + idx)
-	b.w.ASN.Add(asPrefix(idx), asn.Info{ASN: number, Name: name, Tier: tier})
+	if b.shared == nil {
+		b.w.ASN.Add(asPrefix(idx), asn.Info{ASN: number, Name: name, Tier: tier})
+	}
 	return idx, number
 }
 
@@ -244,7 +311,7 @@ func (b *builder) buildStub(region geo.Region, country string, stubNum, nServers
 	b.w.Net.Connect(border, access, b.cfg.EdgeDelay/2, 0)
 	b.w.Net.Connect(border, b.nextTransit(region), b.cfg.EdgeDelay, 0)
 
-	if region != geo.Unknown {
+	if region != geo.Unknown && b.shared == nil {
 		coords := regionCoords[region]
 		b.w.Geo.Add(hostSubnet(asIdx), geo.Location{
 			Region:  region,
@@ -275,15 +342,18 @@ func (b *builder) buildStub(region geo.Region, country string, stubNum, nServers
 		if err := srv.NTP.AttachSim(host); err != nil {
 			return err
 		}
-		// Pool DNS registration: country zone plus region zone.
-		var zones []string
-		if country != "" {
-			zones = append(zones, country)
+		// Pool DNS registration: country zone plus region zone. The
+		// cloned blueprint directory already carries the membership.
+		if b.shared == nil {
+			var zones []string
+			if country != "" {
+				zones = append(zones, country)
+			}
+			if z, ok := regionZone[region]; ok {
+				zones = append(zones, z)
+			}
+			b.w.Directory.AddServer(addr, zones...)
 		}
-		if z, ok := regionZone[region]; ok {
-			zones = append(zones, z)
-		}
-		b.w.Directory.AddServer(addr, zones...)
 		b.w.Servers = append(b.w.Servers, srv)
 		b.w.byAddr[addr] = srv
 		stub.servers = append(stub.servers, srv)
@@ -429,6 +499,9 @@ func (b *builder) buildDNS() error {
 	}
 	b.w.DNSAddr = addr
 
+	if b.shared != nil {
+		return nil // CountryZones installed from the blueprint
+	}
 	zoneSet := map[string]bool{}
 	for _, region := range b.regionsInOrder() {
 		for _, c := range regionCountries[region] {
@@ -473,8 +546,7 @@ func (b *builder) allCloudPrefixes() []iptable.Prefix {
 // placeFirewalls selects the special servers and inserts their dedicated
 // site-firewall routers.
 func (b *builder) placeFirewalls() {
-	rng := b.sim.RNG()
-	perm := rng.Perm(len(b.w.Servers))
+	perm := b.drawPerm(len(b.w.Servers))
 	take := func(n int) []*Server {
 		out := make([]*Server, 0, n)
 		for len(out) < n && len(perm) > 0 {
@@ -643,9 +715,8 @@ func (b *builder) placeBleachers() {
 // 2's per-location counts while leaving the overall correlation weak
 // (most UDP-ECT-blocked servers still negotiate ECN over TCP).
 func (b *builder) assignServerRoles() {
-	rng := b.sim.RNG()
 	for _, s := range b.w.Servers {
-		if rng.Float64() >= b.cfg.WebServerFraction {
+		if b.drawFloat() >= b.cfg.WebServerFraction {
 			continue
 		}
 		s.Web = true
@@ -653,14 +724,14 @@ func (b *builder) assignServerRoles() {
 		if s.ECTUDPFirewalled || s.ScopedECT {
 			ecnFrac = b.cfg.FirewalledTCPECNFraction
 		}
-		s.WebECN = rng.Float64() < ecnFrac
+		s.WebECN = b.drawFloat() < ecnFrac
 		s.Stack = tcpsim.NewStack(s.Host)
 		// Pool web servers redirect to www.pool.ntp.org.
 		l, err := httpmin.Serve(s.Stack, httpmin.Port, s.WebECN, httpmin.PoolHandler)
 		if err != nil {
 			continue // ports are builder-controlled; cannot happen
 		}
-		if s.WebECN && rng.Float64() < b.cfg.BrokenECEFraction {
+		if s.WebECN && b.drawFloat() < b.cfg.BrokenECEFraction {
 			s.BrokenECE = true
 			l.BrokenECE = true
 		}

@@ -175,6 +175,28 @@ func (w *World) ApplyTraceConditions(v *Vantage, batch Batch, rng *rand.Rand) {
 	}
 }
 
+// ResetTransientState returns every piece of per-trace mutable world
+// state to its canonical baseline: all hosts online, access-link loss
+// cleared, AQM queue control state reset. The sharded campaign engine
+// calls it (before ApplyTraceConditions) at each trace boundary and
+// before the traceroute sweep, so a measurement phase's behaviour is a
+// function of its own seed and traffic alone — never of which phases
+// happened to run earlier in the same simulator. That history-freedom is
+// what makes the merged dataset byte-identical however the campaign is
+// sliced into shards.
+func (w *World) ResetTransientState() {
+	for _, s := range w.Servers {
+		s.Host.SetOnline(true)
+		s.Host.Uplink().SetLossBoth(0)
+	}
+	for _, v := range w.Vantages {
+		v.Host.Uplink().SetLossBoth(0)
+	}
+	for _, bn := range w.Bottlenecks {
+		bn.Queue.ResetTransient()
+	}
+}
+
 func (w *World) String() string {
 	return fmt.Sprintf("topology.World{%d servers, %d vantages, %d routers, %d ASes}",
 		len(w.Servers), len(w.Vantages), len(w.Net.Routers()), w.ASN.ASCount())

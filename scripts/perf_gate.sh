@@ -3,27 +3,32 @@
 #
 # Runs the hot-path benchmark set twice — once in a git worktree of the
 # base ref, once in the current tree — renders a benchstat comparison,
-# and fails on either of:
+# and fails on any of:
 #
 #   * >PERF_GATE_MAX_REGRESSION_PCT (default 10) slowdown in campaign
 #     wall-clock (BenchmarkCampaignWorkers);
-#   * any allocs/op > 0 on the pooled packet-path benchmarks
-#     (BenchmarkCEMarkThroughput, BenchmarkBuildUDPBuf).
+#   * >PERF_GATE_MAX_REGRESSION_PCT slowdown in the per-shard world
+#     setup cost (BenchmarkShardBuild) — shared frozen blueprints
+#     collapsed it from a full generation + all-pairs routing to a
+#     lightweight instantiation, and this gate keeps it collapsed;
+#   * any allocs/op > 0 on the pooled packet-path and scheduler
+#     benchmarks (BenchmarkCEMarkThroughput, BenchmarkBuildUDPBuf,
+#     BenchmarkSimSchedule).
 #
 # Environment knobs:
 #   PERF_GATE_BASE                base ref to compare against (default origin/main)
 #   PERF_GATE_COUNT               benchmark repetitions (default 5)
-#   PERF_GATE_MAX_REGRESSION_PCT  campaign slowdown tolerance (default 10)
+#   PERF_GATE_MAX_REGRESSION_PCT  wall-clock slowdown tolerance (default 10)
 set -euo pipefail
 
 BASE_REF="${PERF_GATE_BASE:-origin/main}"
 COUNT="${PERF_GATE_COUNT:-5}"
 MAX_PCT="${PERF_GATE_MAX_REGRESSION_PCT:-10}"
 # Campaign runs few iterations (each is a whole campaign); the packet
-# hot-path benches run many so pool warmup amortises to a true
-# 0 allocs/op steady state.
-CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$'
-HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$'
+# and scheduler hot-path benches run many so pool warmup amortises to a
+# true 0 allocs/op steady state.
+CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$|BenchmarkShardBuild$'
+HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$|BenchmarkSimSchedule'
 
 root="$(git rev-parse --show-toplevel)"
 cd "$root"
@@ -40,7 +45,7 @@ run_bench() (
     REPRO_SCALE=small REPRO_TRACES=2 go test -run='^$' -bench="$CAMPAIGN_FILTER" \
         -benchmem -benchtime=2x -count="$COUNT" ./internal/campaign/
     go test -run='^$' -bench="$HOTPATH_FILTER" \
-        -benchmem -benchtime=20000x -count="$COUNT" ./internal/aqm/ ./internal/packet/
+        -benchmem -benchtime=20000x -count="$COUNT" ./internal/aqm/ ./internal/packet/ ./internal/netsim/
 )
 
 echo "perf-gate: benchmarking working tree (count=$COUNT)..."
@@ -62,21 +67,26 @@ fi
 
 fail=0
 
-# Gate 1: zero allocs/op on the pooled packet-path benchmarks.
-bad_allocs="$(awk '/^Benchmark(CEMarkThroughput|BuildUDPBuf)/ {
+# Gate 1: zero allocs/op on the pooled packet-path and scheduler
+# benchmarks.
+bad_allocs="$(awk '/^Benchmark(CEMarkThroughput|BuildUDPBuf|SimSchedule)/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i+0 > 0) print $1, $i, "allocs/op"
 }' "$work/head.txt" | sort -u)"
 if [ -n "$bad_allocs" ]; then
-    echo "perf-gate: FAIL — pooled packet-path benchmarks must report 0 allocs/op:"
+    echo "perf-gate: FAIL — pooled packet-path and scheduler benchmarks must report 0 allocs/op:"
     echo "$bad_allocs"
     fail=1
 fi
 
-# Gate 2: campaign wall-clock regression vs base, on mean ns/op.
+# Gate 2: wall-clock regression vs base, on mean ns/op, for the campaign
+# and the per-shard world setup. A benchmark absent on base (or whose
+# base meaning differs — BenchmarkShardBuild predates shared worlds)
+# can only pass or improve; the comparison keeps it from regressing
+# again afterwards.
 regressions="$(awk -v maxpct="$MAX_PCT" '
     function basename(n) { sub(/-[0-9]+$/, "", n); return n }
     FNR == 1 { file++ }
-    /^BenchmarkCampaignWorkers/ {
+    /^Benchmark(CampaignWorkers|ShardBuild)/ {
         for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") {
             n = basename($1)
             if (file == 1) { hsum[n] += $i; hcnt[n]++ } else { bsum[n] += $i; bcnt[n]++ }
@@ -93,7 +103,7 @@ regressions="$(awk -v maxpct="$MAX_PCT" '
         exit bad
     }
 ' "$work/head.txt" "$work/base.txt")" || {
-    echo "perf-gate: FAIL — campaign wall-clock regressed more than ${MAX_PCT}%:"
+    echo "perf-gate: FAIL — wall-clock regressed more than ${MAX_PCT}%:"
     echo "$regressions"
     fail=1
 }
