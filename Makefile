@@ -20,14 +20,16 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_4.json — campaign wall-clock for all three scenarios plus
-# worker × slice scaling rows, world compile/instantiate fixed costs,
-# scheduler (wheel vs heap) throughput, pooled AQM CE-mark throughput,
+# BENCH_5.json — campaign wall-clock for all three scenarios under both
+# cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
+# the phantom/replayed event split) plus worker × slice scaling rows,
+# world compile/instantiate fixed costs, scheduler (wheel vs heap,
+# dense and sparse kernels) throughput, pooled AQM CE-mark throughput,
 # and pooled packet-build cost, all with allocs/op — which CI uploads
 # as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_4.json
+	$(GO) run ./cmd/benchreport -o BENCH_5.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -55,7 +57,8 @@ lint:
 # determinism promotes the parallelism-invariance tests to a pipeline
 # check: for every scenario the merged dataset SHA-256 must be
 # identical across slices {1,2,8} × workers {1,4,13}, on both the
-# timing-wheel and heap schedulers.
+# timing-wheel and heap schedulers, under both cross-traffic drives
+# (lazy catch-up replay and the event-per-boundary oracle).
 determinism:
 	$(GO) run ./cmd/determinism
 

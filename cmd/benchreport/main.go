@@ -1,6 +1,6 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_4.json) as a build artifact, so regressions in campaign
+// output (BENCH_5.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
 // Four metric families:
@@ -8,20 +8,23 @@
 //   - campaign wall-clock: the small-scale sharded campaign under every
 //     scenario — uncongested, congested-edge and congested-transit (the
 //     congested rows also record the CE-mark ratios as a calibration
-//     canary) — plus worker × slice scaling rows that show how
-//     sub-vantage sharding packs the worker pool;
+//     canary). Congested scenarios run under both cross-traffic drives:
+//     the lazy catch-up replay (the default) and the legacy
+//     event-per-phantom-boundary oracle, with each row reporting the
+//     phantom-boundary split (events vs replayed) so the saved
+//     scheduler work is visible. Worker × slice scaling rows follow;
 //   - world setup: compiling the frozen topology blueprint (once per
 //     campaign) vs instantiating a shard world from it (once per
 //     shard) — the fixed costs sharding multiplies;
-//   - scheduler throughput: the simulator event loop on the mixed
-//     near/far timer workload, timing wheel vs heap fallback, with
-//     allocs/op (must be zero);
+//   - scheduler throughput: the simulator event loop on the dense mixed
+//     near/far timer kernel and on the sparse-timeline kernel, timing
+//     wheel vs heap fallback, with allocs/op (must be zero);
 //   - CE-mark throughput and packet build: the pooled per-packet costs,
 //     also required allocation-free.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_4.json] [-seed N] [-traces N]
+//	benchreport [-o BENCH_5.json] [-seed N] [-traces N]
 package main
 
 import (
@@ -49,11 +52,17 @@ type campaignRow struct {
 	Traces      int     `json:"traces_per_vantage"`
 	Workers     int     `json:"workers"`
 	Slices      int     `json:"slices_per_vantage"`
+	XTraffic    string  `json:"xtraffic"`
 	Shards      int     `json:"shards"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Events      uint64  `json:"events"`
-	TracesRun   int     `json:"traces_run"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	// PhantomEvents counts phantom serialization boundaries that ran as
+	// scheduler events; ReplayedBoundaries counts the ones the lazy
+	// drive replayed arithmetically. Their sum is drive-invariant.
+	PhantomEvents      uint64 `json:"events_phantom"`
+	ReplayedBoundaries uint64 `json:"boundaries_replayed"`
+	TracesRun          int    `json:"traces_run"`
+	AllocsPerOp        int64  `json:"allocs_per_op"`
 	// Congested scenarios only: the CE-mark report aggregates.
 	ObservedCERatio float64 `json:"ce_observed_ratio,omitempty"`
 	QueueMarkRatio  float64 `json:"ce_queue_ratio,omitempty"`
@@ -78,13 +87,13 @@ type report struct {
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_4.json", "output path (- for stdout)")
+		out    = flag.String("o", "BENCH_5.json", "output path (- for stdout)")
 		seed   = flag.Int64("seed", 2015, "campaign seed")
 		traces = flag.Int("traces", 2, "traces per vantage")
 	)
 	flag.Parse()
 
-	rep := report{Schema: "repro-bench/4", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/5", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
@@ -97,9 +106,15 @@ func main() {
 	}
 	rep.HotPaths = append(rep.HotPaths, benchBuildUDP())
 
-	// Scenario rows: every congestion scenario at the default shape.
+	// Scenario rows: every congestion scenario at the default shape on
+	// the lazy cross-traffic drive, plus the event-per-phantom-boundary
+	// oracle for the congested scenarios — the before/after pair whose
+	// event counts and wall-clock quantify the coalesced fast path.
 	for _, scenario := range campaign.Scenarios() {
-		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, *seed, *traces, 0, 0))
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, "lazy", *seed, *traces, 0, 0))
+		if scenario != campaign.ScenarioUncongested {
+			rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, "events", *seed, *traces, 0, 0))
+		}
 	}
 	// Scaling rows: worker pool × sub-vantage slicing on the uncongested
 	// baseline. With slices > 1 the campaign splits into more shards
@@ -109,7 +124,7 @@ func main() {
 		{1, 1}, {4, 1}, {8, 1}, {8, 2}, {8, 4},
 	} {
 		rep.Campaigns = append(rep.Campaigns,
-			benchCampaign(campaign.ScenarioUncongested, *seed, *traces, shape.workers, shape.slices))
+			benchCampaign(campaign.ScenarioUncongested, "lazy", *seed, *traces, shape.workers, shape.slices))
 	}
 
 	w := os.Stdout
@@ -136,8 +151,9 @@ func main() {
 }
 
 // benchCampaign runs one small-scale campaign and records wall clock,
-// executed events, and allocations per campaign run.
-func benchCampaign(scenario string, seed int64, traces, workers, slices int) campaignRow {
+// executed events (with the phantom-vs-foreground split), and
+// allocations per campaign run.
+func benchCampaign(scenario, xtraffic string, seed int64, traces, workers, slices int) campaignRow {
 	cfg := campaign.Config{
 		Scale:            "small",
 		Scenario:         scenario,
@@ -145,6 +161,7 @@ func benchCampaign(scenario string, seed int64, traces, workers, slices int) cam
 		Seed:             seed,
 		Workers:          workers,
 		SlicesPerVantage: slices,
+		XTraffic:         xtraffic,
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -162,16 +179,19 @@ func benchCampaign(scenario string, seed int64, traces, workers, slices int) cam
 		slices = 1
 	}
 	row := campaignRow{
-		Scenario:    scenario,
-		Scale:       "small",
-		Traces:      traces,
-		Workers:     workers,
-		Slices:      slices,
-		Shards:      len(res.Shards),
-		WallSeconds: wall,
-		Events:      res.Events,
-		TracesRun:   len(res.Dataset.Traces),
-		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		Scenario:           scenario,
+		Scale:              "small",
+		Traces:             traces,
+		Workers:            workers,
+		Slices:             slices,
+		XTraffic:           xtraffic,
+		Shards:             len(res.Shards),
+		WallSeconds:        wall,
+		Events:             res.Events,
+		PhantomEvents:      res.PhantomEvents,
+		ReplayedBoundaries: res.ReplayedBoundaries,
+		TracesRun:          len(res.Dataset.Traces),
+		AllocsPerOp:        int64(after.Mallocs - before.Mallocs),
 	}
 	if len(res.Congestion) > 0 {
 		ce := analysis.ComputeCEMarkReport(res.Congestion)
@@ -213,30 +233,40 @@ func benchWorldSetup(seed int64) []hotPathRow {
 	}
 }
 
-// benchScheduler measures the simulator event loop on a mixed near/far
-// timer churn — the workload shape campaigns produce — for the default
-// timing wheel and the heap fallback.
+// benchScheduler measures the simulator event loop on both shared
+// kernels — the dense mixed near/far timer churn and the sparse
+// timeline — for the default timing wheel and the heap fallback.
 func benchScheduler() []hotPathRow {
+	kernels := []struct {
+		suffix string
+		run    func(*netsim.Sim, int)
+	}{
+		// The same kernels the perf-gated BenchmarkSimSchedule and
+		// BenchmarkSimScheduleSparse run, so these rows track the gate.
+		{"", netsim.ScheduleBenchWorkload},
+		{"-sparse", netsim.ScheduleBenchWorkloadSparse},
+	}
 	var rows []hotPathRow
-	for _, sched := range []netsim.Scheduler{netsim.SchedWheel, netsim.SchedHeap} {
-		// netsim.ScheduleBenchWorkload is the same kernel the perf-gated
-		// BenchmarkSimSchedule runs, so this row tracks the gate. Each
-		// calibration run gets a fresh, warmed simulator so the measured
-		// region matches the go-test benchmark's shape.
-		r := testing.Benchmark(func(b *testing.B) {
-			b.StopTimer()
-			s := netsim.NewSimSched(1, sched)
-			netsim.ScheduleBenchWorkload(s, 4096) // warm the slab and free list
-			b.ReportAllocs()
-			b.StartTimer()
-			netsim.ScheduleBenchWorkload(s, b.N)
-		})
-		rows = append(rows, hotPathRow{
-			Name:         "sim/sched-" + sched.Name(),
-			NsPerOp:      float64(r.NsPerOp()),
-			EventsPerSec: 1e9 / float64(r.NsPerOp()),
-			AllocsPerOp:  r.AllocsPerOp(),
-		})
+	for _, k := range kernels {
+		for _, sched := range []netsim.Scheduler{netsim.SchedWheel, netsim.SchedHeap} {
+			// Each calibration run gets a fresh, warmed simulator so the
+			// measured region matches the go-test benchmark's shape.
+			sched, kernel := sched, k.run
+			r := testing.Benchmark(func(b *testing.B) {
+				b.StopTimer()
+				s := netsim.NewSimSched(1, sched)
+				kernel(s, 4096) // warm the slab and free list
+				b.ReportAllocs()
+				b.StartTimer()
+				kernel(s, b.N)
+			})
+			rows = append(rows, hotPathRow{
+				Name:         "sim/sched-" + sched.Name() + k.suffix,
+				NsPerOp:      float64(r.NsPerOp()),
+				EventsPerSec: 1e9 / float64(r.NsPerOp()),
+				AllocsPerOp:  r.AllocsPerOp(),
+			})
+		}
 	}
 	return rows
 }

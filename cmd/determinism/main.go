@@ -11,11 +11,14 @@
 // and sequential through one-goroutine-per-vantage, matching the
 // TestSliceCountInvariance and TestWorkerCountInvariance tiers. The
 // -sched flag reruns the grid on the heap scheduler fallback, whose
-// hashes must equal the timing wheel's.
+// hashes must equal the timing wheel's; the -xtraffic flag reruns it
+// with the congestion substrate's cross-traffic driven lazily (the
+// default arithmetic catch-up replay) and event-per-boundary (the
+// legacy differential oracle) — the two drives must also hash equal.
 //
 // Usage:
 //
-//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenarios a,b] [-sched wheel,heap]
+//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenarios a,b] [-sched wheel,heap] [-xtraffic lazy,events]
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		slices    = flag.String("slices", "1,2,8", "comma-separated sub-vantage slice counts")
 		scenarios = flag.String("scenarios", strings.Join(campaign.Scenarios(), ","), "comma-separated scenarios")
 		scheds    = flag.String("sched", "wheel,heap", "comma-separated simulator schedulers")
+		xtraffics = flag.String("xtraffic", "lazy,events", "comma-separated cross-traffic drives")
 	)
 	flag.Parse()
 
@@ -55,23 +59,26 @@ func main() {
 	for _, scenario := range strings.Split(*scenarios, ",") {
 		scenario = strings.TrimSpace(scenario)
 		var ref string
-		for _, sched := range strings.Split(*scheds, ",") {
-			sched = strings.TrimSpace(sched)
-			for _, sl := range sliceCounts {
-				for _, w := range workerCounts {
-					sum, err := runHash(*seed, *traces, scenario, w, sl, sched)
-					if err != nil {
-						fatal("scenario %s sched=%s slices=%d workers=%d: %v", scenario, sched, sl, w, err)
-					}
-					fmt.Printf("%s  scenario=%s sched=%s slices=%d workers=%d\n", sum, scenario, sched, sl, w)
-					runs++
-					if ref == "" {
-						ref = sum
-					} else if sum != ref {
-						fmt.Fprintf(os.Stderr,
-							"determinism: FAIL: scenario %s diverges at sched=%s slices=%d workers=%d\n",
-							scenario, sched, sl, w)
-						failed = true
+		for _, xtraffic := range strings.Split(*xtraffics, ",") {
+			xtraffic = strings.TrimSpace(xtraffic)
+			for _, sched := range strings.Split(*scheds, ",") {
+				sched = strings.TrimSpace(sched)
+				for _, sl := range sliceCounts {
+					for _, w := range workerCounts {
+						sum, err := runHash(*seed, *traces, scenario, w, sl, sched, xtraffic)
+						if err != nil {
+							fatal("scenario %s sched=%s xtraffic=%s slices=%d workers=%d: %v", scenario, sched, xtraffic, sl, w, err)
+						}
+						fmt.Printf("%s  scenario=%s sched=%s xtraffic=%s slices=%d workers=%d\n", sum, scenario, sched, xtraffic, sl, w)
+						runs++
+						if ref == "" {
+							ref = sum
+						} else if sum != ref {
+							fmt.Fprintf(os.Stderr,
+								"determinism: FAIL: scenario %s diverges at sched=%s xtraffic=%s slices=%d workers=%d\n",
+								scenario, sched, xtraffic, sl, w)
+							failed = true
+						}
 					}
 				}
 			}
@@ -80,12 +87,12 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler grid\n", runs)
+	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler × cross-traffic grid\n", runs)
 }
 
 // runHash executes one campaign and returns the SHA-256 of its merged
 // dataset in canonical JSON-lines form.
-func runHash(seed int64, traces int, scenario string, workers, slices int, sched string) (string, error) {
+func runHash(seed int64, traces int, scenario string, workers, slices int, sched, xtraffic string) (string, error) {
 	cfg := campaign.Config{
 		Scale:            "small",
 		Scenario:         scenario,
@@ -94,6 +101,7 @@ func runHash(seed int64, traces int, scenario string, workers, slices int, sched
 		Workers:          workers,
 		SlicesPerVantage: slices,
 		Scheduler:        sched,
+		XTraffic:         xtraffic,
 	}
 	res, err := campaign.Run(cfg)
 	if err != nil {

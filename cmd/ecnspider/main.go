@@ -19,14 +19,19 @@
 // congested-edge; congested-transit) — congested runs append a CE-mark
 // report to stderr. -slices N lifts campaign parallelism past the 13
 // vantage points (13×N shards); -sched heap selects the simulator's
-// binary-heap fallback instead of the default timing wheel, for
-// differential runs.
+// binary-heap fallback instead of the default timing wheel, and
+// -xtraffic events the legacy event-per-phantom-boundary cross-traffic
+// drive instead of the default lazy catch-up replay, both for
+// differential runs. -cpuprofile/-memprofile write pprof profiles of
+// the campaign for hot-path work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,11 +51,28 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
 		slices   = flag.Int("slices", 0, "sub-vantage slices per vantage (0 = 1: one shard per vantage)")
 		sched    = flag.String("sched", "", "simulator scheduler: wheel (default) or heap")
+		xtraffic = flag.String("xtraffic", "", "cross-traffic drive: lazy (default) or events")
 		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
 		out      = flag.String("o", "dataset.jsonl", "output dataset path (- for stdout)")
 		pcapPath = flag.String("pcap", "", "capture the first shard's vantage traffic to this pcap file (last 100k packets)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a post-campaign heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("create %s: %v", *cpuProf, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("start cpu profile: %v", err)
+		}
+		// fatal exits via os.Exit, which skips defers — register the
+		// flush with it too, so a profile of a failing run is readable.
+		stopProfile = pprof.StopCPUProfile
+		defer pprof.StopCPUProfile()
+	}
 
 	perVantage := 2
 	if *scale == "paper" {
@@ -69,6 +91,7 @@ func main() {
 		Workers:          *workers,
 		SlicesPerVantage: *slices,
 		Scheduler:        *sched,
+		XTraffic:         *xtraffic,
 	}
 
 	// Optional tcpdump-style capture, like the parallel capture sessions
@@ -110,6 +133,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "campaign: %d traces over %d servers in %d shards, %d events, %v virtual, %.2fs real\n",
 		len(res.Dataset.Traces), len(res.Servers), len(res.Shards), res.Events,
 		virtual.Round(time.Second), time.Since(start).Seconds())
+	if res.PhantomEvents > 0 || res.ReplayedBoundaries > 0 {
+		fmt.Fprintf(os.Stderr, "cross-traffic: %d phantom boundary events, %d boundaries replayed without events\n",
+			res.PhantomEvents, res.ReplayedBoundaries)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal("create %s: %v", *memProf, err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("write heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("close %s: %v", *memProf, err)
+		}
+	}
 	if len(res.Congestion) > 0 {
 		fmt.Fprint(os.Stderr, analysis.RenderCEMarkReport(analysis.ComputeCEMarkReport(res.Congestion)))
 	}
@@ -148,7 +189,13 @@ func main() {
 	}
 }
 
+// stopProfile flushes an active CPU profile before a fatal exit.
+var stopProfile func()
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ecnspider: "+format+"\n", args...)
+	if stopProfile != nil {
+		stopProfile()
+	}
 	os.Exit(1)
 }

@@ -84,7 +84,8 @@ func NewPhantom(size int) *Packet {
 
 // Free ends the packet's life on a drop path: the wire buffer (if any)
 // is released and a pooled shell returns to the pool. Freeing a
-// literal Packet only detaches its buffer reference.
+// literal Packet (or a queue's reusable phantom shell) only detaches
+// its buffer reference.
 func (p *Packet) Free() {
 	p.buf.Release()
 	p.buf = nil
@@ -206,6 +207,22 @@ type Queue interface {
 	Bytes() int
 	Enqueue(now time.Duration, p *Packet) bool
 	Dequeue(now time.Duration) (*Packet, bool)
+	// EnqueuePhantoms is the batch-advance entry point for background
+	// cross-traffic: it admits up to n phantom packets of the given size
+	// at time now, taking exactly the same per-packet decision sequence —
+	// EWMA updates, uniformization counting, PRNG draws, tail drops — as
+	// n individual NewPhantom+Enqueue calls, and reports how many were
+	// admitted. The lazy catch-up transmitter uses it so a replayed burst
+	// of arrivals is indistinguishable, state- and stream-wise, from the
+	// event-driven equivalent.
+	EnqueuePhantoms(now time.Duration, size, n int) int
+	// DropsAtDequeue reports whether the discipline may discard packets
+	// at dequeue time (CoDel's head drop). Disciplines that decide a
+	// packet's fate entirely at enqueue (DropTail, RED) let the link
+	// transmitter precompute a queued packet's serialization schedule
+	// exactly; head-dropping disciplines cannot, and fall back to
+	// event-driven boundaries while foreground packets are queued.
+	DropsAtDequeue() bool
 	Stats() Stats
 	// ResetTransient returns the discipline's control state (EWMA
 	// averages, uniformization counters, dropping-state machines) to its
@@ -235,16 +252,34 @@ func New(name string, capacity int, rng *rand.Rand) (Queue, error) {
 	}
 }
 
+// entry is one queued slot. Foreground packets are retained through
+// pkt; phantom background packets are stored as pure (size, arrival-
+// time) tuples — no shell, no pointer — so a congested campaign can
+// cycle millions of background packets through a queue without touching
+// the allocator, the GC's pointer maps, or any pool.
+type entry struct {
+	pkt     *Packet // nil for phantom background entries
+	size    int32
+	arrived time.Duration
+}
+
 // fifo is the bounded FIFO buffer shared by every discipline. It keeps
 // the Stats bookkeeping in one place; disciplines layer their
 // congestion actions on top. The backing array is reused (compacted in
 // place), so the queue itself never allocates in steady state.
 type fifo struct {
-	pkts    []*Packet
+	pkts    []entry
 	head    int
 	bytes   int
 	maxPkts int
 	stats   Stats
+	// ingress and egress are the queue's reusable phantom shells:
+	// EnqueuePhantoms offers arrivals through ingress (admit consumes
+	// the shell into a tuple entry), and pop serves a phantom through
+	// egress — the transmitter holds at most one dequeued phantom at a
+	// time, completing its serialization before the next pop.
+	ingress Packet
+	egress  Packet
 }
 
 func newFifo(capacity int) fifo {
@@ -260,27 +295,33 @@ func (f *fifo) Bytes() int   { return f.bytes }
 func (f *fifo) Stats() Stats { return f.stats }
 
 // admit records and appends an accepted packet. Callers have already
-// taken the discipline's decision.
+// taken the discipline's decision. A phantom is admitted as a tuple
+// entry and its shell freed; a foreground packet is retained.
 func (f *fifo) admit(now time.Duration, p *Packet) {
-	p.Arrived = now
-	f.pkts = append(f.pkts, p)
-	f.bytes += p.Size
+	e := entry{size: int32(p.Size), arrived: now}
 	f.stats.Enqueued++
 	if !p.Phantom() {
+		p.Arrived = now
+		e.pkt = p
 		f.stats.WireEnqueued++
 		if p.ECN().IsECT() {
 			f.stats.WireECT++
 		}
+	} else {
+		p.Free() // the tuple entry replaces the shell
 	}
+	f.pkts = append(f.pkts, e)
+	f.bytes += int(e.size)
 }
 
-// pop removes the head packet, maintaining sojourn accounting.
+// pop removes the head packet, maintaining sojourn accounting. Phantom
+// entries are served through the reusable egress shell.
 func (f *fifo) pop(now time.Duration) (*Packet, bool) {
 	if f.Len() == 0 {
 		return nil, false
 	}
-	p := f.pkts[f.head]
-	f.pkts[f.head] = nil
+	e := f.pkts[f.head]
+	f.pkts[f.head] = entry{}
 	f.head++
 	// Compact once the dead prefix dominates, keeping amortized O(1).
 	if f.head > 64 && f.head*2 >= len(f.pkts) {
@@ -288,15 +329,67 @@ func (f *fifo) pop(now time.Duration) (*Packet, bool) {
 		f.pkts = f.pkts[:n]
 		f.head = 0
 	}
-	f.bytes -= p.Size
+	f.bytes -= int(e.size)
 	f.stats.Dequeued++
-	f.stats.SumSojourn += now - p.Arrived
+	f.stats.SumSojourn += now - e.arrived
+	p := e.pkt
+	if p == nil {
+		// Serve the phantom through the reusable egress shell. Wire and
+		// buf are permanently nil on it (Free never populates them), so
+		// only the tuple fields need refreshing.
+		p = &f.egress
+		p.Size = int(e.size)
+		p.Arrived = e.arrived
+	}
 	return p, true
 }
 
 // observeArrival records the backlog an arriving packet found.
 func (f *fifo) observeArrival() {
 	f.stats.SumBacklog += uint64(f.Len())
+}
+
+// enqueuePhantoms is the generic batch-advance fallback: a plain loop
+// over the discipline's own Enqueue through the reusable ingress shell.
+// The disciplines implement native batch entry points that run the same
+// decision arithmetic directly on tuple entries; the property tests in
+// aqm_test.go hold batch and single-step advancement equal, which keeps
+// native paths honest against this definition.
+func enqueuePhantoms(q Queue, f *fifo, now time.Duration, size, n int) int {
+	admitted := 0
+	f.ingress = Packet{Size: size}
+	for i := 0; i < n; i++ {
+		if q.Enqueue(now, &f.ingress) {
+			admitted++
+		}
+	}
+	return admitted
+}
+
+// admitPhantom appends a phantom tuple entry, with exactly admit's
+// bookkeeping for a phantom packet.
+func (f *fifo) admitPhantom(now time.Duration, size int) {
+	f.stats.Enqueued++
+	f.pkts = append(f.pkts, entry{size: int32(size), arrived: now})
+	f.bytes += size
+}
+
+// enqueuePhantomsTailDrop is the native batch loop for disciplines
+// whose enqueue law is pure tail-drop (DropTail, CoDel — their control
+// intelligence lives elsewhere): observe, drop when full, admit a
+// tuple entry otherwise.
+func (f *fifo) enqueuePhantomsTailDrop(now time.Duration, size, n int) int {
+	admitted := 0
+	for i := 0; i < n; i++ {
+		f.observeArrival()
+		if f.Len() >= f.Cap() {
+			f.tailDrop()
+			continue
+		}
+		f.admitPhantom(now, size)
+		admitted++
+	}
+	return admitted
 }
 
 // congest applies the RFC 3168 congestion action to p: ECT-capable

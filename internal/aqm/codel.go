@@ -62,6 +62,18 @@ func (q *CoDel) Enqueue(now time.Duration, p *Packet) bool {
 	return true
 }
 
+// EnqueuePhantoms implements Queue: CoDel admits everything short of a
+// full buffer — its intelligence runs at dequeue — so the enqueue law
+// is the shared tail-drop batch loop.
+func (q *CoDel) EnqueuePhantoms(now time.Duration, size, n int) int {
+	return q.enqueuePhantomsTailDrop(now, size, n)
+}
+
+// DropsAtDequeue implements Queue: the control law may discard not-ECT
+// heads inside Dequeue, so a queued packet's serialization time is not
+// knowable at enqueue.
+func (q *CoDel) DropsAtDequeue() bool { return true }
+
 // Dequeue implements Queue: the control law runs here, on the packet
 // that has waited longest.
 func (q *CoDel) Dequeue(now time.Duration) (*Packet, bool) {

@@ -33,6 +33,15 @@ func (q *DropTail) Enqueue(now time.Duration, p *Packet) bool {
 	return true
 }
 
+// EnqueuePhantoms implements Queue: DropTail's enqueue law is pure
+// tail-drop, shared with CoDel's batch loop.
+func (q *DropTail) EnqueuePhantoms(now time.Duration, size, n int) int {
+	return q.enqueuePhantomsTailDrop(now, size, n)
+}
+
+// DropsAtDequeue implements Queue: DropTail decides at enqueue only.
+func (q *DropTail) DropsAtDequeue() bool { return false }
+
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue(now time.Duration) (*Packet, bool) {
 	return q.pop(now)

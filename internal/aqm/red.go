@@ -81,6 +81,25 @@ func (q *RED) ResetTransient() {
 
 // Enqueue implements Queue: the accept/mark/drop decision point.
 func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
+	full, action := q.arrive(now)
+	if full {
+		q.tailDrop()
+		p.Free()
+		return false
+	}
+	if action && !q.congest(p) {
+		p.Free()
+		return false // not-ECT: the congestion action was a drop
+	}
+	q.admit(now, p)
+	return true
+}
+
+// arrive runs the per-arrival control law — backlog observation, idle
+// aging, the EWMA update, and (below capacity) the uniformized action
+// decision with its PRNG draw. Both Enqueue and EnqueuePhantoms run
+// exactly this, so the two entry points cannot drift.
+func (q *RED) arrive(now time.Duration) (full, action bool) {
 	q.observeArrival()
 
 	// Age the average across an idle period: the queue was empty, so
@@ -95,12 +114,9 @@ func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 	q.avg += q.Wq * (float64(q.Len()) - q.avg)
 
 	if q.Len() >= q.Cap() {
-		q.tailDrop()
-		p.Free()
-		return false
+		return true, false // tail drop territory: no action draw
 	}
 
-	action := false
 	switch {
 	case q.avg >= q.MaxTh:
 		action = true
@@ -121,14 +137,34 @@ func (q *RED) Enqueue(now time.Duration, p *Packet) bool {
 	default:
 		q.count = 0
 	}
-
-	if action && !q.congest(p) {
-		p.Free()
-		return false // not-ECT: the congestion action was a drop
-	}
-	q.admit(now, p)
-	return true
+	return false, action
 }
+
+// EnqueuePhantoms implements Queue: n phantom arrivals at now, each
+// taking the full per-arrival RED decision via the shared arrive law —
+// identically to n single Enqueue calls, the property
+// TestBatchAdvanceEqualsSingleSteps pins. A phantom is always ECT(0),
+// so a congestion action is always a mark, never a wire rewrite or a
+// drop, and admission is a tuple entry.
+func (q *RED) EnqueuePhantoms(now time.Duration, size, n int) int {
+	admitted := 0
+	for i := 0; i < n; i++ {
+		full, action := q.arrive(now)
+		if full {
+			q.tailDrop()
+			continue
+		}
+		if action {
+			q.stats.CEMarked++
+		}
+		q.admitPhantom(now, size)
+		admitted++
+	}
+	return admitted
+}
+
+// DropsAtDequeue implements Queue: RED decides at enqueue only.
+func (q *RED) DropsAtDequeue() bool { return false }
 
 // Dequeue implements Queue.
 func (q *RED) Dequeue(now time.Duration) (*Packet, bool) {

@@ -115,6 +115,13 @@ type Config struct {
 	// (the legacy binary heap, kept for differential testing; env
 	// REPRO_SCHED). The merged result does not depend on the choice.
 	Scheduler string
+	// XTraffic selects the congestion substrate's cross-traffic drive:
+	// "lazy" (the default — phantom serialization boundaries replay in
+	// an arithmetic catch-up loop, never as events) or "events" (the
+	// legacy one-event-per-boundary path, kept as a differential
+	// oracle; env REPRO_XTRAFFIC). The merged result does not depend on
+	// the choice.
+	XTraffic string
 
 	// ShardHook, when non-nil, runs in the worker goroutine after a
 	// shard's world is built and reseeded but before its campaign starts
@@ -135,6 +142,7 @@ type Config struct {
 //	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
 //	REPRO_SLICES=N            sub-shards per vantage (default 1)
 //	REPRO_SCHED=wheel|heap    simulator scheduler   (default wheel)
+//	REPRO_XTRAFFIC=lazy|events cross-traffic drive  (default lazy)
 //
 // Malformed values are an error, not a silent fallback: these knobs
 // select entire measurement campaigns, and a typo'd REPRO_TRACES=1O
@@ -144,6 +152,7 @@ func FromEnv() (Config, error) {
 		Scale:      os.Getenv("REPRO_SCALE"),
 		Scenario:   os.Getenv("REPRO_SCENARIO"),
 		Scheduler:  os.Getenv("REPRO_SCHED"),
+		XTraffic:   os.Getenv("REPRO_XTRAFFIC"),
 		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
 	}
 	switch cfg.Scale {
@@ -156,6 +165,9 @@ func FromEnv() (Config, error) {
 	}
 	if _, ok := netsim.SchedulerByName(cfg.Scheduler); !ok {
 		return Config{}, fmt.Errorf("campaign: REPRO_SCHED=%q: want wheel or heap", cfg.Scheduler)
+	}
+	if _, ok := netsim.XTrafficModeByName(cfg.XTraffic); !ok {
+		return Config{}, fmt.Errorf("campaign: REPRO_XTRAFFIC=%q: want lazy or events", cfg.XTraffic)
 	}
 
 	var err error
@@ -220,6 +232,12 @@ type ShardStats struct {
 	Traces  int
 	// Events is the shard simulator's executed event count.
 	Events uint64
+	// PhantomEvents counts the executed events that were phantom
+	// cross-traffic serialization boundaries; ReplayedBoundaries counts
+	// the boundaries the lazy drive replayed arithmetically instead —
+	// work the event loop never saw.
+	PhantomEvents      uint64
+	ReplayedBoundaries uint64
 	// VirtualTime is the shard's simulated clock at completion.
 	VirtualTime time.Duration
 	// Elapsed is the shard's wall-clock execution time.
@@ -243,8 +261,12 @@ type Result struct {
 	// Shards reports per-shard execution stats in canonical
 	// (vantage, slice) order.
 	Shards []ShardStats
-	// Events is the total executed event count across all shards.
-	Events uint64
+	// Events is the total executed event count across all shards;
+	// PhantomEvents and ReplayedBoundaries split the cross-traffic
+	// work into evented boundaries and lazily replayed ones.
+	Events             uint64
+	PhantomEvents      uint64
+	ReplayedBoundaries uint64
 	// Congestion holds one CE-mark sample per vantage (canonical order)
 	// when the scenario places bottlenecks; empty for uncongested runs.
 	// Samples aggregate over the vantage's slices, so the report is
@@ -439,6 +461,10 @@ func Run(cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown scheduler %q (want wheel or heap)", cfg.Scheduler)
 	}
+	xmode, ok := netsim.XTrafficModeByName(cfg.XTraffic)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown cross-traffic drive %q (want lazy or events)", cfg.XTraffic)
+	}
 	shards := cfg.shardSpecs()
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("campaign: trace plan selects no vantages")
@@ -467,7 +493,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = runShard(cfg, bp, shards[i], sched)
+				results[i], errs[i] = runShard(cfg, bp, shards[i], sched, xmode)
 			}
 		}()
 	}
@@ -489,12 +515,13 @@ func Run(cfg Config) (*Result, error) {
 // frozen world, then run the shard's trace block — every trace in its
 // own reseeded, transient-reset, epoch-pinned context — and, on the
 // vantage's first slice, the traceroute sweep.
-func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Scheduler) (shardResult, error) {
+func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Scheduler, xmode netsim.XTrafficMode) (shardResult, error) {
 	start := time.Now()
 	fail := func(err error) (shardResult, error) {
 		return shardResult{}, fmt.Errorf("campaign: shard %d/%d (%s): %w", sh.shard, sh.slice, sh.vantage, err)
 	}
 	sim := netsim.NewSimSched(cfg.Seed, sched)
+	sim.SetXTrafficMode(xmode)
 	w, err := bp.Instantiate(sim)
 	if err != nil {
 		return fail(err)
@@ -654,14 +681,16 @@ func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Sch
 		servers:    servers,
 		congestion: cong,
 		stats: ShardStats{
-			Shard:       sh.shard,
-			Slice:       sh.slice,
-			Vantage:     sh.vantage,
-			Seed:        sh.seed,
-			Traces:      len(d.Traces),
-			Events:      sim.Executed(),
-			VirtualTime: sim.Now(),
-			Elapsed:     time.Since(start),
+			Shard:              sh.shard,
+			Slice:              sh.slice,
+			Vantage:            sh.vantage,
+			Seed:               sh.seed,
+			Traces:             len(d.Traces),
+			Events:             sim.Executed(),
+			PhantomEvents:      sim.PhantomEvents(),
+			ReplayedBoundaries: sim.ReplayedBoundaries(),
+			VirtualTime:        sim.Now(),
+			Elapsed:            time.Since(start),
 		},
 	}, nil
 }
@@ -680,6 +709,8 @@ func merge(results []shardResult) *Result {
 		res.PathObs = append(res.PathObs, r.obs...)
 		res.Shards = append(res.Shards, r.stats)
 		res.Events += r.stats.Events
+		res.PhantomEvents += r.stats.PhantomEvents
+		res.ReplayedBoundaries += r.stats.ReplayedBoundaries
 		if r.congestion != nil {
 			if n := len(res.Congestion); n > 0 && res.Congestion[n-1].Vantage == r.congestion.Vantage {
 				agg := &res.Congestion[n-1]

@@ -170,7 +170,8 @@ func TestSameSeedReproduces(t *testing.T) {
 // naming the offending variable instead of a silent default.
 func TestFromEnv(t *testing.T) {
 	allKnobs := []string{"REPRO_SCALE", "REPRO_SCENARIO", "REPRO_TRACES",
-		"REPRO_STRIDE", "REPRO_SEED", "REPRO_WORKERS", "REPRO_SLICES", "REPRO_SCHED"}
+		"REPRO_STRIDE", "REPRO_SEED", "REPRO_WORKERS", "REPRO_SLICES", "REPRO_SCHED",
+		"REPRO_XTRAFFIC"}
 	cases := []struct {
 		name    string
 		env     map[string]string
@@ -190,11 +191,12 @@ func TestFromEnv(t *testing.T) {
 			name: "all set",
 			env: map[string]string{"REPRO_SCALE": "small", "REPRO_TRACES": "4",
 				"REPRO_STRIDE": "5", "REPRO_SEED": "-99", "REPRO_WORKERS": "3",
-				"REPRO_SCENARIO": "congested-edge", "REPRO_SLICES": "4", "REPRO_SCHED": "heap"},
+				"REPRO_SCENARIO": "congested-edge", "REPRO_SLICES": "4", "REPRO_SCHED": "heap",
+				"REPRO_XTRAFFIC": "events"},
 			check: func(t *testing.T, cfg Config) {
 				if cfg.Scale != "small" || cfg.Traces != 4 || cfg.Stride != 5 ||
 					cfg.Seed != -99 || cfg.Workers != 3 || cfg.Scenario != "congested-edge" ||
-					cfg.SlicesPerVantage != 4 || cfg.Scheduler != "heap" {
+					cfg.SlicesPerVantage != 4 || cfg.Scheduler != "heap" || cfg.XTraffic != "events" {
 					t.Fatalf("FromEnv = %+v", cfg)
 				}
 			},
@@ -230,6 +232,7 @@ func TestFromEnv(t *testing.T) {
 		{name: "slices garbage", env: map[string]string{"REPRO_SLICES": "many"}, wantErr: "REPRO_SLICES"},
 		{name: "slices negative", env: map[string]string{"REPRO_SLICES": "-1"}, wantErr: "REPRO_SLICES"},
 		{name: "bad scheduler", env: map[string]string{"REPRO_SCHED": "fibheap"}, wantErr: "REPRO_SCHED"},
+		{name: "bad cross-traffic drive", env: map[string]string{"REPRO_XTRAFFIC": "fluid"}, wantErr: "REPRO_XTRAFFIC"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -22,12 +22,14 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dnspool"
 	"repro/internal/ecn"
 	"repro/internal/httpmin"
+	"repro/internal/netsim"
 	"repro/internal/ntp"
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -37,70 +39,118 @@ import (
 // ProbeServer runs the paper's four measurements from a vantage point
 // against one server, invoking done with the observation. Measurements
 // run strictly in sequence, as the paper's prober did.
+//
+// The sequence is a pooled state machine with callbacks bound once per
+// shell: server probes are the campaign's innermost loop (traces ×
+// servers × four measurements), so the steady-state cost is zero
+// allocations rather than a closure per step.
 func ProbeServer(v *topology.Vantage, server packet.Addr, done func(dataset.Observation)) {
-	obs := dataset.Observation{Server: server}
-
-	// Measurement 4: HTTP GET with an ECN-setup SYN.
-	step4 := func() {
-		httpmin.Get(v.Stack, server, httpmin.Port, "/", true, func(r httpmin.GetResult) {
-			obs.TCPECNReachable = r.Err == nil && r.Response != nil
-			obs.TCPECN = r.ECNNegotiated
-			done(obs)
-		})
+	p := probePool.Get().(*serverProbe)
+	if p.onNTP1 == nil {
+		p.onNTP1 = p.ntp1
+		p.onNTP2 = p.ntp2
+		p.onGet3 = p.get3
+		p.onGet4 = p.get4
 	}
-	// Measurement 3: HTTP GET without ECN.
-	step3 := func() {
-		httpmin.Get(v.Stack, server, httpmin.Port, "/", false, func(r httpmin.GetResult) {
-			obs.TCPReachable = r.Err == nil && r.Response != nil
-			if r.Response != nil {
-				obs.HTTPStatus = r.Response.StatusCode
-			}
-			step4()
-		})
-	}
-	// Measurement 2: NTP over ECT(0)-marked UDP.
-	step2 := func() {
-		ntp.Probe(v.Host, server, ntp.ProbeConfig{ECN: ecn.ECT0}, func(r ntp.ProbeResult) {
-			obs.UDPECTReachable = r.Reachable
-			obs.UDPECTAttempts = r.Attempts
-			step3()
-		})
-	}
+	p.v = v
+	p.done = done
+	p.obs = dataset.Observation{Server: server}
 	// Measurement 1: NTP over not-ECT UDP.
-	ntp.Probe(v.Host, server, ntp.ProbeConfig{ECN: ecn.NotECT}, func(r ntp.ProbeResult) {
-		obs.UDPReachable = r.Reachable
-		obs.UDPAttempts = r.Attempts
-		step2()
-	})
+	ntp.Probe(v.Host, server, ntp.ProbeConfig{ECN: ecn.NotECT}, p.onNTP1)
+}
+
+var probePool = sync.Pool{New: func() any { return new(serverProbe) }}
+
+// serverProbe is one in-flight four-measurement sequence.
+type serverProbe struct {
+	v    *topology.Vantage
+	obs  dataset.Observation
+	done func(dataset.Observation)
+
+	onNTP1, onNTP2 func(ntp.ProbeResult)
+	onGet3, onGet4 func(httpmin.GetResult)
+}
+
+func (p *serverProbe) ntp1(r ntp.ProbeResult) {
+	p.obs.UDPReachable = r.Reachable
+	p.obs.UDPAttempts = r.Attempts
+	// Measurement 2: NTP over ECT(0)-marked UDP.
+	ntp.Probe(p.v.Host, p.obs.Server, ntp.ProbeConfig{ECN: ecn.ECT0}, p.onNTP2)
+}
+
+func (p *serverProbe) ntp2(r ntp.ProbeResult) {
+	p.obs.UDPECTReachable = r.Reachable
+	p.obs.UDPECTAttempts = r.Attempts
+	// Measurement 3: HTTP GET without ECN.
+	httpmin.Get(p.v.Stack, p.obs.Server, httpmin.Port, "/", false, p.onGet3)
+}
+
+func (p *serverProbe) get3(r httpmin.GetResult) {
+	p.obs.TCPReachable = r.Err == nil && r.Response != nil
+	if r.Response != nil {
+		p.obs.HTTPStatus = r.Response.StatusCode
+	}
+	// Measurement 4: HTTP GET with an ECN-setup SYN.
+	httpmin.Get(p.v.Stack, p.obs.Server, httpmin.Port, "/", true, p.onGet4)
+}
+
+func (p *serverProbe) get4(r httpmin.GetResult) {
+	p.obs.TCPECNReachable = r.Err == nil && r.Response != nil
+	p.obs.TCPECN = r.ECNNegotiated
+	done, obs := p.done, p.obs
+	p.v = nil
+	p.done = nil
+	probePool.Put(p) // last touch: done may start the next probe, reusing this shell
+	done(obs)
 }
 
 // RunTrace probes every server in order from one vantage point and
 // invokes done with the completed trace. Server conditions (churn,
-// congestion, vantage loss) must already be applied.
+// congestion, vantage loss) must already be applied. One traceRun shell
+// (with bound-once callbacks) drives the whole server list, so the
+// per-server loop allocates nothing.
 func RunTrace(v *topology.Vantage, servers []packet.Addr, batch topology.Batch, index int, done func(dataset.Trace)) {
 	sim := v.Host.Sim()
-	trace := dataset.Trace{
-		Vantage: v.Name,
-		Batch:   int(batch),
-		Index:   index,
-		Started: sim.Now(),
+	t := &traceRun{v: v, servers: servers, sim: sim, done: done}
+	t.trace = dataset.Trace{
+		Vantage:      v.Name,
+		Batch:        int(batch),
+		Index:        index,
+		Started:      sim.Now(),
+		Observations: make([]dataset.Observation, 0, len(servers)),
 	}
-	trace.Observations = make([]dataset.Observation, 0, len(servers))
+	t.nextFn = t.next
+	t.obsFn = t.observed
+	t.next()
+}
 
-	var next func(i int)
-	next = func(i int) {
-		if i == len(servers) {
-			done(trace)
-			return
-		}
-		ProbeServer(v, servers[i], func(obs dataset.Observation) {
-			trace.Observations = append(trace.Observations, obs)
-			// Yield through the event loop: keeps the call stack flat
-			// across 2500 sequential servers.
-			sim.After(0, func() { next(i + 1) })
-		})
+// traceRun is one trace's iteration state.
+type traceRun struct {
+	v       *topology.Vantage
+	servers []packet.Addr
+	sim     *netsim.Sim
+	trace   dataset.Trace
+	done    func(dataset.Trace)
+	i       int
+	nextFn  func()
+	obsFn   func(dataset.Observation)
+}
+
+func (t *traceRun) next() {
+	if t.i == len(t.servers) {
+		t.done(t.trace)
+		return
 	}
-	next(0)
+	server := t.servers[t.i]
+	t.i++
+	ProbeServer(t.v, server, t.obsFn)
+}
+
+func (t *traceRun) observed(obs dataset.Observation) {
+	t.trace.Observations = append(t.trace.Observations, obs)
+	// Yield through the event loop: keeps the call stack flat across
+	// 2500 sequential servers.
+	t.sim.After(0, t.nextFn)
 }
 
 // CampaignConfig sizes a measurement campaign.

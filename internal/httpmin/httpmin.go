@@ -264,15 +264,19 @@ func canonicalKey(k []byte) string {
 const RedirectTarget = "http://www.pool.ntp.org/"
 
 // PoolHandler answers as a pool host's web server does: a 302 redirect
-// to the pool website for any path.
+// to the pool website for any path. The response is one shared
+// immutable value — Serve only marshals it — so answering costs no
+// allocation in the campaign's per-server request loop.
 func PoolHandler(req *Request) *Response {
-	return &Response{
-		StatusCode: 302,
-		Headers: map[string]string{
-			"Location":   RedirectTarget,
-			"Connection": "close",
-			"Server":     "pool-member/1.0",
-		},
-		Body: []byte("<a href=\"" + RedirectTarget + "\">Moved</a>\n"),
-	}
+	return poolResponse
+}
+
+var poolResponse = &Response{
+	StatusCode: 302,
+	Headers: map[string]string{
+		"Location":   RedirectTarget,
+		"Connection": "close",
+		"Server":     "pool-member/1.0",
+	},
+	Body: []byte("<a href=\"" + RedirectTarget + "\">Moved</a>\n"),
 }

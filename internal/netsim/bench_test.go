@@ -24,6 +24,24 @@ func BenchmarkSimSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkSimScheduleSparse runs the same comparison on the sparse-
+// timeline kernel (ScheduleBenchWorkloadSparse): a near-empty pending
+// set with whole windows between instants, the shape real campaigns
+// spend most of their virtual time in — and the regime where the wheel
+// beats the heap. Also registered in scripts/perf_gate.sh's allocs
+// gate.
+func BenchmarkSimScheduleSparse(b *testing.B) {
+	for _, sched := range []Scheduler{SchedWheel, SchedHeap} {
+		b.Run("sched="+sched.Name(), func(b *testing.B) {
+			s := NewSimSched(1, sched)
+			ScheduleBenchWorkloadSparse(s, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			ScheduleBenchWorkloadSparse(s, b.N)
+		})
+	}
+}
+
 // TestSimScheduleAllocFree pins the scheduler hot path at zero
 // allocations per event on both schedulers once pools are warm.
 func TestSimScheduleAllocFree(t *testing.T) {

@@ -10,6 +10,58 @@ import "time"
 // usually do. BenchmarkSimSchedule (gated by scripts/perf_gate.sh) and
 // cmd/benchreport's sim/sched rows both run exactly this function, so
 // the CI artifact and the perf gate cannot drift apart.
+// ScheduleBenchWorkloadSparse is the second scheduler-benchmark kernel:
+// a sparse timeline, where the pending set stays small and consecutive
+// events sit whole windows apart — the shape an idle-heavy measurement
+// campaign produces between probe exchanges (RTT waits, retransmission
+// timeouts, epoch jumps). Dense slot reuse never happens here; the cost
+// that dominates is finding the next occupied instant, which is exactly
+// what the wheel's occupancy counts and min-jump cascade optimise. The
+// two kernels together keep scheduler tuning honest: a change that
+// helps packed slots must not regress long jumps, and vice versa.
+func ScheduleBenchWorkloadSparse(s *Sim, n int) {
+	k := sparseKernel{s: s, n: n}
+	k.step = k.chain
+	k.noop = func() {}
+	k.chain()
+	s.Run()
+}
+
+// sparseKernel is the sparse workload's state, with both callbacks
+// bound once so the steady-state chain schedules without allocating —
+// the same discipline the packet hot path follows.
+type sparseKernel struct {
+	s          *Sim
+	i, n       int
+	step, noop func()
+}
+
+func (k *sparseKernel) chain() {
+	i := k.i
+	k.i++
+	if i >= k.n {
+		return
+	}
+	// A probe exchange now and then, then a long quiet gap:
+	// microseconds to tens of seconds between instants.
+	gap := time.Duration(1+i*2654435761%977) * 10 * time.Microsecond
+	switch i % 11 {
+	case 3:
+		gap += time.Duration(i%7) * time.Second
+	case 7:
+		gap += 500 * time.Millisecond
+	}
+	k.s.After(gap, k.step)
+	if i%5 == 0 {
+		// A timeout armed far ahead and almost always cancelled — the
+		// retransmission-timer pattern.
+		tm := k.s.After(30*time.Second, k.noop)
+		if i%50 != 0 {
+			tm.Stop()
+		}
+	}
+}
+
 func ScheduleBenchWorkload(s *Sim, n int) {
 	var far [64]Timer
 	for i := 0; i < n; i++ {

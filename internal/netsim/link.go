@@ -130,20 +130,47 @@ func (l *Link) Send(from Node, b *packet.Buf) {
 		l.sim.deliverAfter(l.delay[d], to, b, l)
 		return
 	}
-	l.injectBackground(d)
+	now := l.sim.Now()
+	l.injectBackground(bn, now)
 	// Background stays active for a grace period past the last foreground
 	// packet: cross traffic contends with the measurement while it runs,
 	// then quenches so the simulation can drain (the same reason the RTP
 	// receiver self-quenches its feedback timer).
-	bn.fgUntil = l.sim.Now() + bgGrace
+	bn.fgUntil = now + bgGrace
+	p := aqm.NewPacket(b)
+	sz := p.Size
 	// The queue owns the packet from here: a false return means the
 	// discipline dropped — and already freed — it.
-	if !bn.q.Enqueue(l.sim.Now(), aqm.NewPacket(b)) {
+	if !bn.q.Enqueue(now, p) {
 		l.dropped[d]++
+		// Serve the queue even when this packet was dropped: the injected
+		// background must drain through the transmitter regardless.
+		l.serveQueue(bn, now)
+		return
 	}
-	// Serve the queue even when this packet was dropped: the injected
-	// background must drain through the transmitter regardless.
-	l.startTx(d)
+	bn.fgCount++
+	bn.pendingTx += txDuration(sz, bn.rate)
+	if !l.sim.xtrafficEvents && !bn.precise && bn.busy && !bn.evented {
+		// Hybrid (head-dropping discipline): a foreground packet is now
+		// in the system, so the in-flight virtual boundary converts to a
+		// real event — carrying the seq it reserved when serialization
+		// began, where the events mode would have scheduled it.
+		bn.evented = true
+		l.sim.unregisterLazy(bn)
+		l.sim.atWithSeq(bn.busyUntil, bn.virtSeq, bn.txDone)
+	}
+	l.serveQueue(bn, now)
+	if !l.sim.xtrafficEvents && bn.precise {
+		// Lazy precise drive: the discipline never drops at dequeue and
+		// the transmitter never idles with a backlog, so this packet's
+		// serialization finish is exactly the in-flight boundary plus the
+		// per-packet serialization times of everything queued — one event
+		// for the whole passage, however many phantoms precede it. The
+		// event carries a sentinel seq: the shared counter is consumed
+		// when serialization actually begins (beginTx), where the events
+		// mode consumes it, so no other seq shifts.
+		l.sim.atWithSeq(bn.busyUntil+bn.pendingTx, l.sim.sentinelSeq(), bn.fgDone)
+	}
 }
 
 // --- bottleneck ----------------------------------------------------------
@@ -161,23 +188,82 @@ const (
 	bgGrace      = bgPeriod // background lifetime past the last foreground packet
 )
 
+// txDuration is the serialization time of size bytes at rate bytes/sec.
+// Every schedule computation uses this exact per-packet rounding, so a
+// precomputed finish equals the sum of the boundary-by-boundary holds.
+func txDuration(size int, rate float64) time.Duration {
+	return time.Duration(float64(size) / rate * float64(time.Second))
+}
+
 // bottleneck models a finite-rate transmitter with an AQM queue and
 // optional phantom background load on one link direction.
+//
+// The transmitter runs in one of three drives:
+//
+//   - events (Sim.SetXTrafficMode(XTrafficEvents)): every serialization
+//     boundary — phantom or foreground — is a scheduler event, the
+//     legacy path kept as a differential oracle;
+//   - lazy precise (the default, disciplines without dequeue drops):
+//     phantom boundaries are never events. They replay in an arithmetic
+//     catch-up loop (Sim.advanceLazy) ordered against real events by
+//     (time, reserved seq); a foreground packet costs exactly one event,
+//     at its precomputed serialization finish;
+//   - lazy hybrid (head-dropping disciplines, i.e. CoDel): boundaries
+//     are events while any foreground packet is in the system — a head
+//     drop reshapes the schedule, so finishes cannot be precomputed —
+//     and replay lazily across all-phantom stretches.
+//
+// All three drive the AQM through the identical per-packet decision
+// sequence and PRNG draw order; campaign datasets are byte-identical
+// across drives.
 type bottleneck struct {
+	link *Link
+	d    int     // direction index on link
 	rate float64 // serialization rate, bytes/sec
 	util float64 // background offered load as a fraction of rate
 	q    aqm.Queue
+	// precise: the discipline never drops at dequeue, so a queued
+	// packet's serialization finish is computable at enqueue.
+	precise bool
+	// bgTx is the precomputed serialization hold of one phantom; bgOn
+	// the burst (on-phase) duration of each background period; bgPeak
+	// the precomputed bgPeakFactor×rate product of arrivalBytes' final
+	// expression (left-associated, so the cache is bit-identical).
+	bgTx   time.Duration
+	bgOn   time.Duration
+	bgPeak float64
+	// period window cache: arrivalBytes integrates boundary-sized steps,
+	// so consecutive calls almost always fall inside one background
+	// period — these bounds replace an integer division with two
+	// comparisons.
+	periodStart, periodEnd time.Duration
 
-	busy       bool          // a serialization event is in flight
+	busy      bool          // a packet is serializing
+	busyUntil time.Duration // its serialization boundary
+	evented   bool          // the boundary is backed by a scheduled event
+	virtSeq   uint64        // seq a lazy boundary's event would carry
+
 	lastInject time.Duration // background accounted up to here
 	credit     float64       // fractional background bytes carried over
 	fgUntil    time.Duration // background active until here (foreground + grace)
 
+	// pendingTx sums the serialization times of every queued packet —
+	// exact for precise disciplines (enqueue adds, dequeue subtracts,
+	// nothing else touches the queue).
+	pendingTx time.Duration
+	// fgCount counts foreground packets in the system (queued or on the
+	// wire): the hybrid drive's events-vs-lazy switch.
+	fgCount int
+
+	lazyIdx int // index in sim.lazy; -1 when unregistered
+
 	// txPkt is the packet on the wire; txDone is the serialization-
-	// boundary callback, bound once at SetBottleneck so per-packet
+	// boundary callback and fgDone the lazy precise drive's foreground-
+	// finish callback, both bound once at SetBottleneck so per-packet
 	// transmission schedules no new closure.
 	txPkt  *aqm.Packet
 	txDone func()
+	fgDone func()
 }
 
 // SetBottleneck attaches a serialization-rate bottleneck with AQM queue
@@ -188,12 +274,28 @@ type bottleneck struct {
 // infinite-rate behaviour.
 func (l *Link) SetBottleneck(from Node, rate, utilization float64, q aqm.Queue) {
 	d := l.dir(from)
+	if old := l.bneck[d]; old != nil {
+		l.sim.unregisterLazy(old)
+	}
 	if q == nil || rate <= 0 {
 		l.bneck[d] = nil
 		return
 	}
-	bn := &bottleneck{rate: rate, util: utilization, q: q, lastInject: l.sim.Now()}
-	bn.txDone = func() { l.finishTx(d, bn) }
+	bn := &bottleneck{
+		link:       l,
+		d:          d,
+		rate:       rate,
+		util:       utilization,
+		q:          q,
+		precise:    !q.DropsAtDequeue(),
+		bgTx:       txDuration(bgPacketSize, rate),
+		bgOn:       time.Duration(utilization / bgPeakFactor * float64(bgPeriod)),
+		bgPeak:     bgPeakFactor * rate,
+		lastInject: l.sim.Now(),
+		lazyIdx:    -1,
+	}
+	bn.txDone = func() { l.finishTx(bn, l.sim.Now()) }
+	bn.fgDone = func() { l.foregroundDone(bn) }
 	l.bneck[d] = bn
 }
 
@@ -206,49 +308,138 @@ func (l *Link) BottleneckQueue(from Node) aqm.Queue {
 	return nil
 }
 
-// startTx begins serializing the queue head if the transmitter is idle.
-// Each serialization boundary is an event: dequeue, hold the wire for
-// size/rate, then hand the packet to propagation and pick up the next.
-func (l *Link) startTx(d int) {
-	bn := l.bneck[d]
-	if bn.busy {
-		return
+// serveQueue begins serializing the queue head if the transmitter is
+// idle.
+func (l *Link) serveQueue(bn *bottleneck, now time.Duration) {
+	if !bn.busy {
+		l.beginTx(bn, now)
 	}
+}
+
+// beginTx dequeues the next packet and puts it on the wire: hold for
+// size/rate, then finishTx hands it to propagation and picks up the
+// next. Whether the boundary is a scheduler event or a lazily replayed
+// one depends on the drive mode; the dequeue decision sequence is the
+// same either way.
+func (l *Link) beginTx(bn *bottleneck, now time.Duration) {
 	// CoDel discards not-ECT heads inside Dequeue; surface those in the
 	// link's drop counter so Stats stays truthful for every discipline.
-	before := bn.q.Stats().WireNotECTDropped
-	p, ok := bn.q.Dequeue(l.sim.Now())
-	l.dropped[d] += bn.q.Stats().WireNotECTDropped - before
+	// Precise disciplines never drop at dequeue, so the hot path skips
+	// the two Stats snapshots entirely.
+	var before uint64
+	if !bn.precise {
+		before = bn.q.Stats().WireNotECTDropped
+	}
+	p, ok := bn.q.Dequeue(now)
+	if !bn.precise {
+		if delta := bn.q.Stats().WireNotECTDropped - before; delta > 0 {
+			l.dropped[bn.d] += delta
+			bn.fgCount -= int(delta)
+		}
+	}
 	if !ok {
+		l.sim.unregisterLazy(bn)
 		return
 	}
 	bn.busy = true
 	bn.txPkt = p
-	tx := time.Duration(float64(p.Size) / bn.rate * float64(time.Second))
-	l.sim.After(tx, bn.txDone)
+	tx := bn.bgTx
+	if p.Size != bgPacketSize {
+		tx = txDuration(p.Size, bn.rate)
+	}
+	bn.pendingTx -= tx
+	bn.busyUntil = now + tx
+	switch {
+	case l.sim.xtrafficEvents || (!bn.precise && bn.fgCount > 0):
+		// Events drive, and the hybrid's foreground-present stretches:
+		// the boundary is a real event. beginTx runs in event context
+		// here (lazy replay only ever advances all-phantom hybrids), so
+		// now is the simulator clock.
+		bn.evented = true
+		l.sim.unregisterLazy(bn)
+		l.sim.At(bn.busyUntil, bn.txDone)
+	case p.Phantom():
+		// Lazy virtual boundary: reserve the seq its event would have
+		// drawn and let Sim.advanceLazy replay it in exact order.
+		// Registration is eligibility — the replay scan takes every
+		// member as a pending phantom boundary.
+		bn.evented = false
+		bn.virtSeq = l.sim.nextSeq()
+		l.sim.registerLazy(bn)
+	default:
+		// Lazy precise foreground on the wire: its finish event was
+		// scheduled (with a sentinel seq) at enqueue; replay pauses for
+		// this bottleneck until it fires. Consume the seq the events
+		// mode would draw for this boundary here, keeping the shared
+		// counter in lockstep.
+		bn.evented = false
+		l.sim.nextSeq()
+		l.sim.unregisterLazy(bn)
+	}
 }
 
-// finishTx is the serialization boundary: hand the transmitted packet
-// to propagation and pick up the next queued one.
-func (l *Link) finishTx(d int, bn *bottleneck) {
+// finishTx completes the serialization boundary at time now: hand the
+// transmitted packet to propagation and pick up the next queued one.
+// Event callbacks pass the simulator clock; the lazy replay passes the
+// virtual boundary time — the only difference between the drives.
+func (l *Link) finishTx(bn *bottleneck, now time.Duration) {
 	// The bottleneck may have been replaced or removed while this
 	// packet was on the wire; only touch shared state if it is
 	// still the live one. The packet itself still delivers.
-	live := l.bneck[d] == bn
+	live := l.bneck[bn.d] == bn
 	if live {
-		l.injectBackground(d) // the elapsed interval was a busy one
+		l.injectBackground(bn, now) // the elapsed interval was a busy one
 	}
+	wasEvent := bn.evented
 	bn.busy = false
+	bn.evented = false
 	p := bn.txPkt
 	bn.txPkt = nil
 	if !p.Phantom() {
-		l.sim.deliverAfter(l.delay[d], l.peerOf(d), p.TakeBuf(), l)
+		bn.fgCount--
+		l.sim.deliverAfter(l.delay[bn.d], l.peerOf(bn.d), p.TakeBuf(), l)
 	} else {
 		p.Free()
+		if wasEvent {
+			l.sim.phantomEvents++
+		}
 	}
 	if live {
-		l.startTx(d)
+		l.serveQueue(bn, now)
+	} else {
+		l.sim.unregisterLazy(bn)
 	}
+}
+
+// replayBoundary is the lazy catch-up step: one phantom serialization
+// boundary, driven arithmetically instead of through the scheduler.
+func (l *Link) replayBoundary(bn *bottleneck, at time.Duration) {
+	if bn.txPkt == nil || !bn.txPkt.Phantom() {
+		panic("netsim: lazy cross-traffic replay reached a foreground boundary")
+	}
+	l.sim.replayedBoundaries++
+	l.finishTx(bn, at)
+}
+
+// foregroundDone is the lazy precise drive's per-packet finish event.
+// By the time it fires, Sim.advanceLazy has replayed every earlier
+// boundary, so the packet on the wire is exactly the one this event was
+// scheduled for.
+func (l *Link) foregroundDone(bn *bottleneck) {
+	now := l.sim.Now()
+	if l.bneck[bn.d] != bn {
+		// Replaced while queued or on the wire. Mirror the events drive:
+		// a packet already serializing still delivers; queued ones are
+		// abandoned with the old transmitter.
+		if bn.busy && bn.txPkt != nil && !bn.txPkt.Phantom() && bn.busyUntil == now {
+			l.finishTx(bn, now)
+		}
+		return
+	}
+	if !bn.busy || bn.txPkt == nil || bn.txPkt.Phantom() || bn.busyUntil != now {
+		panic("netsim: foreground finish event out of sync with lazy bottleneck replay")
+	}
+	l.finishTx(bn, now)
 }
 
 // injectBackground brings the phantom cross-traffic up to date. It runs
@@ -259,9 +450,7 @@ func (l *Link) finishTx(d int, bn *bottleneck) {
 // idle gap the queue was empty and draining faster than background
 // arrived, so only the net backlog of the recent burst pattern is
 // reconstructed.
-func (l *Link) injectBackground(d int) {
-	bn := l.bneck[d]
-	now := l.sim.Now()
+func (l *Link) injectBackground(bn *bottleneck, now time.Duration) {
 	// Background only arrives while foreground keeps it alive; beyond
 	// fgUntil the cross-traffic source has quenched.
 	end := min(now, bn.fgUntil)
@@ -289,37 +478,56 @@ func (l *Link) injectBackground(d int) {
 	bn.lastInject = now
 	n := int(bytes / bgPacketSize)
 	bn.credit = bytes - float64(n)*bgPacketSize
-	for i := 0; i < n; i++ {
-		bn.q.Enqueue(now, aqm.NewPhantom(bgPacketSize))
-	}
+	admitted := bn.q.EnqueuePhantoms(now, bgPacketSize, n)
+	bn.pendingTx += time.Duration(admitted) * bn.bgTx
 }
 
 // arrivalBytes integrates the background arrival process over [t1, t2).
+// The final expression is shared by every path, so the fast single-
+// period case is bit-identical to the general loop — credit rounding,
+// and with it the phantom count, cannot depend on which path ran.
 func (bn *bottleneck) arrivalBytes(t1, t2 time.Duration) float64 {
 	if bn.util >= bgPeakFactor {
 		// Saturated: constant arrivals at util×rate.
 		return bn.util * bn.rate * (t2 - t1).Seconds()
 	}
-	phi := bn.util / bgPeakFactor // on fraction of each period
-	on := time.Duration(phi * float64(bgPeriod))
+	on := bn.bgOn // on span of each period
+	if t1 < bn.periodStart || t2 > bn.periodEnd {
+		// Refresh the cached period window for t1's period; boundary-
+		// sized steps make the refresh rare.
+		start := t1 / bgPeriod * bgPeriod
+		bn.periodStart, bn.periodEnd = start, start+bgPeriod
+	}
 	var active time.Duration
-	for k := t1 / bgPeriod; ; k++ {
-		start := k * bgPeriod
-		if start >= t2 {
-			break
-		}
-		s, e := start, start+on
-		if s < t1 {
-			s = t1
-		}
+	if t2 <= bn.periodEnd {
+		// [t1, t2) inside one period — the per-boundary common case:
+		// the on-phase overlap directly, no period walk.
+		s, e := t1, bn.periodStart+on
 		if e > t2 {
 			e = t2
 		}
 		if e > s {
-			active += e - s
+			active = e - s
+		}
+	} else {
+		for k := t1 / bgPeriod; ; k++ {
+			start := k * bgPeriod
+			if start >= t2 {
+				break
+			}
+			s, e := start, start+on
+			if s < t1 {
+				s = t1
+			}
+			if e > t2 {
+				e = t2
+			}
+			if e > s {
+				active += e - s
+			}
 		}
 	}
-	return bgPeakFactor * bn.rate * active.Seconds()
+	return bn.bgPeak * active.Seconds()
 }
 
 // idleBacklog reconstructs the fluid backlog the background alone would
@@ -342,8 +550,7 @@ func (bn *bottleneck) idleBacklog(t1, t2 time.Duration) float64 {
 	if t2-t1 > 64*bgPeriod {
 		t1 = t2 - 64*bgPeriod
 	}
-	phi := bn.util / bgPeakFactor
-	on := time.Duration(phi * float64(bgPeriod))
+	on := bn.bgOn
 	backlog := 0.0
 	step := func(dt time.Duration, arrivalRate float64) {
 		backlog += (arrivalRate - bn.rate) * dt.Seconds()

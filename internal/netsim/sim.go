@@ -75,6 +75,43 @@ func (s Scheduler) Name() string {
 	return "wheel"
 }
 
+// XTrafficMode selects how a bottleneck's phantom cross-traffic
+// advances: lazily replayed in an arithmetic catch-up loop (the
+// default), or as one scheduler event per phantom serialization
+// boundary (the legacy path, kept as a differential oracle). Both modes
+// drive the AQM through the identical per-packet decision sequence and
+// PRNG draw order, so campaign datasets are byte-identical either way —
+// the property cmd/determinism's REPRO_XTRAFFIC grid verifies.
+type XTrafficMode uint8
+
+// The available cross-traffic drive modes.
+const (
+	XTrafficLazy XTrafficMode = iota
+	XTrafficEvents
+)
+
+// XTrafficModeByName maps the REPRO_XTRAFFIC / -xtraffic vocabulary
+// ("lazy", "events", "" = default) to a mode. Unknown names report
+// ok=false.
+func XTrafficModeByName(name string) (XTrafficMode, bool) {
+	switch name {
+	case "", "lazy":
+		return XTrafficLazy, true
+	case "events":
+		return XTrafficEvents, true
+	default:
+		return XTrafficLazy, false
+	}
+}
+
+// Name returns the mode's REPRO_XTRAFFIC vocabulary name.
+func (m XTrafficMode) Name() string {
+	if m == XTrafficEvents {
+		return "events"
+	}
+	return "lazy"
+}
+
 // Sim is the discrete-event engine. Create one with NewSim, add nodes and
 // links (usually via Network), schedule initial work, then call Run.
 type Sim struct {
@@ -91,6 +128,24 @@ type Sim struct {
 	rng  *rand.Rand
 	// Stats counters, exposed for benchmarks and capacity planning.
 	executed uint64
+
+	// xtrafficEvents selects the legacy one-event-per-phantom-boundary
+	// transmitter drive (REPRO_XTRAFFIC=events); the default is lazy
+	// catch-up replay.
+	xtrafficEvents bool
+	// lazy lists the bottlenecks currently serializing without events;
+	// Step replays their boundaries, in exact (time, seq) order, before
+	// dispatching any event past them.
+	lazy []*bottleneck
+	// replayedBoundaries counts phantom serialization boundaries replayed
+	// arithmetically instead of dispatched as events; phantomEvents
+	// counts the ones that did run as events (events mode, and the CoDel
+	// hybrid's foreground-present stretches).
+	replayedBoundaries uint64
+	phantomEvents      uint64
+	// sentinel numbers the lazy drive's foreground-finish events out of
+	// band (see sentinelSeq).
+	sentinel uint64
 }
 
 // NewSim returns a simulator whose randomness derives from seed, using
@@ -135,6 +190,139 @@ func (s *Sim) Reseed(seed int64) { s.rng.Seed(seed) }
 
 // Executed reports how many events have run; useful for benchmarks.
 func (s *Sim) Executed() uint64 { return s.executed }
+
+// SetXTrafficMode selects the cross-traffic drive for every bottleneck
+// on this simulator. Call it before any traffic flows; switching modes
+// mid-flight on an active bottleneck is not supported.
+func (s *Sim) SetXTrafficMode(m XTrafficMode) { s.xtrafficEvents = m == XTrafficEvents }
+
+// XTrafficModeName reports the active cross-traffic drive mode.
+func (s *Sim) XTrafficModeName() string {
+	if s.xtrafficEvents {
+		return XTrafficEvents.Name()
+	}
+	return XTrafficLazy.Name()
+}
+
+// ReplayedBoundaries reports how many phantom serialization boundaries
+// were replayed arithmetically — work the event loop never saw.
+func (s *Sim) ReplayedBoundaries() uint64 { return s.replayedBoundaries }
+
+// PhantomEvents reports how many phantom serialization boundaries ran
+// as scheduler events.
+func (s *Sim) PhantomEvents() uint64 { return s.phantomEvents }
+
+// nextSeq hands out the sequence number a scheduled event would have
+// received. Lazily-driven bottlenecks consume one per virtual boundary
+// — including the boundary that starts a foreground serialization,
+// whose finish event carries a sentinel instead — keeping the counter,
+// and with it the FIFO tiebreak of every later same-timestamp event, in
+// lockstep with the events mode.
+func (s *Sim) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// sentinelSeq returns an out-of-band sequence number (top bit set, so
+// it can never collide with counter-drawn seqs) for the lazy precise
+// drive's foreground-finish events. A sentinel orders the finish after
+// every counter-seq event sharing its instant and does not advance the
+// shared counter, so scheduling it at enqueue time cannot shift any
+// other event's — or virtual boundary's — sequence number.
+func (s *Sim) sentinelSeq() uint64 {
+	s.sentinel++
+	return 1<<63 | s.sentinel
+}
+
+// registerLazy adds a bottleneck to the lazily-driven set.
+func (s *Sim) registerLazy(bn *bottleneck) {
+	if bn.lazyIdx >= 0 {
+		return
+	}
+	bn.lazyIdx = len(s.lazy)
+	s.lazy = append(s.lazy, bn)
+}
+
+// unregisterLazy removes a bottleneck from the lazily-driven set.
+func (s *Sim) unregisterLazy(bn *bottleneck) {
+	if bn == nil || bn.lazyIdx < 0 {
+		return
+	}
+	i, last := bn.lazyIdx, len(s.lazy)-1
+	s.lazy[i] = s.lazy[last]
+	s.lazy[i].lazyIdx = i
+	s.lazy[last] = nil
+	s.lazy = s.lazy[:last]
+	bn.lazyIdx = -1
+}
+
+// advanceLazy replays, across every lazily-driven bottleneck, all
+// phantom serialization boundaries whose (time, seq) precede the given
+// horizon — in exactly the order the events mode would have fired them,
+// seq ties included, because each virtual boundary carries the sequence
+// number its event would have drawn from the same counter. Step calls
+// it with the next event's (at, seq) before dispatching, so every PRNG
+// draw a boundary makes lands at the identical position in the shared
+// random stream.
+func (s *Sim) advanceLazy(at time.Duration, seq uint64) {
+	for {
+		// Pick the earliest eligible boundary and the runner-up bound.
+		// Membership in s.lazy is eligibility: the link registers a
+		// bottleneck exactly while a phantom serializes with no event
+		// backing it.
+		var best *bottleneck
+		runnerUp := maxDuration
+		for _, bn := range s.lazy {
+			if bn.busyUntil > at || (bn.busyUntil == at && bn.virtSeq > seq) {
+				continue
+			}
+			switch {
+			case best == nil:
+				best = bn
+			case bn.busyUntil < best.busyUntil ||
+				(bn.busyUntil == best.busyUntil && bn.virtSeq < best.virtSeq):
+				if best.busyUntil < runnerUp {
+					runnerUp = best.busyUntil
+				}
+				best = bn
+			case bn.busyUntil < runnerUp:
+				runnerUp = bn.busyUntil
+			}
+		}
+		if best == nil {
+			return
+		}
+		if runnerUp > at {
+			runnerUp = at
+		}
+		// Replay a run of best's boundaries without rescanning: it stays
+		// the front source while its next boundary is strictly earlier
+		// than every other's and strictly inside the horizon. virtSeq
+		// increases with each new boundary, so a tie at the horizon
+		// re-enters the scan above for the exact seq comparison.
+		for {
+			best.link.replayBoundary(best, best.busyUntil)
+			if best.lazyIdx < 0 || best.busyUntil >= runnerUp {
+				break
+			}
+		}
+	}
+}
+
+// flushLazy drains every lazily-driven bottleneck to quiescence.
+// Background arrivals quench a grace period after the last foreground
+// packet, so the replay always terminates; Run calls this after the
+// event queue empties, leaving queue statistics and discipline state
+// exactly where the events mode — whose boundary events drain inside
+// Run — leaves them.
+func (s *Sim) flushLazy() {
+	if len(s.lazy) > 0 {
+		s.advanceLazy(maxDuration, ^uint64(0))
+	}
+}
+
+// maxDuration is the largest representable virtual time.
+const maxDuration = time.Duration(1<<63 - 1)
 
 // Timer is a handle to a scheduled event that can be cancelled. It is a
 // small value — keep it by value, not behind a pointer, so arming a
@@ -184,6 +372,21 @@ func (s *Sim) At(t time.Duration, fn func()) Timer {
 	return Timer{s: s, idx: idx, gen: ev.gen}
 }
 
+// atWithSeq schedules fn at absolute time t carrying a previously
+// drawn sequence number instead of a fresh one. The lazily-driven
+// transmitter uses it when a foreground arrival converts an in-flight
+// virtual boundary into a real event: the boundary already consumed its
+// seq when serialization began, exactly where the events mode would
+// have, so reusing it keeps same-timestamp ordering identical across
+// drive modes.
+func (s *Sim) atWithSeq(t time.Duration, seq uint64, fn func()) {
+	if fn == nil {
+		panic("netsim: nil event function")
+	}
+	idx := s.scheduleSeq(t, seq)
+	s.slab[idx].fn = fn
+}
+
 // deliverAfter schedules delivery of a wire buffer to node d from now.
 // Delivery is a typed event — no closure, no allocation — and transfers
 // the caller's buffer reference to the receiving node.
@@ -201,10 +404,17 @@ func (s *Sim) deliverAfter(d time.Duration, node Node, b *packet.Buf, from *Link
 // schedule allocates an event body (from the free list when possible)
 // and queues it at absolute time t, returning its slab index.
 func (s *Sim) schedule(t time.Duration) int32 {
+	s.seq++
+	return s.scheduleSeq(t, s.seq)
+}
+
+// scheduleSeq queues an event with an explicit sequence number —
+// schedule's fresh draw, or a lazily-driven boundary's previously
+// reserved one.
+func (s *Sim) scheduleSeq(t time.Duration, seq uint64) int32 {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
 	var idx int32
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
@@ -215,13 +425,13 @@ func (s *Sim) schedule(t time.Duration) int32 {
 	}
 	ev := &s.slab[idx]
 	ev.at = t
-	ev.seq = s.seq
+	ev.seq = seq
 	ev.next = -1
 	s.live++
 	if s.wheel != nil {
 		s.wheelInsert(idx, t)
 	} else {
-		s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+		s.heapPush(heapEntry{at: t, seq: seq, idx: idx})
 	}
 	return idx
 }
@@ -268,6 +478,14 @@ func (s *Sim) Step() bool {
 			s.recycle(idx)
 			continue
 		}
+		if len(s.lazy) > 0 {
+			// Catch lazily-driven bottlenecks up to this event: every
+			// phantom boundary ordered before (at, seq) replays first,
+			// so its PRNG draws precede the handler's exactly as the
+			// events mode interleaves them. Replay never schedules, so
+			// ev stays valid.
+			s.advanceLazy(at, ev.seq)
+		}
 		s.now = at
 		s.executed++
 		s.live--
@@ -284,14 +502,19 @@ func (s *Sim) Step() bool {
 	}
 }
 
-// Run drains the event queue.
+// Run drains the event queue, then drains any lazily-driven bottleneck
+// background to quiescence — the state an events-mode Run reaches via
+// boundary events.
 func (s *Sim) Run() {
 	for s.Step() {
 	}
+	s.flushLazy()
 }
 
 // RunUntil executes events with timestamps <= deadline, then sets the
-// clock to deadline. Events scheduled beyond it remain queued.
+// clock to deadline. Events scheduled beyond it remain queued; lazily-
+// driven bottleneck boundaries up to the deadline are replayed, exactly
+// as the events mode would have fired them.
 func (s *Sim) RunUntil(deadline time.Duration) {
 	for {
 		at, ok := s.peekLive()
@@ -299,6 +522,9 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 			break
 		}
 		s.Step()
+	}
+	if len(s.lazy) > 0 {
+		s.advanceLazy(deadline, ^uint64(0))
 	}
 	if s.now < deadline {
 		s.now = deadline

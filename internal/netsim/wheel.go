@@ -47,8 +47,19 @@ type timingWheel struct {
 	// occupied counts a level's non-empty slots, so the advance loop
 	// skips empty levels with one integer test instead of a bitmap scan
 	// — the common case on sparse timelines, where consecutive events
-	// sit whole windows apart.
+	// sit whole windows apart. totalOcc sums the levels for an O(1)
+	// wheel-empty test.
 	occupied [wheelLevels]int32
+	totalOcc int32
+	// reg is the singleton register: when the wheel is otherwise empty,
+	// a newly scheduled event parks here (slab index, -1 when vacant)
+	// instead of filing into a slot. On the sparse stretches a campaign
+	// spends most virtual time in — one pending timer, fired, replaced —
+	// schedule and pop become a register store and load, with no slot,
+	// bitmap or cascade work at all. A second insertion spills the
+	// register into the slots first, so the register never reorders
+	// anything: it is only ever the sole pending event.
+	reg int32
 	// due is the drained batch for the instant dueAt, ordered by seq;
 	// duePos is the read cursor. The backing array is reused.
 	due    []int32
@@ -64,7 +75,7 @@ const (
 )
 
 func newTimingWheel() *timingWheel {
-	w := &timingWheel{}
+	w := &timingWheel{reg: -1}
 	for l := range w.slot {
 		for i := range w.slot[l] {
 			w.slot[l][i] = -1
@@ -86,12 +97,31 @@ func (w *timingWheel) levelSlot(t time.Duration) (int, int) {
 
 // wheelInsert files event idx (with ev.at already set) into the wheel.
 // schedule has clamped ev.at to the Sim clock, which is never behind the
-// cursor, so t >= w.cur always holds.
+// cursor, so t >= w.cur always holds. An event arriving at an otherwise
+// empty wheel parks in the singleton register; a second arrival spills
+// the register into the slots before filing, preserving exact order.
 func (s *Sim) wheelInsert(idx int32, t time.Duration) {
+	w := s.wheel
+	if w.reg >= 0 {
+		r := w.reg
+		w.reg = -1
+		s.wheelFile(r, s.slab[r].at)
+	} else if w.totalOcc == 0 && w.duePos >= len(w.due) {
+		w.reg = idx
+		return
+	}
+	s.wheelFile(idx, t)
+}
+
+// wheelFile places an event into its slot chain. The cascade refiles
+// through here directly: mid-cascade the slots may look empty, and a
+// refile must never detour into the register.
+func (s *Sim) wheelFile(idx int32, t time.Duration) {
 	w := s.wheel
 	lvl, slot := w.levelSlot(t)
 	if w.slot[lvl][slot] < 0 {
 		w.occupied[lvl]++
+		w.totalOcc++
 		w.occ[lvl][slot>>6] |= 1 << (slot & 63)
 	}
 	s.slab[idx].next = w.slot[lvl][slot]
@@ -120,6 +150,7 @@ func (w *timingWheel) takeChain(lvl, slot int) int32 {
 	head := w.slot[lvl][slot]
 	if head >= 0 {
 		w.occupied[lvl]--
+		w.totalOcc--
 		w.occ[lvl][slot>>6] &^= 1 << (slot & 63)
 	}
 	w.slot[lvl][slot] = -1
@@ -136,6 +167,16 @@ func (s *Sim) wheelPop() (int32, time.Duration, bool) {
 			idx := w.due[w.duePos]
 			w.duePos++
 			return idx, w.dueAt, true
+		}
+		if w.reg >= 0 {
+			// The register is the sole pending event by invariant.
+			idx := w.reg
+			w.reg = -1
+			at := s.slab[idx].at
+			if at > w.cur {
+				w.cur = at
+			}
+			return idx, at, true
 		}
 		if !s.wheelAdvance() {
 			// The wheel is empty. Chasing cancelled events may have
@@ -211,7 +252,7 @@ func (s *Sim) wheelAdvance() bool {
 				w.cur = minAt
 				for idx := live; idx >= 0; {
 					next := s.slab[idx].next
-					s.wheelInsert(idx, s.slab[idx].at)
+					s.wheelFile(idx, s.slab[idx].at)
 					idx = next
 				}
 				cascaded = true
@@ -271,6 +312,13 @@ func (s *Sim) wheelPeek() (time.Duration, bool) {
 		}
 		s.recycle(idx)
 		w.duePos++
+	}
+	if w.reg >= 0 {
+		if !s.slab[w.reg].dead() {
+			return s.slab[w.reg].at, true
+		}
+		s.recycle(w.reg)
+		w.reg = -1
 	}
 	// Level 0: the first occupied slot's time is exact.
 	from := int(uint64(w.cur) & wheelMask)
@@ -337,6 +385,7 @@ func (w *timingWheel) purgeDead(s *Sim, lvl, slot int) bool {
 	}
 	if w.slot[lvl][slot] < 0 {
 		w.occupied[lvl]--
+		w.totalOcc--
 		w.occ[lvl][slot>>6] &^= 1 << (slot & 63)
 		return false
 	}

@@ -1,6 +1,7 @@
 package ntp
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/ecn"
@@ -65,27 +66,35 @@ type ProbeResult struct {
 // drives itself on the host's simulator; the caller must run the
 // simulation for progress.
 //
-// The probe state lives in one struct with pre-bound callbacks: probes
-// are the campaign's innermost loop, so each one costs a handful of
-// allocations rather than a closure per concern.
+// The probe state lives in one pooled struct with callbacks bound once
+// per shell: probes are the campaign's innermost loop, so a probe's
+// steady-state cost is zero allocations rather than a closure per
+// concern.
 func Probe(h *netsim.Host, server packet.Addr, cfg ProbeConfig, done func(ProbeResult)) {
-	p := &probeRun{
-		h:    h,
-		cfg:  cfg.withDefaults(),
-		done: done,
-		res:  ProbeResult{Server: server, ECN: cfg.ECN},
+	p := probePool.Get().(*probeRun)
+	if p.attemptFn == nil {
+		p.attemptFn = p.attempt
+		p.datagramFn = p.onDatagram
 	}
+	p.h = h
+	p.cfg = cfg.withDefaults()
+	p.done = done
+	p.res = ProbeResult{Server: server, ECN: cfg.ECN}
+	p.timer = netsim.Timer{}
+	p.finished = false
 	p.sent = p.sentArr[:0]
-	p.attemptFn = p.attempt
 
 	var err error
-	p.port, err = h.BindUDP(0, p.onDatagram)
+	p.port, err = h.BindUDP(0, p.datagramFn)
 	if err != nil {
-		done(p.res)
+		p.release()
+		done(ProbeResult{Server: server, ECN: cfg.ECN})
 		return
 	}
 	p.attempt()
 }
+
+var probePool = sync.Pool{New: func() any { return new(probeRun) }}
 
 // probeRun is the state of one in-flight reachability probe.
 type probeRun struct {
@@ -101,9 +110,19 @@ type probeRun struct {
 	// response is accepted if its origin matches ANY attempt: the paper
 	// marks a server reachable "if an NTP response is received after
 	// any request".
-	sent      []sentAttempt
-	sentArr   [8]sentAttempt
-	attemptFn func()
+	sent       []sentAttempt
+	sentArr    [8]sentAttempt
+	attemptFn  func()
+	datagramFn func(*netsim.Host, packet.IPv4Header, packet.UDPHeader, []byte)
+}
+
+// release scrubs the shell and returns it to the pool. Callers must not
+// touch p afterwards.
+func (p *probeRun) release() {
+	p.h = nil
+	p.done = nil
+	p.sent = nil
+	probePool.Put(p)
 }
 
 func (p *probeRun) finish() {
@@ -113,7 +132,11 @@ func (p *probeRun) finish() {
 	p.finished = true
 	p.timer.Stop()
 	p.h.UnbindUDP(p.port)
-	p.done(p.res)
+	done, res := p.done, p.res
+	// Last touch: done may start the next probe, reusing this shell —
+	// the stopped timer and unbound port cannot reach it again.
+	p.release()
+	done(res)
 }
 
 func (p *probeRun) onDatagram(host *netsim.Host, ip packet.IPv4Header, udp packet.UDPHeader, payload []byte) {

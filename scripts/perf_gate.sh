@@ -13,22 +13,29 @@
 #     lightweight instantiation, and this gate keeps it collapsed;
 #   * any allocs/op > 0 on the pooled packet-path and scheduler
 #     benchmarks (BenchmarkCEMarkThroughput, BenchmarkBuildUDPBuf,
-#     BenchmarkSimSchedule).
+#     BenchmarkSimSchedule, BenchmarkSimScheduleSparse);
+#   * campaign-level allocations above PERF_GATE_MAX_CAMPAIGN_ALLOCS
+#     (default 300000) per BenchmarkCampaignWorkers run — the pooled
+#     probe/trace state machines hold a small congested campaign around
+#     ~250k allocs, and this gate keeps closure-per-probe regressions
+#     out.
 #
 # Environment knobs:
 #   PERF_GATE_BASE                base ref to compare against (default origin/main)
 #   PERF_GATE_COUNT               benchmark repetitions (default 5)
 #   PERF_GATE_MAX_REGRESSION_PCT  wall-clock slowdown tolerance (default 10)
+#   PERF_GATE_MAX_CAMPAIGN_ALLOCS campaign allocs/op ceiling (default 300000)
 set -euo pipefail
 
 BASE_REF="${PERF_GATE_BASE:-origin/main}"
 COUNT="${PERF_GATE_COUNT:-5}"
 MAX_PCT="${PERF_GATE_MAX_REGRESSION_PCT:-10}"
+MAX_CAMPAIGN_ALLOCS="${PERF_GATE_MAX_CAMPAIGN_ALLOCS:-300000}"
 # Campaign runs few iterations (each is a whole campaign); the packet
 # and scheduler hot-path benches run many so pool warmup amortises to a
 # true 0 allocs/op steady state.
 CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$|BenchmarkShardBuild$'
-HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$|BenchmarkSimSchedule'
+HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$|BenchmarkSimSchedule|BenchmarkSimScheduleSparse'
 
 root="$(git rev-parse --show-toplevel)"
 cd "$root"
@@ -78,7 +85,20 @@ if [ -n "$bad_allocs" ]; then
     fail=1
 fi
 
-# Gate 2: wall-clock regression vs base, on mean ns/op, for the campaign
+# Gate 2: campaign-level allocations. The pooled probe and trace state
+# machines keep a small campaign around ~250k allocs/op; the ceiling
+# catches a reintroduced closure-per-probe (or per-phantom) pattern
+# long before it shows up as wall-clock.
+bad_campaign_allocs="$(awk -v max="$MAX_CAMPAIGN_ALLOCS" '/^BenchmarkCampaignWorkers/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i+0 > max) print $1, $i, "allocs/op >", max
+}' "$work/head.txt" | sort -u)"
+if [ -n "$bad_campaign_allocs" ]; then
+    echo "perf-gate: FAIL — campaign allocations exceed PERF_GATE_MAX_CAMPAIGN_ALLOCS=$MAX_CAMPAIGN_ALLOCS:"
+    echo "$bad_campaign_allocs"
+    fail=1
+fi
+
+# Gate 3: wall-clock regression vs base, on mean ns/op, for the campaign
 # and the per-shard world setup. A benchmark absent on base (or whose
 # base meaning differs — BenchmarkShardBuild predates shared worlds)
 # can only pass or improve; the comparison keeps it from regressing
