@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint determinism perf-gate check
+.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke check
 
 all: check
 
@@ -20,16 +20,17 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_5.json — campaign wall-clock for all three scenarios under both
+# BENCH_6.json — campaign wall-clock for all three scenarios under both
 # cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
 # the phantom/replayed event split) plus worker × slice scaling rows,
 # world compile/instantiate fixed costs, scheduler (wheel vs heap,
 # dense and sparse kernels) throughput, pooled AQM CE-mark throughput,
-# and pooled packet-build cost, all with allocs/op — which CI uploads
-# as the perf-trajectory artifact.
+# pooled packet-build cost (all with allocs/op), and control-plane
+# rows (cold submit vs direct campaign.Run vs cache hit) — which CI
+# uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_5.json
+	$(GO) run ./cmd/benchreport -o BENCH_6.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -61,6 +62,19 @@ lint:
 # (lazy catch-up replay and the event-per-boundary oracle).
 determinism:
 	$(GO) run ./cmd/determinism
+
+# serve runs the campaign-as-a-service control plane (cmd/reprod) in
+# the foreground on :8070 with ./reprod-data as the result store; see
+# README.md for the curl quickstart.
+serve:
+	$(GO) run ./cmd/reprod
+
+# smoke drives a real reprod process over HTTP: submit → poll → fetch,
+# asserts the served dataset's SHA-256 equals cmd/determinism's hash
+# for the same spec, and that resubmission is a pure cache hit (no
+# second simulation, per /v1/stats).
+smoke:
+	./scripts/service_smoke.sh
 
 # perf-gate benchmarks the working tree against PERF_GATE_BASE
 # (default origin/main) and fails on >10% campaign wall-clock

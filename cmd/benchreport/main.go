@@ -1,9 +1,9 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_5.json) as a build artifact, so regressions in campaign
+// output (BENCH_6.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
-// Four metric families:
+// Five metric families:
 //
 //   - campaign wall-clock: the small-scale sharded campaign under every
 //     scenario — uncongested, congested-edge and congested-transit (the
@@ -20,18 +20,29 @@
 //     near/far timer kernel and on the sparse-timeline kernel, timing
 //     wheel vs heap fallback, with allocs/op (must be zero);
 //   - CE-mark throughput and packet build: the pooled per-packet costs,
-//     also required allocation-free.
+//     also required allocation-free;
+//   - control-plane service: a cold spec submission through cmd/reprod's
+//     HTTP surface (submit + poll + dataset fetch) against the direct
+//     campaign.Run it wraps — the job-manager overhead, expected under
+//     5% — and the cache-hit resubmission, expected near-instant.
+//
+// Campaign knobs come from the shared spec flag surface
+// (campaign.BindSpecFlags): explicit flags > REPRO_* env > the small
+// two-trace base below.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_5.json] [-seed N] [-traces N]
+//	benchreport [-o BENCH_6.json] [-seed N] [-traces N] [-scale S]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -40,9 +51,11 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/aqm"
 	"repro/internal/campaign"
+	"repro/internal/dataset"
 	"repro/internal/ecn"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/server"
 	"repro/internal/topology"
 )
 
@@ -78,29 +91,47 @@ type hotPathRow struct {
 	CEMarkFraction float64 `json:"ce_mark_fraction,omitempty"`
 }
 
+// serviceRow times one interaction with the control plane (or, for the
+// direct-run baseline, the engine work the control plane wraps).
+type serviceRow struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cached marks the resubmission row served from the result store.
+	Cached bool `json:"cached,omitempty"`
+	// OverheadVsDirect is (row - direct run) / direct run; the job
+	// manager plus HTTP transport should stay under 5%.
+	OverheadVsDirect float64 `json:"overhead_vs_direct,omitempty"`
+}
+
 type report struct {
 	Schema     string        `json:"schema"`
 	GoMaxProcs int           `json:"go_max_procs"`
 	Campaigns  []campaignRow `json:"campaigns"`
 	HotPaths   []hotPathRow  `json:"hot_paths"`
+	Service    []serviceRow  `json:"service"`
 }
 
 func main() {
-	var (
-		out    = flag.String("o", "BENCH_5.json", "output path (- for stdout)")
-		seed   = flag.Int64("seed", 2015, "campaign seed")
-		traces = flag.Int("traces", 2, "traces per vantage")
-	)
+	out := flag.String("o", "BENCH_6.json", "output path (- for stdout)")
+	base := campaign.DefaultSpec()
+	base.Scale = "small"
+	base.Traces = 2
+	base.Stride = 0
+	specFlags := campaign.BindSpecFlags(flag.CommandLine, campaign.FlagOptions{Base: base})
 	flag.Parse()
+	spec, err := specFlags.Resolve()
+	if err != nil {
+		fatal("%v", err)
+	}
 
-	rep := report{Schema: "repro-bench/5", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/6", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
 	// cache-sensitive microbenchmarks in that environment understates
 	// them.
 	rep.HotPaths = append(rep.HotPaths, benchScheduler()...)
-	rep.HotPaths = append(rep.HotPaths, benchWorldSetup(*seed)...)
+	rep.HotPaths = append(rep.HotPaths, benchWorldSetup(spec.Seed)...)
 	for _, name := range []string{"droptail", "red", "codel"} {
 		rep.HotPaths = append(rep.HotPaths, benchAQM(name))
 	}
@@ -111,9 +142,9 @@ func main() {
 	// oracle for the congested scenarios — the before/after pair whose
 	// event counts and wall-clock quantify the coalesced fast path.
 	for _, scenario := range campaign.Scenarios() {
-		rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, "lazy", *seed, *traces, 0, 0))
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "lazy", 0, 1)))
 		if scenario != campaign.ScenarioUncongested {
-			rep.Campaigns = append(rep.Campaigns, benchCampaign(scenario, "events", *seed, *traces, 0, 0))
+			rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "events", 0, 1)))
 		}
 	}
 	// Scaling rows: worker pool × sub-vantage slicing on the uncongested
@@ -124,8 +155,13 @@ func main() {
 		{1, 1}, {4, 1}, {8, 1}, {8, 2}, {8, 4},
 	} {
 		rep.Campaigns = append(rep.Campaigns,
-			benchCampaign(campaign.ScenarioUncongested, "lazy", *seed, *traces, shape.workers, shape.slices))
+			benchCampaign(rowSpec(spec, campaign.ScenarioUncongested, "lazy", shape.workers, shape.slices)))
 	}
+
+	// Control-plane rows: the same base campaign, cold through the HTTP
+	// service vs direct through the engine, then resubmitted for the
+	// cache-hit path.
+	rep.Service = benchService(spec)
 
 	w := os.Stdout
 	if *out != "-" {
@@ -150,41 +186,49 @@ func main() {
 	}
 }
 
+// rowSpec derives one benchmark row's campaign from the resolved base
+// spec by overriding the scenario and execution shape.
+func rowSpec(base campaign.Spec, scenario, xtraffic string, workers, slices int) campaign.Spec {
+	s := base.Normalized()
+	s.Scenario = scenario
+	s.XTraffic = xtraffic
+	s.Workers = workers
+	s.SlicesPerVantage = slices
+	return s
+}
+
 // benchCampaign runs one small-scale campaign and records wall clock,
 // executed events (with the phantom-vs-foreground split), and
 // allocations per campaign run.
-func benchCampaign(scenario, xtraffic string, seed int64, traces, workers, slices int) campaignRow {
-	cfg := campaign.Config{
-		Scale:            "small",
-		Scenario:         scenario,
-		Traces:           traces,
-		Seed:             seed,
-		Workers:          workers,
-		SlicesPerVantage: slices,
-		XTraffic:         xtraffic,
+func benchCampaign(spec campaign.Spec) campaignRow {
+	cfg, err := spec.Config()
+	if err != nil {
+		fatal("campaign %s: %v", spec.Scenario, err)
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := campaign.Run(cfg)
 	if err != nil {
-		fatal("campaign %s: %v", scenario, err)
+		fatal("campaign %s: %v", spec.Scenario, err)
 	}
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
+	workers := spec.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	slices := spec.SlicesPerVantage
 	if slices == 0 {
 		slices = 1
 	}
 	row := campaignRow{
-		Scenario:           scenario,
-		Scale:              "small",
-		Traces:             traces,
+		Scenario:           spec.Scenario,
+		Scale:              spec.Scale,
+		Traces:             spec.Traces,
 		Workers:            workers,
 		Slices:             slices,
-		XTraffic:           xtraffic,
+		XTraffic:           spec.XTraffic,
 		Shards:             len(res.Shards),
 		WallSeconds:        wall,
 		Events:             res.Events,
@@ -343,6 +387,107 @@ func benchBuildUDP() hotPathRow {
 		PacketsPerSec: 1e9 / float64(r.NsPerOp()),
 		AllocsPerOp:   r.AllocsPerOp(),
 	}
+}
+
+// benchService measures the control plane wrapping the engine: a cold
+// spec submission over HTTP (submit, poll to done, fetch the dataset)
+// against a direct campaign.Run + dataset encode of the same spec, and
+// the cache-hit resubmission. Cold-submit overhead beyond the direct
+// run is the job manager plus transport; it should stay under 5%.
+func benchService(spec campaign.Spec) []serviceRow {
+	spec = spec.Normalized()
+
+	// Direct baseline: exactly the work a cold job performs.
+	cfg, err := spec.Config()
+	if err != nil {
+		fatal("service baseline: %v", err)
+	}
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fatal("service baseline: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, res.Dataset); err != nil {
+		fatal("service baseline: %v", err)
+	}
+	direct := time.Since(start).Seconds()
+
+	dir, err := os.MkdirTemp("", "benchreport-service-*")
+	if err != nil {
+		fatal("service: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{DataDir: dir, Jobs: 1})
+	if err != nil {
+		fatal("service: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := spec.Canonical()
+	if err != nil {
+		fatal("service: %v", err)
+	}
+	cold := timeSubmission(ts.URL, body)
+	hit := timeSubmission(ts.URL, body)
+
+	return []serviceRow{
+		{Name: "service/direct-run", WallSeconds: direct},
+		{Name: "service/cold-submit", WallSeconds: cold, OverheadVsDirect: (cold - direct) / direct},
+		{Name: "service/cache-hit", WallSeconds: hit, Cached: true},
+	}
+}
+
+// timeSubmission runs one client interaction end to end: POST the spec,
+// poll the job until done, download the dataset. Returns wall seconds.
+func timeSubmission(baseURL string, spec []byte) float64 {
+	start := time.Now()
+	resp, err := http.Post(baseURL+"/v1/campaigns", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		fatal("service submit: %v", err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		fatal("service submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		fatal("service submit: status %d: %s", resp.StatusCode, view.Error)
+	}
+	for view.State != "done" {
+		if view.State == "failed" {
+			fatal("service job %s failed: %s", view.ID, view.Error)
+		}
+		time.Sleep(time.Millisecond)
+		resp, err := http.Get(baseURL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			fatal("service poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			fatal("service poll: %v", err)
+		}
+	}
+	resp, err = http.Get(baseURL + "/v1/jobs/" + view.ID + "/dataset")
+	if err != nil {
+		fatal("service fetch: %v", err)
+	}
+	var sink bytes.Buffer
+	if _, err := sink.ReadFrom(resp.Body); err != nil {
+		fatal("service fetch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("service fetch: status %d", resp.StatusCode)
+	}
+	return time.Since(start).Seconds()
 }
 
 func fatal(format string, args ...any) {

@@ -6,19 +6,25 @@
 // canonical JSON-lines encoding), and exits non-zero on any divergence.
 //
 // CI runs it as the `determinism` job; locally `make determinism` does
-// the same. The default grid — slices ∈ {1, 2, 8} × workers ∈ {1, 4,
-// 13} — spans one-shard-per-vantage through more-slices-than-traces,
-// and sequential through one-goroutine-per-vantage, matching the
-// TestSliceCountInvariance and TestWorkerCountInvariance tiers. The
-// -sched flag reruns the grid on the heap scheduler fallback, whose
-// hashes must equal the timing wheel's; the -xtraffic flag reruns it
-// with the congestion substrate's cross-traffic driven lazily (the
-// default arithmetic catch-up replay) and event-per-boundary (the
-// legacy differential oracle) — the two drives must also hash equal.
+// the same. The grid comes from the shared campaign flag surface
+// (campaign.BindSpecFlags in grid mode): -workers/-slices/-sched/
+// -xtraffic/-scenario accept comma-separated axis values, a REPRO_*
+// variable narrows its axis to one value, and the defaults — slices ∈
+// {1, 2, 8} × workers ∈ {1, 4, 13} × schedulers {wheel, heap} ×
+// cross-traffic drives {lazy, events} × all scenarios — span
+// one-shard-per-vantage through more-slices-than-traces, sequential
+// through one-goroutine-per-vantage, and both differential oracles
+// (the heap scheduler and the event-per-boundary cross-traffic drive),
+// whose hashes must all be equal.
+//
+// The hash this command prints for a spec is the control plane's
+// correctness contract: a dataset served by cmd/reprod for the same
+// spec must have the same SHA-256 (the service-smoke CI job asserts
+// exactly that).
 //
 // Usage:
 //
-//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenarios a,b] [-sched wheel,heap] [-xtraffic lazy,events]
+//	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenario a,b] [-sched wheel,heap] [-xtraffic lazy,events]
 package main
 
 import (
@@ -26,82 +32,69 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/dataset"
 )
 
 func main() {
-	var (
-		seed      = flag.Int64("seed", 2015, "campaign seed")
-		traces    = flag.Int("traces", 2, "traces per vantage")
-		workers   = flag.String("workers", "1,4,13", "comma-separated worker counts")
-		slices    = flag.String("slices", "1,2,8", "comma-separated sub-vantage slice counts")
-		scenarios = flag.String("scenarios", strings.Join(campaign.Scenarios(), ","), "comma-separated scenarios")
-		scheds    = flag.String("sched", "wheel,heap", "comma-separated simulator schedulers")
-		xtraffics = flag.String("xtraffic", "lazy,events", "comma-separated cross-traffic drives")
-	)
+	base := campaign.DefaultSpec()
+	base.Scale = "small"
+	base.Traces = 2
+	base.Stride = 0
+	spec := campaign.BindSpecFlags(flag.CommandLine, campaign.FlagOptions{
+		Base: base,
+		Grid: &campaign.GridDefaults{
+			Scenarios:  campaign.Scenarios(),
+			Schedulers: []string{"wheel", "heap"},
+			XTraffics:  []string{"lazy", "events"},
+			Workers:    []int{1, 4, 13},
+			Slices:     []int{1, 2, 8},
+		},
+	})
 	flag.Parse()
 
-	workerCounts, err := parseCounts("worker", *workers)
-	if err != nil {
-		fatal("%v", err)
-	}
-	sliceCounts, err := parseCounts("slice", *slices)
+	cells, err := spec.ResolveGrid()
 	if err != nil {
 		fatal("%v", err)
 	}
 
+	// Cells arrive scenario-outermost; each scenario's first cell sets
+	// the reference hash the rest of its block must match.
 	failed := false
-	runs := 0
-	for _, scenario := range strings.Split(*scenarios, ",") {
-		scenario = strings.TrimSpace(scenario)
-		var ref string
-		for _, xtraffic := range strings.Split(*xtraffics, ",") {
-			xtraffic = strings.TrimSpace(xtraffic)
-			for _, sched := range strings.Split(*scheds, ",") {
-				sched = strings.TrimSpace(sched)
-				for _, sl := range sliceCounts {
-					for _, w := range workerCounts {
-						sum, err := runHash(*seed, *traces, scenario, w, sl, sched, xtraffic)
-						if err != nil {
-							fatal("scenario %s sched=%s xtraffic=%s slices=%d workers=%d: %v", scenario, sched, xtraffic, sl, w, err)
-						}
-						fmt.Printf("%s  scenario=%s sched=%s xtraffic=%s slices=%d workers=%d\n", sum, scenario, sched, xtraffic, sl, w)
-						runs++
-						if ref == "" {
-							ref = sum
-						} else if sum != ref {
-							fmt.Fprintf(os.Stderr,
-								"determinism: FAIL: scenario %s diverges at sched=%s xtraffic=%s slices=%d workers=%d\n",
-								scenario, sched, xtraffic, sl, w)
-							failed = true
-						}
-					}
-				}
-			}
+	scenario, ref := "", ""
+	for _, cell := range cells {
+		if cell.Scenario != scenario {
+			scenario, ref = cell.Scenario, ""
+		}
+		sum, err := runHash(cell)
+		if err != nil {
+			fatal("scenario %s sched=%s xtraffic=%s slices=%d workers=%d: %v",
+				cell.Scenario, cell.Scheduler, cell.XTraffic, cell.SlicesPerVantage, cell.Workers, err)
+		}
+		fmt.Printf("%s  scenario=%s sched=%s xtraffic=%s slices=%d workers=%d\n",
+			sum, cell.Scenario, cell.Scheduler, cell.XTraffic, cell.SlicesPerVantage, cell.Workers)
+		if ref == "" {
+			ref = sum
+		} else if sum != ref {
+			fmt.Fprintf(os.Stderr,
+				"determinism: FAIL: scenario %s diverges at sched=%s xtraffic=%s slices=%d workers=%d\n",
+				cell.Scenario, cell.Scheduler, cell.XTraffic, cell.SlicesPerVantage, cell.Workers)
+			failed = true
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler × cross-traffic grid\n", runs)
+	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler × cross-traffic grid\n", len(cells))
 }
 
-// runHash executes one campaign and returns the SHA-256 of its merged
-// dataset in canonical JSON-lines form.
-func runHash(seed int64, traces int, scenario string, workers, slices int, sched, xtraffic string) (string, error) {
-	cfg := campaign.Config{
-		Scale:            "small",
-		Scenario:         scenario,
-		Traces:           traces,
-		Seed:             seed,
-		Workers:          workers,
-		SlicesPerVantage: slices,
-		Scheduler:        sched,
-		XTraffic:         xtraffic,
+// runHash executes one grid cell's campaign and returns the SHA-256 of
+// its merged dataset in canonical JSON-lines form.
+func runHash(spec campaign.Spec) (string, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return "", err
 	}
 	res, err := campaign.Run(cfg)
 	if err != nil {
@@ -112,21 +105,6 @@ func runHash(seed int64, traces int, scenario string, workers, slices int, sched
 		return "", err
 	}
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
-}
-
-func parseCounts(what, s string) ([]int, error) {
-	var counts []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("determinism: bad %s count %q", what, part)
-		}
-		counts = append(counts, n)
-	}
-	if len(counts) < 1 {
-		return nil, fmt.Errorf("determinism: need at least one %s count", what)
-	}
-	return counts, nil
 }
 
 func fatal(format string, args ...any) {

@@ -13,17 +13,19 @@
 //
 //	ecnspider [-seed N] [-scale paper|small] [-scenario name] [-traces N] [-workers N] [-slices N] [-discover] [-o dataset.jsonl]
 //
-// -traces N overrides the per-vantage trace count (0 = the paper's
-// 210-trace plan at paper scale, 2 per vantage at small scale).
-// -scenario selects the congestion scenario (uncongested, the default;
-// congested-edge; congested-transit) — congested runs append a CE-mark
-// report to stderr. -slices N lifts campaign parallelism past the 13
-// vantage points (13×N shards); -sched heap selects the simulator's
-// binary-heap fallback instead of the default timing wheel, and
-// -xtraffic events the legacy event-per-phantom-boundary cross-traffic
-// drive instead of the default lazy catch-up replay, both for
-// differential runs. -cpuprofile/-memprofile write pprof profiles of
-// the campaign for hot-path work.
+// Campaign knobs come from the shared campaign flag surface
+// (campaign.BindSpecFlags): explicit flags override the REPRO_*
+// environment, which overrides the tool defaults (small scale, 2 traces
+// per vantage; -scale paper without -traces runs the paper's 210-trace
+// plan). -scenario selects the congestion scenario (uncongested, the
+// default; congested-edge; congested-transit) — congested runs append a
+// CE-mark report to stderr. -slices N lifts campaign parallelism past
+// the 13 vantage points (13×N shards); -sched heap selects the
+// simulator's binary-heap fallback instead of the default timing wheel,
+// and -xtraffic events the legacy event-per-phantom-boundary
+// cross-traffic drive instead of the default lazy catch-up replay, both
+// for differential runs. -cpuprofile/-memprofile write pprof profiles
+// of the campaign for hot-path work.
 package main
 
 import (
@@ -32,7 +34,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -43,16 +44,12 @@ import (
 )
 
 func main() {
+	base := campaign.DefaultSpec()
+	base.Scale = "small"
+	base.Traces = 2
+	base.Stride = 0 // ecnspider reproduces the dataset; no traceroute sweep
+	spec := campaign.BindSpecFlags(flag.CommandLine, campaign.FlagOptions{Base: base})
 	var (
-		seed     = flag.Int64("seed", 2015, "campaign seed (same seed → identical dataset)")
-		scale    = flag.String("scale", "small", "world scale: paper (2500 servers) or small (120)")
-		scenario = flag.String("scenario", "", "congestion scenario: "+strings.Join(campaign.Scenarios(), ", "))
-		traces   = flag.Int("traces", 0, "traces per vantage (0 = scale default)")
-		workers  = flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS)")
-		slices   = flag.Int("slices", 0, "sub-vantage slices per vantage (0 = 1: one shard per vantage)")
-		sched    = flag.String("sched", "", "simulator scheduler: wheel (default) or heap")
-		xtraffic = flag.String("xtraffic", "", "cross-traffic drive: lazy (default) or events")
-		discover = flag.Bool("discover", false, "enumerate servers via pool DNS before probing")
 		out      = flag.String("o", "dataset.jsonl", "output dataset path (- for stdout)")
 		pcapPath = flag.String("pcap", "", "capture the first shard's vantage traffic to this pcap file (last 100k packets)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -74,24 +71,18 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	perVantage := 2
-	if *scale == "paper" {
-		perVantage = 0 // use the paper plan
+	s, err := spec.Resolve()
+	if err != nil {
+		fatal("%v", err)
 	}
-	if *traces > 0 {
-		perVantage = *traces
+	// The 2-traces default belongs to the small world; at paper scale an
+	// untouched -traces means the full 210-trace plan, as it always has.
+	if spec.Source("traces") == campaign.SourceDefault && s.Scale == "paper" {
+		s.Traces = 0
 	}
-
-	cfg := campaign.Config{
-		Scale:            *scale,
-		Scenario:         *scenario,
-		Traces:           perVantage,
-		Discover:         *discover,
-		Seed:             *seed,
-		Workers:          *workers,
-		SlicesPerVantage: *slices,
-		Scheduler:        *sched,
-		XTraffic:         *xtraffic,
+	cfg, err := s.Config()
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	// Optional tcpdump-style capture, like the parallel capture sessions
@@ -112,7 +103,7 @@ func main() {
 		}
 		// A single worker keeps the tapped shard's packet order exactly
 		// reproducible; the dataset itself never depends on workers.
-		if *workers != 1 {
+		if cfg.Workers != 1 {
 			fmt.Fprintln(os.Stderr, "ecnspider: -pcap forces -workers=1 for a reproducible capture")
 		}
 		cfg.Workers = 1

@@ -1,0 +1,86 @@
+// Command reprod is the campaign-as-a-service daemon: a long-lived
+// HTTP control plane over the sharded campaign engine. Clients POST a
+// serializable campaign spec (campaign.Spec) to /v1/campaigns, poll the
+// async job it becomes, and fetch the merged dataset plus a run report
+// (determinism hash, event counters, CE-mark estimates). Completed runs
+// are cached on disk content-addressed by the spec's canonical form, so
+// resubmitting a spec — from any client, with any execution shape — is
+// served instantly without re-simulating.
+//
+// Quickstart (see README.md for the full curl walk-through):
+//
+//	reprod -addr :8070 -data ./reprod-data &
+//	curl -s localhost:8070/v1/campaigns -d '{"spec":1,"scale":"small","traces":2,"seed":2015}'
+//	curl -s localhost:8070/v1/jobs/j-000001
+//	curl -s localhost:8070/v1/jobs/j-000001/dataset -o dataset.jsonl
+//
+// Usage:
+//
+//	reprod [-addr :8070] [-data DIR] [-jobs N]
+//
+// -jobs bounds concurrently *running campaigns*; each campaign still
+// parallelizes internally per its spec's workers knob, so the default
+// of 1 already uses every core. SIGINT/SIGTERM drain gracefully:
+// in-flight campaigns finish and are cached before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8070", "HTTP listen address")
+		data = flag.String("data", "reprod-data", "result-store data directory")
+		jobs = flag.Int("jobs", 1, "concurrently running campaigns (each parallelizes internally)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "reprod: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		DataDir: *data,
+		Jobs:    *jobs,
+		Logf:    func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down: draining in-flight campaigns")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("serving on %s (data dir %s, %d concurrent jobs)", *addr, *data, *jobs)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	// The HTTP listener is closed; finish the queued/running campaigns
+	// so their results are cached for the next start.
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "reprod: drained")
+}

@@ -35,9 +35,7 @@ package campaign
 
 import (
 	"fmt"
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"time"
 
@@ -129,94 +127,29 @@ type Config struct {
 	// it runs once per (vantage, slice) shard. It must not share mutable
 	// state across shards without its own synchronisation.
 	ShardHook func(shard int, vantage string, w *topology.World)
+	// ShardStart and ShardDone, when non-nil, bracket each shard's
+	// execution for progress reporting: ShardStart fires in the worker
+	// goroutine as the (vantage, slice) shard is picked up, ShardDone
+	// when it completes successfully, with its execution stats. The
+	// HTTP control plane's job manager feeds per-shard progress from
+	// them. Both run concurrently across workers; they must synchronise
+	// any shared state themselves and must not block.
+	ShardStart func(shard, slice int, vantage string)
+	ShardDone  func(ShardStats)
 }
 
-// FromEnv builds a Config from the REPRO_* environment knobs used by the
-// benchmark harness and CI:
-//
-//	REPRO_SCALE=small|paper   world size            (default paper)
-//	REPRO_SCENARIO=name       congestion scenario   (default uncongested; see Scenarios)
-//	REPRO_TRACES=N|paper      traces per vantage    (default 6; "paper" = the full 210-trace plan)
-//	REPRO_STRIDE=N            traceroute sampling   (default 3: every 3rd server)
-//	REPRO_SEED=N              campaign seed         (default 2015)
-//	REPRO_WORKERS=N           parallel shard workers (default GOMAXPROCS)
-//	REPRO_SLICES=N            sub-shards per vantage (default 1)
-//	REPRO_SCHED=wheel|heap    simulator scheduler   (default wheel)
-//	REPRO_XTRAFFIC=lazy|events cross-traffic drive  (default lazy)
-//
-// Malformed values are an error, not a silent fallback: these knobs
-// select entire measurement campaigns, and a typo'd REPRO_TRACES=1O
-// quietly running the default plan would waste a paper-scale run.
+// FromEnv builds a Config from the REPRO_* environment knobs used by
+// the benchmark harness and CI. It is a thin wrapper over the
+// serializable campaign spec: SpecFromEnv layers the knobs over
+// DefaultSpec (see its doc comment for the vocabulary), and the
+// resulting Spec derives the Config — so env, CLI and the HTTP control
+// plane all parse campaign configuration through one surface.
 func FromEnv() (Config, error) {
-	cfg := Config{
-		Scale:      os.Getenv("REPRO_SCALE"),
-		Scenario:   os.Getenv("REPRO_SCENARIO"),
-		Scheduler:  os.Getenv("REPRO_SCHED"),
-		XTraffic:   os.Getenv("REPRO_XTRAFFIC"),
-		Traceroute: traceroute.Config{ProbesPerHop: 1, StopAfterSilent: 2},
-	}
-	switch cfg.Scale {
-	case "", "small", "paper":
-	default:
-		return Config{}, fmt.Errorf("campaign: REPRO_SCALE=%q: want small or paper", cfg.Scale)
-	}
-	if err := ApplyScenario(&topology.Config{}, cfg.Scenario); err != nil {
-		return Config{}, fmt.Errorf("REPRO_SCENARIO: %w", err)
-	}
-	if _, ok := netsim.SchedulerByName(cfg.Scheduler); !ok {
-		return Config{}, fmt.Errorf("campaign: REPRO_SCHED=%q: want wheel or heap", cfg.Scheduler)
-	}
-	if _, ok := netsim.XTrafficModeByName(cfg.XTraffic); !ok {
-		return Config{}, fmt.Errorf("campaign: REPRO_XTRAFFIC=%q: want lazy or events", cfg.XTraffic)
-	}
-
-	var err error
-	if cfg.Seed, err = envInt64("REPRO_SEED", 2015); err != nil {
-		return Config{}, err
-	}
-	envCount := func(key string, def int) (int, error) {
-		n, err := envInt64(key, int64(def))
-		if err != nil {
-			return 0, err
-		}
-		if n < 0 {
-			return 0, fmt.Errorf("campaign: %s=%d: must not be negative", key, n)
-		}
-		return int(n), nil
-	}
-	if cfg.Stride, err = envCount("REPRO_STRIDE", 3); err != nil {
-		return Config{}, err
-	}
-	if cfg.Workers, err = envCount("REPRO_WORKERS", 0); err != nil {
-		return Config{}, err
-	}
-	if cfg.SlicesPerVantage, err = envCount("REPRO_SLICES", 0); err != nil {
-		return Config{}, err
-	}
-	if v := os.Getenv("REPRO_TRACES"); v != "paper" {
-		// Only the "paper" sentinel (Traces=0 in Config) selects the
-		// full 210-trace plan; every other value must be a positive
-		// count so a stray REPRO_TRACES=0 cannot silently launch it.
-		if cfg.Traces, err = envCount("REPRO_TRACES", 6); err != nil {
-			return Config{}, err
-		}
-		if cfg.Traces < 1 {
-			return Config{}, fmt.Errorf("campaign: REPRO_TRACES=%q: want a count ≥ 1 or \"paper\"", v)
-		}
-	}
-	return cfg, nil
-}
-
-func envInt64(key string, def int64) (int64, error) {
-	v := os.Getenv(key)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.ParseInt(v, 10, 64)
+	s, err := SpecFromEnv()
 	if err != nil {
-		return 0, fmt.Errorf("campaign: %s=%q: not an integer", key, v)
+		return Config{}, err
 	}
-	return n, nil
+	return s.Config()
 }
 
 // ShardStats records one shard's execution for capacity planning.
@@ -447,6 +380,41 @@ func (cfg Config) shardSpecs() []shardSpec {
 	return shards
 }
 
+// ShardInfo describes one planned unit of parallel work: a contiguous
+// block of one vantage's traces. The control plane exposes the plan
+// (and each shard's completion) over the API so remote workers can
+// eventually claim shards.
+type ShardInfo struct {
+	// Shard is the vantage's fixed Table 2 index; Slice its sub-vantage
+	// index (0 when unsliced).
+	Shard   int    `json:"shard"`
+	Slice   int    `json:"slice"`
+	Vantage string `json:"vantage"`
+	// Traces is the number of traces in this shard's block.
+	Traces int `json:"traces"`
+	// Sweep marks the slice that also owns the vantage's traceroute
+	// sweep (the one holding trace 0).
+	Sweep bool `json:"sweep"`
+}
+
+// Shards returns the campaign's work partition in canonical
+// (vantage, slice) order — the order ShardStats appear in Result.Shards
+// and datasets merge in.
+func (cfg Config) Shards() []ShardInfo {
+	specs := cfg.shardSpecs()
+	infos := make([]ShardInfo, len(specs))
+	for i, sh := range specs {
+		infos[i] = ShardInfo{
+			Shard:   sh.shard,
+			Slice:   sh.slice,
+			Vantage: sh.vantage,
+			Traces:  sh.hi - sh.lo,
+			Sweep:   sh.sweep,
+		}
+	}
+	return infos
+}
+
 // Run executes the sharded campaign and returns the merged result. The
 // merged output is byte-identical for any Workers value, GOMAXPROCS
 // setting, SlicesPerVantage count or Scheduler choice: shards share
@@ -493,7 +461,14 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = runShard(cfg, bp, shards[i], sched, xmode)
+				sh := shards[i]
+				if cfg.ShardStart != nil {
+					cfg.ShardStart(sh.shard, sh.slice, sh.vantage)
+				}
+				results[i], errs[i] = runShard(cfg, bp, sh, sched, xmode)
+				if errs[i] == nil && cfg.ShardDone != nil {
+					cfg.ShardDone(results[i].stats)
+				}
 			}
 		}()
 	}

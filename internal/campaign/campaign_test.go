@@ -181,8 +181,12 @@ func TestFromEnv(t *testing.T) {
 		{
 			name: "defaults",
 			check: func(t *testing.T, cfg Config) {
-				if cfg.Scale != "" || cfg.Scenario != "" || cfg.Traces != 6 ||
-					cfg.Stride != 3 || cfg.Seed != 2015 || cfg.Workers != 0 {
+				// FromEnv derives the Config from the canonical Spec, so
+				// defaults arrive explicit rather than as zero values.
+				if cfg.Scale != "paper" || cfg.Scenario != ScenarioUncongested ||
+					cfg.Traces != 6 || cfg.Stride != 3 || cfg.Seed != 2015 ||
+					cfg.Workers != 0 || cfg.SlicesPerVantage != 1 ||
+					cfg.Scheduler != "wheel" || cfg.XTraffic != "lazy" {
 					t.Fatalf("defaults = %+v", cfg)
 				}
 			},

@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestSpecCanonicalIdentical: every spelling of the same campaign —
+// zero-valued defaults, explicit defaults, or a JSON body with fields
+// in any order — must canonicalize to identical bytes.
+func TestSpecCanonicalIdentical(t *testing.T) {
+	implicit := Spec{Scale: "small", Traces: 2, Seed: 7}
+	explicit := Spec{
+		Version:          SpecVersion,
+		Scale:            "small",
+		Scenario:         ScenarioUncongested,
+		Traces:           2,
+		Batch2Fraction:   0.5,
+		DiscoveryRounds:  50,
+		Seed:             7,
+		SlicesPerVantage: 1,
+		Scheduler:        "wheel",
+		XTraffic:         "lazy",
+	}
+	a, err := implicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("canonical forms differ:\n  implicit: %s\n  explicit: %s", a, b)
+	}
+
+	// A submitted JSON body with shuffled field order parses to the
+	// same canonical bytes.
+	parsed, err := ParseSpec([]byte(`{"seed": 7, "traces": 2, "scale": "small", "spec": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := parsed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatalf("parsed canonical differs:\n  struct: %s\n  parsed: %s", a, c)
+	}
+}
+
+// TestSpecCanonicalRoundTrip: canonical bytes decode back to the
+// normalized spec, and re-canonicalize to the same bytes (idempotence).
+func TestSpecCanonicalRoundTrip(t *testing.T) {
+	s := Spec{
+		Scale:    "small",
+		Scenario: ScenarioCongestedEdge,
+		TracePlan: map[string]int{
+			"U. Glasgow wired": 3,
+			"Perkins home":     1,
+		},
+		Seed:     42,
+		Discover: true,
+		Stride:   2,
+	}
+	b1, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("canonical not idempotent:\n  first:  %s\n  second: %s", b1, b2)
+	}
+}
+
+// TestSpecCacheKeyIgnoresExecutionShape: knobs the determinism grid
+// proves irrelevant to the merged bytes (workers, slices, scheduler,
+// cross-traffic drive) must not change the cache key; semantic knobs
+// must.
+func TestSpecCacheKeyIgnoresExecutionShape(t *testing.T) {
+	base := Spec{Scale: "small", Traces: 2, Seed: 7}
+	ref, err := base.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := []Spec{
+		{Scale: "small", Traces: 2, Seed: 7, Workers: 13},
+		{Scale: "small", Traces: 2, Seed: 7, SlicesPerVantage: 8},
+		{Scale: "small", Traces: 2, Seed: 7, Scheduler: "heap"},
+		{Scale: "small", Traces: 2, Seed: 7, XTraffic: "events"},
+	}
+	for _, s := range same {
+		k, err := s.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != ref {
+			t.Errorf("execution-shape knob changed the cache key: %+v", s)
+		}
+	}
+
+	different := []Spec{
+		{Scale: "small", Traces: 2, Seed: 8},
+		{Scale: "small", Traces: 3, Seed: 7},
+		{Scale: "paper", Traces: 2, Seed: 7},
+		{Scale: "small", Traces: 2, Seed: 7, Scenario: ScenarioCongestedEdge},
+		{Scale: "small", Traces: 2, Seed: 7, Discover: true},
+		{Scale: "small", Traces: 2, Seed: 7, Stride: 1},
+	}
+	for _, s := range different {
+		k, err := s.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == ref {
+			t.Errorf("semantic knob did not change the cache key: %+v", s)
+		}
+	}
+}
+
+// TestSpecValidateFieldErrors: every invalid field is reported, with
+// its JSON name, in one ValidationError.
+func TestSpecValidateFieldErrors(t *testing.T) {
+	s := Spec{
+		Version:          3,
+		Scale:            "medium",
+		Scenario:         "congested",
+		Traces:           -1,
+		Batch2Fraction:   1.5,
+		Stride:           -2,
+		Workers:          -4,
+		SlicesPerVantage: -1,
+		Scheduler:        "fibheap",
+		XTraffic:         "fluid",
+		TracePlan:        map[string]int{"Atlantis": 3},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("want validation error")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+	want := []string{"spec", "scale", "scenario", "traces", "batch2_fraction",
+		"stride", "workers", "slices_per_vantage", "scheduler", "xtraffic", "trace_plan"}
+	got := map[string]bool{}
+	for _, f := range verr.Fields {
+		got[f.Field] = true
+	}
+	for _, field := range want {
+		if !got[field] {
+			t.Errorf("field %q not reported; got %v", field, verr.Fields)
+		}
+	}
+}
+
+// TestParseSpecStrict: unknown fields are a field-level error, not a
+// silently ignored knob.
+func TestParseSpecStrict(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"scale": "small", "tracez": 5}`))
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *ValidationError for unknown field, got %v", err)
+	}
+	if len(verr.Fields) != 1 || verr.Fields[0].Field != "tracez" {
+		t.Fatalf("want unknown-field error naming tracez, got %v", verr.Fields)
+	}
+	if _, err := ParseSpec([]byte(`{"scale": `)); err == nil {
+		t.Fatal("want error for truncated JSON")
+	}
+	if _, err := ParseSpec([]byte(`{}{}`)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-data error, got %v", err)
+	}
+}
+
+// TestSpecConfigDerivation: Config derives field-for-field, invalid
+// specs refuse to derive, and the spec's trace plan is copied, not
+// aliased.
+func TestSpecConfigDerivation(t *testing.T) {
+	s := Spec{
+		Scale:            "small",
+		Scenario:         ScenarioCongestedTransit,
+		Traces:           4,
+		Seed:             -99,
+		Workers:          3,
+		SlicesPerVantage: 2,
+		Scheduler:        "heap",
+		XTraffic:         "events",
+		Stride:           5,
+		Discover:         true,
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale != "small" || cfg.Scenario != ScenarioCongestedTransit ||
+		cfg.Traces != 4 || cfg.Seed != -99 || cfg.Workers != 3 ||
+		cfg.SlicesPerVantage != 2 || cfg.Scheduler != "heap" ||
+		cfg.XTraffic != "events" || cfg.Stride != 5 || !cfg.Discover {
+		t.Fatalf("Config = %+v", cfg)
+	}
+	if cfg.Traceroute.ProbesPerHop != 1 || cfg.Traceroute.StopAfterSilent != 2 {
+		t.Fatalf("Traceroute defaults = %+v", cfg.Traceroute)
+	}
+
+	if _, err := (Spec{Scale: "galactic"}).Config(); err == nil {
+		t.Fatal("invalid spec must not derive a Config")
+	}
+
+	p := Spec{Scale: "small", TracePlan: map[string]int{"Perkins home": 2}}
+	cfg, err = p.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TracePlan["Perkins home"] = 99
+	if p.TracePlan["Perkins home"] != 2 {
+		t.Fatal("Config aliased the spec's trace plan")
+	}
+}
+
+// TestConfigShards: the exported shard plan matches the engine's
+// canonical partition.
+func TestConfigShards(t *testing.T) {
+	cfg := Config{Scale: "small", Traces: 3, SlicesPerVantage: 2}
+	shards := cfg.Shards()
+	if len(shards) == 0 {
+		t.Fatal("no shards planned")
+	}
+	total := 0
+	sweeps := 0
+	for i, sh := range shards {
+		total += sh.Traces
+		if sh.Sweep {
+			sweeps++
+			if sh.Slice != 0 {
+				t.Errorf("shard %d: sweep on slice %d", i, sh.Slice)
+			}
+		}
+		if i > 0 {
+			prev := shards[i-1]
+			if sh.Shard < prev.Shard || (sh.Shard == prev.Shard && sh.Slice <= prev.Slice) {
+				t.Errorf("shards out of canonical order at %d: %+v after %+v", i, sh, prev)
+			}
+		}
+	}
+	vantages := len(topology.VantageNames())
+	if total != 3*vantages {
+		t.Errorf("planned traces = %d, want %d", total, 3*vantages)
+	}
+	if sweeps != vantages {
+		t.Errorf("sweep slices = %d, want one per vantage (%d)", sweeps, vantages)
+	}
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/campaign"
+	"repro/internal/dataset"
+)
+
+// The async job manager runs submitted campaigns on a bounded pool of
+// worker goroutines and tracks each through the queued → running →
+// done/failed lifecycle. Three deduplication layers keep identical
+// submissions from re-simulating:
+//
+//  1. store hit: the spec's cache key is already filed → a synthetic
+//     done job serves the cached artifacts instantly;
+//  2. in-flight join: an identical spec is queued or running → the
+//     submission attaches to that job instead of queuing another;
+//  3. post-run race: two runs of the same key that somehow both finish
+//     file once (Store.Put keeps the first).
+//
+// All job state is guarded by mgr.mu; API handlers only ever see
+// snapshot copies.
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ShardProgress is one (vantage, slice) shard's completion state within
+// a job — the unit a later PR lets remote workers claim over the API.
+type ShardProgress struct {
+	campaign.ShardInfo
+	State string `json:"state"` // pending | running | done
+	// Execution stats, populated when the shard completes.
+	Events         uint64  `json:"events,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+}
+
+// JobView is the API-facing snapshot of a job.
+type JobView struct {
+	ID    string   `json:"id"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+	// Cached marks a submission served entirely from the store, without
+	// queuing a run.
+	Cached bool          `json:"cached"`
+	Error  string        `json:"error,omitempty"`
+	Spec   campaign.Spec `json:"spec"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// Progress counters, fed by the campaign engine's ShardStart/
+	// ShardDone hooks.
+	ShardsTotal int `json:"shards_total"`
+	ShardsDone  int `json:"shards_done"`
+	TracesTotal int `json:"traces_total"`
+	TracesDone  int `json:"traces_done"`
+}
+
+// Stats are the manager's lifetime counters; the service-smoke CI job
+// asserts cache correctness through them.
+type Stats struct {
+	// Submitted counts POST /v1/campaigns acceptances; CacheHits the
+	// submissions served from the store; Joined the submissions deduped
+	// onto an in-flight identical job; RunsStarted the campaigns that
+	// actually simulated; RunsFailed the subset that errored.
+	Submitted   int `json:"submitted"`
+	CacheHits   int `json:"cache_hits"`
+	Joined      int `json:"joined"`
+	RunsStarted int `json:"runs_started"`
+	RunsFailed  int `json:"runs_failed"`
+	Jobs        int `json:"jobs"`
+}
+
+type job struct {
+	id     string
+	key    string
+	spec   campaign.Spec // normalized
+	state  JobState
+	cached bool
+	err    string
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	shards      []ShardProgress
+	shardsDone  int
+	tracesTotal int
+	tracesDone  int
+}
+
+func (j *job) view() JobView {
+	v := JobView{
+		ID:          j.id,
+		Key:         j.key,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.err,
+		Spec:        j.spec,
+		Submitted:   j.submitted,
+		ShardsTotal: len(j.shards),
+		ShardsDone:  j.shardsDone,
+		TracesTotal: j.tracesTotal,
+		TracesDone:  j.tracesDone,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+const maxQueuedJobs = 1024
+
+type jobMgr struct {
+	store *Store
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []*job          // submission order, for listing
+	active map[string]*job // cache key → queued/running job
+	stats  Stats
+	nextID int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// newJobMgr starts a manager draining its queue with `workers`
+// concurrent campaign runs.
+func newJobMgr(store *Store, workers int) *jobMgr {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &jobMgr{
+		store:  store,
+		jobs:   make(map[string]*job),
+		active: make(map[string]*job),
+		queue:  make(chan *job, maxQueuedJobs),
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Close stops accepting jobs and waits for in-flight runs to finish.
+func (m *jobMgr) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// Submit registers a validated spec and returns the job serving it —
+// a fresh queued job (created=true), the in-flight job for an
+// identical spec, or a synthetic done job for a store hit (both
+// created=false).
+func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err error) {
+	key, err := spec.CacheKey()
+	if err != nil {
+		return JobView{}, false, err
+	}
+	norm := spec.Normalized()
+	cfg, err := norm.Config()
+	if err != nil {
+		return JobView{}, false, err
+	}
+	plan := cfg.Shards()
+	if len(plan) == 0 {
+		return JobView{}, false, &campaign.ValidationError{Fields: []campaign.FieldError{
+			{Field: "trace_plan", Msg: "plan selects no vantages"},
+		}}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, false, fmt.Errorf("server: job manager is shut down")
+	}
+	m.stats.Submitted++
+
+	if j, ok := m.active[key]; ok {
+		m.stats.Joined++
+		return j.view(), false, nil
+	}
+	if m.store.Has(key) {
+		m.stats.CacheHits++
+		j := m.newJobLocked(key, norm, plan)
+		j.state = JobDone
+		j.cached = true
+		j.finished = time.Now()
+		for i := range j.shards {
+			j.shards[i].State = "done"
+		}
+		j.shardsDone = len(j.shards)
+		j.tracesDone = j.tracesTotal
+		return j.view(), false, nil
+	}
+
+	j := m.newJobLocked(key, norm, plan)
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		return JobView{}, false, fmt.Errorf("server: job queue full (%d queued)", maxQueuedJobs)
+	}
+	m.active[key] = j
+	return j.view(), true, nil
+}
+
+// newJobLocked allocates and registers a job; callers hold m.mu.
+func (m *jobMgr) newJobLocked(key string, spec campaign.Spec, plan []campaign.ShardInfo) *job {
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", m.nextID),
+		key:       key,
+		spec:      spec,
+		state:     JobQueued,
+		submitted: time.Now(),
+		shards:    make([]ShardProgress, len(plan)),
+	}
+	for i, sh := range plan {
+		j.shards[i] = ShardProgress{ShardInfo: sh, State: "pending"}
+		j.tracesTotal += sh.Traces
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.stats.Jobs++
+	return j
+}
+
+// runJob executes one queued campaign on a worker goroutine.
+func (m *jobMgr) runJob(j *job) {
+	m.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	m.stats.RunsStarted++
+	m.mu.Unlock()
+
+	fail := func(err error) {
+		m.mu.Lock()
+		j.state = JobFailed
+		j.err = err.Error()
+		j.finished = time.Now()
+		delete(m.active, j.key)
+		m.stats.RunsFailed++
+		m.mu.Unlock()
+	}
+
+	cfg, err := j.spec.Config()
+	if err != nil {
+		fail(err)
+		return
+	}
+	cfg.ShardStart = func(shard, slice int, vantage string) {
+		m.setShardState(j, shard, slice, "running", nil)
+	}
+	cfg.ShardDone = func(stats campaign.ShardStats) {
+		m.setShardState(j, stats.Shard, stats.Slice, "done", &stats)
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fail(err)
+		return
+	}
+	wall := time.Since(start)
+
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, res.Dataset); err != nil {
+		fail(err)
+		return
+	}
+	specBytes, err := j.spec.Canonical()
+	if err != nil {
+		fail(err)
+		return
+	}
+	meta := RunMeta{
+		Key:                j.key,
+		Spec:               j.spec,
+		DatasetSHA256:      fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
+		DatasetBytes:       int64(buf.Len()),
+		Traces:             len(res.Dataset.Traces),
+		Servers:            len(res.Servers),
+		Shards:             len(res.Shards),
+		Events:             res.Events,
+		PhantomEvents:      res.PhantomEvents,
+		ReplayedBoundaries: res.ReplayedBoundaries,
+		WallSeconds:        wall.Seconds(),
+		CompletedAt:        time.Now().UTC(),
+	}
+	if len(res.Congestion) > 0 {
+		rep := analysis.ComputeCEMarkReport(res.Congestion)
+		meta.Congestion = &rep
+	}
+	if err := m.store.Put(j.key, specBytes, meta, buf.Bytes()); err != nil {
+		fail(err)
+		return
+	}
+
+	m.mu.Lock()
+	j.state = JobDone
+	j.finished = time.Now()
+	delete(m.active, j.key)
+	m.mu.Unlock()
+}
+
+// setShardState updates one (vantage-index, slice) shard's progress.
+func (m *jobMgr) setShardState(j *job, shard, slice int, state string, stats *campaign.ShardStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range j.shards {
+		sh := &j.shards[i]
+		if sh.Shard != shard || sh.Slice != slice {
+			continue
+		}
+		sh.State = state
+		if stats != nil {
+			sh.Events = stats.Events
+			sh.ElapsedSeconds = stats.Elapsed.Seconds()
+			j.shardsDone++
+			j.tracesDone += stats.Traces
+		}
+		return
+	}
+}
+
+// Get returns a snapshot of the identified job.
+func (m *jobMgr) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List returns snapshots of every job in submission order.
+func (m *jobMgr) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	views := make([]JobView, len(m.order))
+	for i, j := range m.order {
+		views[i] = j.view()
+	}
+	return views
+}
+
+// Shards returns a job's per-(vantage, slice) completion snapshot.
+func (m *jobMgr) Shards(id string) ([]ShardProgress, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ShardProgress, len(j.shards))
+	copy(out, j.shards)
+	return out, true
+}
+
+// StatsSnapshot returns the lifetime counters.
+func (m *jobMgr) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,279 @@
+// Package server is the campaign-as-a-service HTTP control plane: a
+// long-lived wrapper around the sharded campaign engine that accepts
+// serializable campaign specs (campaign.Spec), runs them through an
+// async job manager on a bounded worker pool, and serves merged
+// datasets — content-addressed and cached on disk, so resubmitting a
+// spec is free.
+//
+// The API (all JSON unless noted; see DESIGN.md §11):
+//
+//	POST /v1/campaigns            submit a spec → job (202 queued, 200 joined/cached)
+//	GET  /v1/jobs                 list jobs, submission order
+//	GET  /v1/jobs/{id}            one job: state, progress counters
+//	GET  /v1/jobs/{id}/shards     per-(vantage, slice) completion
+//	GET  /v1/jobs/{id}/dataset    merged dataset, JSON lines (done jobs)
+//	GET  /v1/jobs/{id}/report     RunMeta: determinism hash, counters, CE report
+//	GET  /v1/runs                 cached run keys
+//	GET  /v1/runs/{key}           one cached run's RunMeta
+//	GET  /v1/runs/{key}/dataset   cached dataset, JSON lines
+//	GET  /v1/stats                job-manager lifetime counters
+//	GET  /v1/healthz              liveness (plain "ok")
+//
+// The correctness contract is the engine's determinism invariant
+// carried over HTTP: a dataset served here is byte-identical to what
+// campaign.Run produces for the same spec, so its SHA-256 equals
+// cmd/determinism's hash — whatever worker pool, slicing, scheduler or
+// cross-traffic drive executed it. That is what lets the result cache
+// be content-addressed by spec rather than by execution shape.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/campaign"
+)
+
+// Config parameterizes the control plane.
+type Config struct {
+	// DataDir roots the content-addressed result store.
+	DataDir string
+	// Jobs bounds concurrently running campaigns (not shards — each
+	// campaign parallelizes internally per its spec's workers knob).
+	// Zero means 1.
+	Jobs int
+	// Logf, when non-nil, receives one line per submission and
+	// completion.
+	Logf func(format string, args ...any)
+}
+
+// Server routes the control-plane API. It is an http.Handler; callers
+// own the net/http server and its lifecycle, and must Close to drain
+// the job pool.
+type Server struct {
+	store *Store
+	mgr   *jobMgr
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+}
+
+// New opens the result store under cfg.DataDir and starts the job pool.
+func New(cfg Config) (*Server, error) {
+	store, err := OpenStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		store: store,
+		mgr:   newJobMgr(store, cfg.Jobs),
+		mux:   http.NewServeMux(),
+		logf:  cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/shards", s.handleJobShards)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/dataset", s.handleJobDataset)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/runs/{key}/dataset", s.handleRunDataset)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the job pool; in-flight campaigns finish and are cached.
+func (s *Server) Close() { s.mgr.Close() }
+
+// Store exposes the result store (read paths are used by tooling).
+func (s *Server) Store() *Store { return s.store }
+
+// apiError is the uniform error body. Validation failures carry the
+// offending fields so clients can fix a spec in one round trip.
+type apiError struct {
+	Error  string                `json:"error"`
+	Fields []campaign.FieldError `json:"fields,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := apiError{Error: err.Error()}
+	var verr *campaign.ValidationError
+	if errors.As(err, &verr) {
+		body.Fields = verr.Fields
+	}
+	writeJSON(w, status, body)
+}
+
+// submitResponse is POST /v1/campaigns' body: the job serving the spec
+// plus the spec's content address.
+type submitResponse struct {
+	JobView
+}
+
+// handleSubmit parses, validates and submits a spec. A malformed or
+// invalid body is a structured 400; a fresh submission is 202 with the
+// queued job; a duplicate of an in-flight or cached run is 200 with
+// the job serving it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	spec, err := campaign.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, created, err := s.mgr.Submit(spec)
+	if err != nil {
+		var verr *campaign.ValidationError
+		if errors.As(err, &verr) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// A fresh submission queues work (202); a duplicate — joined onto
+	// an in-flight identical run or served from the cache — is 200.
+	status := http.StatusAccepted
+	if !created {
+		status = http.StatusOK
+	}
+	s.logf("submit key=%s job=%s state=%s cached=%v", view.Key[:12], view.ID, view.State, view.Cached)
+	writeJSON(w, status, submitResponse{JobView: view})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (JobView, bool) {
+	view, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+	}
+	return view, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if view, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (s *Server) handleJobShards(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	shards, _ := s.mgr.Shards(view.ID)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     view.ID,
+		"state":  view.State,
+		"shards": shards,
+	})
+}
+
+// finishedKey maps a job to its cached artifacts, or writes the
+// appropriate non-200: 409 for unfinished jobs (the result does not
+// exist yet), 502 for failed ones.
+func (s *Server) finishedKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	view, ok := s.jobOr404(w, r)
+	if !ok {
+		return "", false
+	}
+	switch view.State {
+	case JobDone:
+		return view.Key, true
+	case JobFailed:
+		writeError(w, http.StatusBadGateway, fmt.Errorf("job %s failed: %s", view.ID, view.Error))
+	default:
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("job %s is %s (%d/%d shards); retry when done",
+				view.ID, view.State, view.ShardsDone, view.ShardsTotal),
+		})
+	}
+	return "", false
+}
+
+func (s *Server) handleJobDataset(w http.ResponseWriter, r *http.Request) {
+	if key, ok := s.finishedKey(w, r); ok {
+		s.serveDataset(w, key)
+	}
+}
+
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	if key, ok := s.finishedKey(w, r); ok {
+		s.serveMeta(w, key)
+	}
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.store.Keys()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.serveMeta(w, r.PathValue("key"))
+}
+
+func (s *Server) handleRunDataset(w http.ResponseWriter, r *http.Request) {
+	s.serveDataset(w, r.PathValue("key"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.StatsSnapshot())
+}
+
+func (s *Server) serveMeta(w http.ResponseWriter, key string) {
+	meta, err := s.store.Meta(key)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no cached run %q", key))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) serveDataset(w http.ResponseWriter, key string) {
+	rc, size, err := s.store.OpenDataset(key)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no cached run %q", key))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	_, _ = io.Copy(w, rc) // client disconnects are not server errors
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Service smoke test: the control plane's correctness contract, end to
+# end over real HTTP against a real cmd/reprod process.
+#
+#   1. A dataset served by reprod must hash to cmd/determinism's SHA-256
+#      for the same spec — the engine's determinism invariant carried
+#      over HTTP — and to the hash reprod's own run report claims.
+#   2. Resubmitting the spec must be a cache hit: byte-identical
+#      dataset, and the job-manager counters prove no second simulation
+#      ran (runs_started stays 1, cache_hits becomes 1).
+#
+# CI runs this as the service-smoke job; locally: make smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:8071}"
+BASE="http://$ADDR"
+SPEC='{"spec":1,"scale":"small","traces":2,"seed":2015,"stride":0}'
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "service-smoke: $*"; }
+jsonval() { python3 -c 'import json,sys; print(json.load(sys.stdin)['"$1"'])'; }
+
+go build -o "$WORK/reprod" ./cmd/reprod
+go build -o "$WORK/determinism" ./cmd/determinism
+
+say "reference hash from cmd/determinism (direct engine run)"
+"$WORK/determinism" \
+    -scenario uncongested -sched wheel -xtraffic lazy -workers 1 -slices 1 \
+    > "$WORK/determinism.out"
+REF_HASH="$(head -n1 "$WORK/determinism.out" | cut -d' ' -f1)"
+say "reference $REF_HASH"
+
+"$WORK/reprod" -addr "$ADDR" -data "$WORK/data" -jobs 1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then say "FAIL: server did not come up on $ADDR"; exit 1; fi
+    sleep 0.2
+done
+
+say "cold submission"
+SUBMIT="$(curl -fsS -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/campaigns")"
+JOB="$(echo "$SUBMIT" | jsonval '"id"')"
+
+for i in $(seq 1 300); do
+    STATE="$(curl -fsS "$BASE/v1/jobs/$JOB" | jsonval '"state"')"
+    case "$STATE" in
+        done) break ;;
+        failed) say "FAIL: job failed"; curl -fsS "$BASE/v1/jobs/$JOB"; exit 1 ;;
+    esac
+    if [ "$i" = 300 ]; then say "FAIL: job $JOB did not finish"; exit 1; fi
+    sleep 0.2
+done
+say "job $JOB done"
+
+# Per-shard completion is exposed and fully done.
+SHARDS="$(curl -fsS "$BASE/v1/jobs/$JOB/shards" \
+    | python3 -c 'import json,sys; s=json.load(sys.stdin)["shards"]; print(len(s), sum(x["state"]=="done" for x in s))')"
+say "shards (total done): $SHARDS"
+[ "$(echo "$SHARDS" | awk '{print ($1>0 && $1==$2)}')" = 1 ] \
+    || { say "FAIL: shards not all done: $SHARDS"; exit 1; }
+
+curl -fsS "$BASE/v1/jobs/$JOB/dataset" -o "$WORK/dataset1.jsonl"
+GOT_HASH="$(sha256sum "$WORK/dataset1.jsonl" | cut -d' ' -f1)"
+if [ "$GOT_HASH" != "$REF_HASH" ]; then
+    say "FAIL: served dataset hash $GOT_HASH != determinism hash $REF_HASH"
+    exit 1
+fi
+say "served dataset matches cmd/determinism: $GOT_HASH"
+
+META_HASH="$(curl -fsS "$BASE/v1/jobs/$JOB/report" | jsonval '"dataset_sha256"')"
+[ "$META_HASH" = "$REF_HASH" ] \
+    || { say "FAIL: report hash $META_HASH != $REF_HASH"; exit 1; }
+
+say "resubmission (must be served from cache)"
+SUBMIT2="$(curl -fsS -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/campaigns")"
+CACHED="$(echo "$SUBMIT2" | python3 -c 'import json,sys; j=json.load(sys.stdin); print(j["cached"], j["state"])')"
+[ "$CACHED" = "True done" ] \
+    || { say "FAIL: resubmission not a cache hit: $SUBMIT2"; exit 1; }
+
+JOB2="$(echo "$SUBMIT2" | jsonval '"id"')"
+curl -fsS "$BASE/v1/jobs/$JOB2/dataset" -o "$WORK/dataset2.jsonl"
+cmp -s "$WORK/dataset1.jsonl" "$WORK/dataset2.jsonl" \
+    || { say "FAIL: cache hit served different bytes"; exit 1; }
+
+STATS="$(curl -fsS "$BASE/v1/stats")"
+echo "$STATS" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["runs_started"] == 1, f"cache did not prevent a re-run: {s}"
+assert s["cache_hits"] == 1, f"resubmission was not a store hit: {s}"
+assert s["submitted"] == 2, s
+' || { say "FAIL: job-manager counters wrong: $STATS"; exit 1; }
+
+say "OK: dataset over HTTP == cmd/determinism ($REF_HASH); cache hit did not re-simulate"
