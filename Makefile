@@ -20,17 +20,19 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_6.json — campaign wall-clock for all three scenarios under both
+# BENCH_7.json — campaign wall-clock for all three scenarios under both
 # cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
-# the phantom/replayed event split) plus worker × slice scaling rows,
-# world compile/instantiate fixed costs, scheduler (wheel vs heap,
-# dense and sparse kernels) throughput, pooled AQM CE-mark throughput,
-# pooled packet-build cost (all with allocs/op), and control-plane
-# rows (cold submit vs direct campaign.Run vs cache hit) — which CI
-# uploads as the perf-trajectory artifact.
+# the phantom/replayed event split) with instrumented twins of the lazy
+# rows (full flight-recorder Metrics attached, for the telemetry
+# overhead pair) plus worker × slice scaling rows, world
+# compile/instantiate fixed costs, scheduler (wheel vs heap, dense and
+# sparse kernels) throughput, pooled AQM CE-mark throughput, pooled
+# packet-build cost, telemetry write path (all with allocs/op), and
+# control-plane rows (cold submit vs direct campaign.Run vs cache hit)
+# — which CI uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_6.json
+	$(GO) run ./cmd/benchreport -o BENCH_7.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,6 +1,6 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_6.json) as a build artifact, so regressions in campaign
+// output (BENCH_7.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
 // Five metric families:
@@ -12,7 +12,11 @@
 //     the lazy catch-up replay (the default) and the legacy
 //     event-per-phantom-boundary oracle, with each row reporting the
 //     phantom-boundary split (events vs replayed) so the saved
-//     scheduler work is visible. Worker × slice scaling rows follow;
+//     scheduler work is visible. Worker × slice scaling rows follow,
+//     and each scenario's lazy row has an instrumented twin
+//     ("telemetry": true) running with a full flight-recorder Metrics
+//     set attached — the instrumented-vs-uninstrumented pair behind
+//     the perf gate's <2% overhead budget;
 //   - world setup: compiling the frozen topology blueprint (once per
 //     campaign) vs instantiating a shard world from it (once per
 //     shard) — the fixed costs sharding multiplies;
@@ -32,7 +36,7 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_6.json] [-seed N] [-traces N] [-scale S]
+//	benchreport [-o BENCH_7.json] [-seed N] [-traces N] [-scale S]
 package main
 
 import (
@@ -56,16 +60,21 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
 type campaignRow struct {
-	Scenario    string  `json:"scenario"`
-	Scale       string  `json:"scale"`
-	Traces      int     `json:"traces_per_vantage"`
-	Workers     int     `json:"workers"`
-	Slices      int     `json:"slices_per_vantage"`
-	XTraffic    string  `json:"xtraffic"`
+	Scenario string `json:"scenario"`
+	Scale    string `json:"scale"`
+	Traces   int    `json:"traces_per_vantage"`
+	Workers  int    `json:"workers"`
+	Slices   int    `json:"slices_per_vantage"`
+	XTraffic string `json:"xtraffic"`
+	// Telemetry marks rows run with a full flight-recorder Metrics set
+	// attached; compare against the same shape without it for the
+	// instrumentation overhead.
+	Telemetry   bool    `json:"telemetry,omitempty"`
 	Shards      int     `json:"shards"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Events      uint64  `json:"events"`
@@ -112,7 +121,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output path (- for stdout)")
+	out := flag.String("o", "BENCH_7.json", "output path (- for stdout)")
 	base := campaign.DefaultSpec()
 	base.Scale = "small"
 	base.Traces = 2
@@ -124,7 +133,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	rep := report{Schema: "repro-bench/6", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/7", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
@@ -142,9 +151,10 @@ func main() {
 	// oracle for the congested scenarios — the before/after pair whose
 	// event counts and wall-clock quantify the coalesced fast path.
 	for _, scenario := range campaign.Scenarios() {
-		rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "lazy", 0, 1)))
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "lazy", 0, 1), false))
+		rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "lazy", 0, 1), true))
 		if scenario != campaign.ScenarioUncongested {
-			rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "events", 0, 1)))
+			rep.Campaigns = append(rep.Campaigns, benchCampaign(rowSpec(spec, scenario, "events", 0, 1), false))
 		}
 	}
 	// Scaling rows: worker pool × sub-vantage slicing on the uncongested
@@ -155,7 +165,7 @@ func main() {
 		{1, 1}, {4, 1}, {8, 1}, {8, 2}, {8, 4},
 	} {
 		rep.Campaigns = append(rep.Campaigns,
-			benchCampaign(rowSpec(spec, campaign.ScenarioUncongested, "lazy", shape.workers, shape.slices)))
+			benchCampaign(rowSpec(spec, campaign.ScenarioUncongested, "lazy", shape.workers, shape.slices), false))
 	}
 
 	// Control-plane rows: the same base campaign, cold through the HTTP
@@ -199,11 +209,16 @@ func rowSpec(base campaign.Spec, scenario, xtraffic string, workers, slices int)
 
 // benchCampaign runs one small-scale campaign and records wall clock,
 // executed events (with the phantom-vs-foreground split), and
-// allocations per campaign run.
-func benchCampaign(spec campaign.Spec) campaignRow {
+// allocations per campaign run. With instrumented set, a full
+// flight-recorder Metrics set rides along, as it does under the
+// control plane.
+func benchCampaign(spec campaign.Spec, instrumented bool) campaignRow {
 	cfg, err := spec.Config()
 	if err != nil {
 		fatal("campaign %s: %v", spec.Scenario, err)
+	}
+	if instrumented {
+		cfg.Metrics = campaign.NewMetrics(telemetry.NewRegistry())
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -229,6 +244,7 @@ func benchCampaign(spec campaign.Spec) campaignRow {
 		Workers:            workers,
 		Slices:             slices,
 		XTraffic:           spec.XTraffic,
+		Telemetry:          instrumented,
 		Shards:             len(res.Shards),
 		WallSeconds:        wall,
 		Events:             res.Events,

@@ -22,6 +22,12 @@
 // spec must have the same SHA-256 (the service-smoke CI job asserts
 // exactly that).
 //
+// Every grid cell runs with a full telemetry set attached
+// (campaign.NewMetrics), so the grid doubles as the out-of-band proof
+// for the flight recorder: if instrumentation ever perturbed an event
+// order or a PRNG draw, the cell's hash would diverge here before
+// anything else caught it.
+//
 // Usage:
 //
 //	determinism [-seed N] [-traces N] [-workers 1,4,13] [-slices 1,2,8] [-scenario a,b] [-sched wheel,heap] [-xtraffic lazy,events]
@@ -35,6 +41,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -89,13 +96,15 @@ func main() {
 	fmt.Printf("determinism: OK — %d merged datasets identical across the slices × workers × scheduler × cross-traffic grid\n", len(cells))
 }
 
-// runHash executes one grid cell's campaign and returns the SHA-256 of
-// its merged dataset in canonical JSON-lines form.
+// runHash executes one grid cell's campaign — telemetry attached — and
+// returns the SHA-256 of its merged dataset in canonical JSON-lines
+// form.
 func runHash(spec campaign.Spec) (string, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return "", err
 	}
+	cfg.Metrics = campaign.NewMetrics(telemetry.NewRegistry())
 	res, err := campaign.Run(cfg)
 	if err != nil {
 		return "", err

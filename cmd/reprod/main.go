@@ -7,16 +7,23 @@
 // resubmitting a spec — from any client, with any execution shape — is
 // served instantly without re-simulating.
 //
+// The daemon carries its own flight recorder: GET /v1/metrics exposes
+// allocation-free engine and HTTP metrics in the Prometheus text
+// format (/v1/metrics.json for the same snapshot as JSON), GET
+// /v1/jobs/{id}/events replays a job's lifecycle from the in-memory
+// journal, and -pprof mounts net/http/pprof under /debug/pprof/.
+//
 // Quickstart (see README.md for the full curl walk-through):
 //
 //	reprod -addr :8070 -data ./reprod-data &
 //	curl -s localhost:8070/v1/campaigns -d '{"spec":1,"scale":"small","traces":2,"seed":2015}'
 //	curl -s localhost:8070/v1/jobs/j-000001
 //	curl -s localhost:8070/v1/jobs/j-000001/dataset -o dataset.jsonl
+//	curl -s localhost:8070/v1/metrics | grep repro_sim_events_total
 //
 // Usage:
 //
-//	reprod [-addr :8070] [-data DIR] [-jobs N]
+//	reprod [-addr :8070] [-data DIR] [-jobs N] [-log-format text|json] [-pprof]
 //
 // -jobs bounds concurrently *running campaigns*; each campaign still
 // parallelizes internally per its spec's workers knob, so the default
@@ -29,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,20 +48,35 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8070", "HTTP listen address")
-		data = flag.String("data", "reprod-data", "result-store data directory")
-		jobs = flag.Int("jobs", 1, "concurrently running campaigns (each parallelizes internally)")
+		addr      = flag.String("addr", ":8070", "HTTP listen address")
+		data      = flag.String("data", "reprod-data", "result-store data directory")
+		jobs      = flag.Int("jobs", 1, "concurrently running campaigns (each parallelizes internally)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "reprod: ", log.LstdFlags)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "reprod: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	srv, err := server.New(server.Config{
-		DataDir: *data,
-		Jobs:    *jobs,
-		Logf:    func(format string, args ...any) { logger.Printf(format, args...) },
+		DataDir:     *data,
+		Jobs:        *jobs,
+		Logger:      logger,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		logger.Error("startup", "error", err)
+		os.Exit(1)
 	}
 
 	httpSrv := &http.Server{
@@ -67,20 +89,21 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		logger.Print("shutting down: draining in-flight campaigns")
+		logger.Info("shutting down: draining in-flight campaigns")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}()
 
-	logger.Printf("serving on %s (data dir %s, %d concurrent jobs)", *addr, *data, *jobs)
+	logger.Info("serving", "addr", *addr, "data", *data, "jobs", *jobs, "pprof", *pprofOn)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatal(err)
+		logger.Error("listen", "error", err)
+		os.Exit(1)
 	}
 	// The HTTP listener is closed; finish the queued/running campaigns
 	// so their results are cached for the next start.
 	srv.Close()
-	fmt.Fprintln(os.Stderr, "reprod: drained")
+	logger.Info("drained")
 }

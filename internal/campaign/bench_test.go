@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -109,4 +111,60 @@ func BenchmarkWorldCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCampaignTelemetry measures what attaching a full Metrics
+// set costs the campaign. Each iteration runs a plain/instrumented
+// pair back to back — alternating which goes first, so in-process
+// drift (heap growth shifts GC pacing enough that a benchmark that
+// merely runs *later* in the process can look tens of percent slower)
+// cancels instead of masquerading as overhead — and reports the paired
+// difference as an `overhead-%` metric. scripts/perf_gate.sh reads
+// that metric and fails above PERF_GATE_MAX_TELEMETRY_PCT (default
+// 2%): the budget that keeps the flight recorder always-on in the
+// control plane. ns/op covers both runs of the pair.
+//
+// Declared last on purpose: it runs many extra campaigns, and keeping
+// it after the benchmarks that perf_gate compares against the base ref
+// preserves identical in-process run order between the two trees.
+func BenchmarkCampaignTelemetry(b *testing.B) {
+	plain, err := FromEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One worker: the overhead of the per-shard flush is the same, and
+	// a single-threaded campaign gives the paired comparison a far
+	// steadier baseline than multi-worker scheduling jitter.
+	plain.Workers = 1
+	inst := plain
+	inst.Metrics = NewMetrics(telemetry.NewRegistry())
+
+	timed := func(cfg Config) int64 {
+		// Start every run from a freshly collected heap: on a small
+		// machine a GC cycle landing inside one side of a pair would
+		// otherwise dominate the difference being measured.
+		runtime.GC()
+		start := time.Now()
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dataset.Traces) == 0 {
+			b.Fatal("empty campaign")
+		}
+		return time.Since(start).Nanoseconds()
+	}
+
+	var plainNS, instNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			plainNS += timed(plain)
+			instNS += timed(inst)
+		} else {
+			instNS += timed(inst)
+			plainNS += timed(plain)
+		}
+	}
+	b.ReportMetric(float64(instNS-plainNS)*100/float64(plainNS), "overhead-%")
 }

@@ -136,6 +136,15 @@ type Config struct {
 	// any shared state themselves and must not block.
 	ShardStart func(shard, slice int, vantage string)
 	ShardDone  func(ShardStats)
+
+	// Metrics, when non-nil, receives the engine's flight-recorder
+	// accounting: shard lifecycle, per-scheduler event counts and AQM
+	// queue totals, flushed from the worker goroutine after each
+	// shard's simulator has stopped. It is a runtime attachment — not
+	// part of the serializable Spec, never in a cache key — and it is
+	// out-of-band: attaching it cannot change a dataset byte (see
+	// NewMetrics).
+	Metrics *Metrics
 }
 
 // FromEnv builds a Config from the REPRO_* environment knobs used by
@@ -171,6 +180,12 @@ type ShardStats struct {
 	// work the event loop never saw.
 	PhantomEvents      uint64
 	ReplayedBoundaries uint64
+	// WheelCascades and WheelRegisterHits report the timing wheel's
+	// internal activity (zero on the heap scheduler): higher-level
+	// slots re-filed into finer levels, and pops served straight from
+	// the singleton register.
+	WheelCascades     uint64
+	WheelRegisterHits uint64
 	// VirtualTime is the shard's simulated clock at completion.
 	VirtualTime time.Duration
 	// Elapsed is the shard's wall-clock execution time.
@@ -465,8 +480,14 @@ func Run(cfg Config) (*Result, error) {
 				if cfg.ShardStart != nil {
 					cfg.ShardStart(sh.shard, sh.slice, sh.vantage)
 				}
+				cfg.Metrics.shardStarted()
 				results[i], errs[i] = runShard(cfg, bp, sh, sched, xmode)
-				if errs[i] == nil && cfg.ShardDone != nil {
+				if errs[i] != nil {
+					cfg.Metrics.shardFailed()
+					continue
+				}
+				cfg.Metrics.shardFinished(results[i].stats, results[i].world, sched.Name())
+				if cfg.ShardDone != nil {
 					cfg.ShardDone(results[i].stats)
 				}
 			}
@@ -649,6 +670,7 @@ func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Sch
 		cong = &s
 	}
 
+	cascades, registerHits := sim.WheelStats()
 	return shardResult{
 		world:      w,
 		data:       d,
@@ -664,6 +686,8 @@ func runShard(cfg Config, bp *topology.Blueprint, sh shardSpec, sched netsim.Sch
 			Events:             sim.Executed(),
 			PhantomEvents:      sim.PhantomEvents(),
 			ReplayedBoundaries: sim.ReplayedBoundaries(),
+			WheelCascades:      cascades,
+			WheelRegisterHits:  registerHits,
 			VirtualTime:        sim.Now(),
 			Elapsed:            time.Since(start),
 		},

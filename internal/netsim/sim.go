@@ -212,6 +212,19 @@ func (s *Sim) ReplayedBoundaries() uint64 { return s.replayedBoundaries }
 // as scheduler events.
 func (s *Sim) PhantomEvents() uint64 { return s.phantomEvents }
 
+// WheelStats reports the timing wheel's internal activity: cascades is
+// the number of higher-level slots re-filed into finer levels,
+// registerHits the pops served straight from the singleton register
+// (the sparse-timeline fast path). Both are zero on the heap
+// scheduler. The counters are observability only — plain increments
+// with no effect on event order, randomness, or output bytes.
+func (s *Sim) WheelStats() (cascades, registerHits uint64) {
+	if s.wheel == nil {
+		return 0, 0
+	}
+	return s.wheel.cascades, s.wheel.registerHits
+}
+
 // nextSeq hands out the sequence number a scheduled event would have
 // received. Lazily-driven bottlenecks consume one per virtual boundary
 // — including the boundary that starts a foreground serialization,

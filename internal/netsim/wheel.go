@@ -65,6 +65,16 @@ type timingWheel struct {
 	due    []int32
 	duePos int
 	dueAt  time.Duration
+
+	// Flight-recorder counters (plain uint64s — the wheel is owned by
+	// one goroutine, and these must cost one increment, not an atomic):
+	// cascades counts higher-level slots re-filed into finer levels,
+	// registerHits the pops served straight from the singleton
+	// register. Exposed via Sim.WheelStats; the campaign engine flushes
+	// them into telemetry counters after each shard completes, so the
+	// accounting never touches the event loop's control flow.
+	cascades     uint64
+	registerHits uint64
 }
 
 const (
@@ -172,6 +182,7 @@ func (s *Sim) wheelPop() (int32, time.Duration, bool) {
 			// The register is the sole pending event by invariant.
 			idx := w.reg
 			w.reg = -1
+			w.registerHits++
 			at := s.slab[idx].at
 			if at > w.cur {
 				w.cur = at
@@ -248,6 +259,7 @@ func (s *Sim) wheelAdvance() bool {
 				}
 				idx = next
 			}
+			w.cascades++
 			if live >= 0 {
 				w.cur = minAt
 				for idx := live; idx >= 0; {

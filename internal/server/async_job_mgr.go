@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/campaign"
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 // The async job manager runs submitted campaigns on a bounded pool of
@@ -131,15 +133,18 @@ func (j *job) view() JobView {
 const maxQueuedJobs = 1024
 
 type jobMgr struct {
-	store *Store
+	store  *Store
+	met    *serverMetrics
+	logger *slog.Logger
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []*job          // submission order, for listing
-	active map[string]*job // cache key → queued/running job
-	stats  Stats
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []*job          // submission order, for listing
+	active  map[string]*job // cache key → queued/running job
+	stats   Stats
+	nextID  int
+	running int
+	closed  bool
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -147,12 +152,14 @@ type jobMgr struct {
 
 // newJobMgr starts a manager draining its queue with `workers`
 // concurrent campaign runs.
-func newJobMgr(store *Store, workers int) *jobMgr {
+func newJobMgr(store *Store, workers int, met *serverMetrics, logger *slog.Logger) *jobMgr {
 	if workers < 1 {
 		workers = 1
 	}
 	m := &jobMgr{
 		store:  store,
+		met:    met,
+		logger: logger,
 		jobs:   make(map[string]*job),
 		active: make(map[string]*job),
 		queue:  make(chan *job, maxQueuedJobs),
@@ -209,13 +216,17 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 		return JobView{}, false, fmt.Errorf("server: job manager is shut down")
 	}
 	m.stats.Submitted++
+	m.met.jobsSubmitted.Inc()
 
 	if j, ok := m.active[key]; ok {
 		m.stats.Joined++
+		m.met.jobsJoined.Inc()
+		m.met.journal.Append(telemetry.EventJobJoined, &j.id, nil, -1, -1)
 		return j.view(), false, nil
 	}
 	if m.store.Has(key) {
 		m.stats.CacheHits++
+		m.met.storeHits.Inc()
 		j := m.newJobLocked(key, norm, plan)
 		j.state = JobDone
 		j.cached = true
@@ -225,8 +236,10 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 		}
 		j.shardsDone = len(j.shards)
 		j.tracesDone = j.tracesTotal
+		m.met.journal.Append(telemetry.EventJobCacheHit, &j.id, nil, -1, -1)
 		return j.view(), false, nil
 	}
+	m.met.storeMisses.Inc()
 
 	j := m.newJobLocked(key, norm, plan)
 	select {
@@ -237,6 +250,7 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 		return JobView{}, false, fmt.Errorf("server: job queue full (%d queued)", maxQueuedJobs)
 	}
 	m.active[key] = j
+	m.met.journal.Append(telemetry.EventJobQueued, &j.id, nil, -1, -1)
 	return j.view(), true, nil
 }
 
@@ -267,7 +281,12 @@ func (m *jobMgr) runJob(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	m.stats.RunsStarted++
+	m.running++
 	m.mu.Unlock()
+	m.met.jobsStarted.Inc()
+	m.met.jobsRunning.Add(1)
+	m.met.journal.Append(telemetry.EventJobRunning, &j.id, nil, -1, -1)
+	m.logger.Info("job start", "job", j.id, "key", j.key[:12])
 
 	fail := func(err error) {
 		m.mu.Lock()
@@ -276,7 +295,12 @@ func (m *jobMgr) runJob(j *job) {
 		j.finished = time.Now()
 		delete(m.active, j.key)
 		m.stats.RunsFailed++
+		m.running--
 		m.mu.Unlock()
+		m.met.jobsFailed.Inc()
+		m.met.jobsRunning.Add(-1)
+		m.met.journal.Append(telemetry.EventJobFailed, &j.id, &j.err, -1, -1)
+		m.logger.Error("job failed", "job", j.id, "error", err)
 	}
 
 	cfg, err := j.spec.Config()
@@ -284,6 +308,7 @@ func (m *jobMgr) runJob(j *job) {
 		fail(err)
 		return
 	}
+	cfg.Metrics = m.met.campaign
 	cfg.ShardStart = func(shard, slice int, vantage string) {
 		m.setShardState(j, shard, slice, "running", nil)
 	}
@@ -336,10 +361,20 @@ func (m *jobMgr) runJob(j *job) {
 	j.state = JobDone
 	j.finished = time.Now()
 	delete(m.active, j.key)
+	m.running--
 	m.mu.Unlock()
+	m.met.jobsDone.Inc()
+	m.met.jobsRunning.Add(-1)
+	m.met.storeBytesWritten.Add(uint64(buf.Len()))
+	m.met.journal.Append(telemetry.EventJobDone, &j.id, nil, -1, -1)
+	m.logger.Info("job done", "job", j.id, "key", j.key[:12],
+		"traces", meta.Traces, "wall_seconds", meta.WallSeconds)
 }
 
-// setShardState updates one (vantage-index, slice) shard's progress.
+// setShardState updates one (vantage-index, slice) shard's progress
+// and journals the transition. The journal's job and detail pointers
+// are &j.id and &sh.Vantage: both are heap-stable for the job's
+// lifetime (a job's shards slice is allocated once and never grows).
 func (m *jobMgr) setShardState(j *job, shard, slice int, state string, stats *campaign.ShardStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -349,14 +384,27 @@ func (m *jobMgr) setShardState(j *job, shard, slice int, state string, stats *ca
 			continue
 		}
 		sh.State = state
+		kind := telemetry.EventShardStart
 		if stats != nil {
+			kind = telemetry.EventShardDone
 			sh.Events = stats.Events
 			sh.ElapsedSeconds = stats.Elapsed.Seconds()
 			j.shardsDone++
 			j.tracesDone += stats.Traces
 		}
+		m.met.journal.Append(kind, &j.id, &sh.Vantage, int32(shard), int32(slice))
 		return
 	}
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (m *jobMgr) QueueDepth() int { return len(m.queue) }
+
+// Running reports the number of campaigns currently executing.
+func (m *jobMgr) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
 }
 
 // Get returns a snapshot of the identified job.

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// journalSize bounds the flight-recorder event ring: at ~64 bytes a
+// slot this is a few hundred KiB of fixed memory for the last 4096
+// job/shard lifecycle transitions — enough to reconstruct any recent
+// job's timeline via GET /v1/jobs/{id}/events.
+const journalSize = 4096
+
+// serverMetrics is the control plane's instrument set: HTTP request
+// accounting (fed by the middleware in middleware.go), job lifecycle
+// counters (fed by the job manager), store traffic, and the shared
+// campaign.Metrics every job's engine run flushes into. One set exists
+// per Server; /v1/metrics renders its registry.
+type serverMetrics struct {
+	reg      *telemetry.Registry
+	journal  *telemetry.Journal
+	campaign *campaign.Metrics
+
+	httpInflight *telemetry.Gauge
+
+	jobsSubmitted *telemetry.Counter
+	jobsJoined    *telemetry.Counter
+	jobsStarted   *telemetry.Counter
+	jobsDone      *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	jobsRunning   *telemetry.Gauge
+
+	storeHits         *telemetry.Counter
+	storeMisses       *telemetry.Counter
+	storeBytesWritten *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		journal:  telemetry.NewJournal(journalSize),
+		campaign: campaign.NewMetrics(reg),
+		httpInflight: reg.Gauge("repro_http_requests_inflight",
+			"HTTP requests currently being served."),
+		jobsSubmitted: reg.Counter("repro_jobs_total",
+			"Job lifecycle transitions, by event.",
+			telemetry.Label{Name: "event", Value: "submitted"}),
+		jobsJoined: reg.Counter("repro_jobs_total",
+			"Job lifecycle transitions, by event.",
+			telemetry.Label{Name: "event", Value: "joined"}),
+		jobsStarted: reg.Counter("repro_jobs_total",
+			"Job lifecycle transitions, by event.",
+			telemetry.Label{Name: "event", Value: "started"}),
+		jobsDone: reg.Counter("repro_jobs_total",
+			"Job lifecycle transitions, by event.",
+			telemetry.Label{Name: "event", Value: "done"}),
+		jobsFailed: reg.Counter("repro_jobs_total",
+			"Job lifecycle transitions, by event.",
+			telemetry.Label{Name: "event", Value: "failed"}),
+		jobsRunning: reg.Gauge("repro_jobs_running",
+			"Campaigns currently executing on the job pool."),
+		storeHits: reg.Counter("repro_store_requests_total",
+			"Submissions resolved against the content-addressed store.",
+			telemetry.Label{Name: "result", Value: "hit"}),
+		storeMisses: reg.Counter("repro_store_requests_total",
+			"Submissions resolved against the content-addressed store.",
+			telemetry.Label{Name: "result", Value: "miss"}),
+		storeBytesWritten: reg.Counter("repro_store_dataset_bytes_written_total",
+			"Dataset bytes filed into the store by completed runs."),
+	}
+}
+
+// requestInstruments returns the counter and latency histogram for one
+// route pattern and status class. Registration is idempotent and
+// mutex-guarded in the registry; at control-plane request rates the
+// lookup cost is irrelevant next to the handler.
+func (sm *serverMetrics) requestInstruments(route, codeClass string) (*telemetry.Counter, *telemetry.Histogram) {
+	c := sm.reg.Counter("repro_http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		telemetry.Label{Name: "route", Value: route},
+		telemetry.Label{Name: "code_class", Value: codeClass})
+	h := sm.reg.Histogram("repro_http_request_duration_seconds",
+		"HTTP request service time, by route pattern.",
+		telemetry.DurationBuckets(),
+		telemetry.Label{Name: "route", Value: route})
+	return c, h
+}

@@ -17,7 +17,11 @@
 //	GET  /v1/runs/{key}           one cached run's RunMeta
 //	GET  /v1/runs/{key}/dataset   cached dataset, JSON lines
 //	GET  /v1/stats                job-manager lifetime counters
-//	GET  /v1/healthz              liveness (plain "ok")
+//	GET  /v1/healthz              readiness: build info, store writability, queue depth
+//	GET  /v1/metrics              flight-recorder metrics, Prometheus text format
+//	GET  /v1/metrics.json         the same snapshot as JSON
+//	GET  /v1/jobs/{id}/events     one job's journal: lifecycle + shard transitions
+//	GET  /debug/pprof/...         run-time profiles (only with Config.EnablePprof)
 //
 // The correctness contract is the engine's determinism invariant
 // carried over HTTP: a dataset served here is byte-identical to what
@@ -32,11 +36,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the control plane.
@@ -47,19 +55,26 @@ type Config struct {
 	// campaign parallelizes internally per its spec's workers knob).
 	// Zero means 1.
 	Jobs int
-	// Logf, when non-nil, receives one line per submission and
-	// completion.
-	Logf func(format string, args ...any)
+	// Logger receives one structured record per request and per job
+	// transition. Nil discards logs.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose enough internals that they are opt-in
+	// even on an internal control plane.
+	EnablePprof bool
 }
 
 // Server routes the control-plane API. It is an http.Handler; callers
 // own the net/http server and its lifecycle, and must Close to drain
 // the job pool.
 type Server struct {
-	store *Store
-	mgr   *jobMgr
-	mux   *http.ServeMux
-	logf  func(format string, args ...any)
+	store   *Store
+	mgr     *jobMgr
+	mux     *http.ServeMux
+	logger  *slog.Logger
+	metrics *serverMetrics
+	dataDir string
+	start   time.Time
 }
 
 // New opens the result store under cfg.DataDir and starts the job pool.
@@ -68,30 +83,82 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	met := newServerMetrics(telemetry.NewRegistry())
 	s := &Server{
-		store: store,
-		mgr:   newJobMgr(store, cfg.Jobs),
-		mux:   http.NewServeMux(),
-		logf:  cfg.Logf,
+		store:   store,
+		mgr:     newJobMgr(store, cfg.Jobs, met, logger),
+		mux:     http.NewServeMux(),
+		logger:  logger,
+		metrics: met,
+		dataDir: cfg.DataDir,
+		start:   time.Now(),
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/shards", s.handleJobShards)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/dataset", s.handleJobDataset)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
-	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
-	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
-	s.mux.HandleFunc("GET /v1/runs/{key}/dataset", s.handleRunDataset)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	handle("POST /v1/campaigns", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleJobs)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("GET /v1/jobs/{id}/shards", s.handleJobShards)
+	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handle("GET /v1/jobs/{id}/dataset", s.handleJobDataset)
+	handle("GET /v1/jobs/{id}/report", s.handleJobReport)
+	handle("GET /v1/runs", s.handleRuns)
+	handle("GET /v1/runs/{key}", s.handleRun)
+	handle("GET /v1/runs/{key}/dataset", s.handleRunDataset)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/healthz", s.handleHealthz)
+	handle("GET /v1/metrics", s.handleMetrics)
+	handle("GET /v1/metrics.json", s.handleMetricsJSON)
+	if cfg.EnablePprof {
+		// pprof handlers register on their own; the index route
+		// dispatches the named profiles. Deliberately uninstrumented —
+		// a profile download's duration would distort the latency
+		// histogram it appears in.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// Registry exposes the server's telemetry registry (benchmarks and
+// embedding tools read it directly instead of scraping themselves).
+func (s *Server) Registry() *telemetry.Registry { return s.metrics.reg }
+
+// handleMetrics renders the registry in the Prometheus text
+// exposition; the body is a point-in-time snapshot, never a stream.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = s.metrics.reg.WriteJSON(w)
+}
+
+// handleJobEvents serves one job's slice of the flight-recorder
+// journal: every lifecycle and shard transition the ring still holds,
+// oldest first. A long-retired job yields an empty list, not a 404 —
+// the journal is a bounded recorder, not a database.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	events := s.metrics.journal.JobEvents(view.ID)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     view.ID,
+		"state":  view.State,
+		"events": events,
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,7 +231,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !created {
 		status = http.StatusOK
 	}
-	s.logf("submit key=%s job=%s state=%s cached=%v", view.Key[:12], view.ID, view.State, view.Cached)
+	s.logger.Info("submit",
+		"key", view.Key[:12], "job", view.ID, "state", view.State, "cached", view.Cached)
 	writeJSON(w, status, submitResponse{JobView: view})
 }
 

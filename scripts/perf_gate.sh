@@ -11,31 +11,42 @@
 #     setup cost (BenchmarkShardBuild) — shared frozen blueprints
 #     collapsed it from a full generation + all-pairs routing to a
 #     lightweight instantiation, and this gate keeps it collapsed;
-#   * any allocs/op > 0 on the pooled packet-path and scheduler
-#     benchmarks (BenchmarkCEMarkThroughput, BenchmarkBuildUDPBuf,
-#     BenchmarkSimSchedule, BenchmarkSimScheduleSparse);
+#   * any allocs/op > 0 on the pooled packet-path, scheduler and
+#     telemetry benchmarks (BenchmarkCEMarkThroughput,
+#     BenchmarkBuildUDPBuf, BenchmarkSimSchedule,
+#     BenchmarkSimScheduleSparse, BenchmarkTelemetryHotPath — the
+#     flight recorder's write path must stay allocation-free);
 #   * campaign-level allocations above PERF_GATE_MAX_CAMPAIGN_ALLOCS
 #     (default 300000) per BenchmarkCampaignWorkers run — the pooled
 #     probe/trace state machines hold a small congested campaign around
 #     ~250k allocs, and this gate keeps closure-per-probe regressions
-#     out.
+#     out;
+#   * >PERF_GATE_MAX_TELEMETRY_PCT (default 2) instrumentation
+#     overhead, from BenchmarkCampaignTelemetry's `overhead-%` metric:
+#     the benchmark runs plain/instrumented campaign pairs back to back
+#     in alternating order and reports the paired difference, so
+#     in-process drift (GC pacing) cannot masquerade as telemetry cost
+#     — the budget that keeps the flight recorder always-on in the
+#     control plane.
 #
 # Environment knobs:
 #   PERF_GATE_BASE                base ref to compare against (default origin/main)
 #   PERF_GATE_COUNT               benchmark repetitions (default 5)
 #   PERF_GATE_MAX_REGRESSION_PCT  wall-clock slowdown tolerance (default 10)
 #   PERF_GATE_MAX_CAMPAIGN_ALLOCS campaign allocs/op ceiling (default 300000)
+#   PERF_GATE_MAX_TELEMETRY_PCT   instrumented-campaign overhead tolerance (default 2)
 set -euo pipefail
 
 BASE_REF="${PERF_GATE_BASE:-origin/main}"
 COUNT="${PERF_GATE_COUNT:-5}"
 MAX_PCT="${PERF_GATE_MAX_REGRESSION_PCT:-10}"
 MAX_CAMPAIGN_ALLOCS="${PERF_GATE_MAX_CAMPAIGN_ALLOCS:-300000}"
+MAX_TELEMETRY_PCT="${PERF_GATE_MAX_TELEMETRY_PCT:-2}"
 # Campaign runs few iterations (each is a whole campaign); the packet
 # and scheduler hot-path benches run many so pool warmup amortises to a
 # true 0 allocs/op steady state.
-CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$|BenchmarkShardBuild$'
-HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$|BenchmarkSimSchedule|BenchmarkSimScheduleSparse'
+CAMPAIGN_FILTER='BenchmarkCampaignWorkers/workers=4$|BenchmarkShardBuild$|BenchmarkCampaignTelemetry$'
+HOTPATH_FILTER='BenchmarkCEMarkThroughput|BenchmarkBuildUDPBuf$|BenchmarkSimSchedule|BenchmarkSimScheduleSparse|BenchmarkTelemetryHotPath$'
 
 root="$(git rev-parse --show-toplevel)"
 cd "$root"
@@ -52,7 +63,7 @@ run_bench() (
     REPRO_SCALE=small REPRO_TRACES=2 go test -run='^$' -bench="$CAMPAIGN_FILTER" \
         -benchmem -benchtime=2x -count="$COUNT" ./internal/campaign/
     go test -run='^$' -bench="$HOTPATH_FILTER" \
-        -benchmem -benchtime=20000x -count="$COUNT" ./internal/aqm/ ./internal/packet/ ./internal/netsim/
+        -benchmem -benchtime=20000x -count="$COUNT" ./internal/aqm/ ./internal/packet/ ./internal/netsim/ ./internal/telemetry/
 )
 
 echo "perf-gate: benchmarking working tree (count=$COUNT)..."
@@ -74,13 +85,13 @@ fi
 
 fail=0
 
-# Gate 1: zero allocs/op on the pooled packet-path and scheduler
-# benchmarks.
-bad_allocs="$(awk '/^Benchmark(CEMarkThroughput|BuildUDPBuf|SimSchedule)/ {
+# Gate 1: zero allocs/op on the pooled packet-path, scheduler and
+# telemetry-write-path benchmarks.
+bad_allocs="$(awk '/^Benchmark(CEMarkThroughput|BuildUDPBuf|SimSchedule|TelemetryHotPath)/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op" && $i+0 > 0) print $1, $i, "allocs/op"
 }' "$work/head.txt" | sort -u)"
 if [ -n "$bad_allocs" ]; then
-    echo "perf-gate: FAIL — pooled packet-path and scheduler benchmarks must report 0 allocs/op:"
+    echo "perf-gate: FAIL — pooled packet-path, scheduler and telemetry benchmarks must report 0 allocs/op:"
     echo "$bad_allocs"
     fail=1
 fi
@@ -98,7 +109,32 @@ if [ -n "$bad_campaign_allocs" ]; then
     fail=1
 fi
 
-# Gate 3: wall-clock regression vs base, on mean ns/op, for the campaign
+# Gate 3: instrumentation overhead. BenchmarkCampaignTelemetry reports
+# the paired plain-vs-instrumented difference itself (order-alternated
+# within one process), so the gate takes the median of its `overhead-%`
+# metric across the count repetitions — median, not mean, so one noisy
+# repetition on a small machine cannot tip the verdict.
+telemetry_overhead="$(awk -v maxpct="$MAX_TELEMETRY_PCT" '
+    /^BenchmarkCampaignTelemetry/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "overhead-%") v[++cnt] = $i
+    }
+    END {
+        if (cnt == 0) { print "BenchmarkCampaignTelemetry overhead-% rows missing"; exit 1 }
+        for (a = 1; a <= cnt; a++)
+            for (b = a + 1; b <= cnt; b++)
+                if (v[b] + 0 < v[a] + 0) { t = v[a]; v[a] = v[b]; v[b] = t }
+        med = (cnt % 2) ? v[(cnt + 1) / 2] : (v[cnt / 2] + v[cnt / 2 + 1]) / 2
+        printf "BenchmarkCampaignTelemetry paired overhead median=%+.1f%% (%d runs)\n", med, cnt
+        if (med > maxpct) exit 1
+    }
+' "$work/head.txt")" || {
+    echo "perf-gate: FAIL — telemetry overhead exceeds PERF_GATE_MAX_TELEMETRY_PCT=${MAX_TELEMETRY_PCT}%:"
+    echo "$telemetry_overhead"
+    fail=1
+}
+[ $fail -eq 1 ] || echo "$telemetry_overhead"
+
+# Gate 4: wall-clock regression vs base, on mean ns/op, for the campaign
 # and the per-shard world setup. A benchmark absent on base (or whose
 # base meaning differs — BenchmarkShardBuild predates shared worlds)
 # can only pass or improve; the comparison keeps it from regressing

@@ -8,6 +8,9 @@
 #   2. Resubmitting the spec must be a cache hit: byte-identical
 #      dataset, and the job-manager counters prove no second simulation
 #      ran (runs_started stays 1, cache_hits becomes 1).
+#   3. The flight recorder works end to end: /v1/metrics serves the key
+#      Prometheus series with values matching the run that just
+#      happened, and /v1/jobs/{id}/events replays the job's lifecycle.
 #
 # CI runs this as the service-smoke job; locally: make smoke.
 set -euo pipefail
@@ -104,4 +107,51 @@ assert s["cache_hits"] == 1, f"resubmission was not a store hit: {s}"
 assert s["submitted"] == 2, s
 ' || { say "FAIL: job-manager counters wrong: $STATS"; exit 1; }
 
-say "OK: dataset over HTTP == cmd/determinism ($REF_HASH); cache hit did not re-simulate"
+say "metrics scrape"
+curl -fsS "$BASE/v1/metrics" -o "$WORK/metrics.txt"
+python3 - "$WORK/metrics.txt" <<'EOF'
+import sys
+
+series = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    series[name] = float(value)
+
+def get(name):
+    assert name in series, f"missing series {name}"
+    return series[name]
+
+# One run simulated, one store hit, nothing in flight.
+assert get('repro_jobs_total{event="started"}') == 1, series
+assert get('repro_jobs_total{event="done"}') == 1, series
+assert get('repro_store_requests_total{result="hit"}') == 1, series
+assert get("repro_jobs_running") == 0, series
+assert get("repro_campaign_shards_running") == 0, series
+# The engine's counters flushed: every shard completed on the wheel
+# scheduler, traces merged, durations observed.
+done = get('repro_campaign_shards_completed_total{result="ok"}')
+assert done > 0, series
+assert get('repro_sim_events_total{sched="wheel"}') > 0, series
+assert get("repro_campaign_traces_completed_total") > 0, series
+assert get("repro_campaign_shard_duration_seconds_count") == done, series
+# HTTP middleware saw the submissions.
+assert get('repro_http_requests_total{route="POST /v1/campaigns",code_class="2xx"}') == 2, series
+print(f"service-smoke: metrics OK ({len(series)} series)")
+EOF
+
+say "job event journal"
+curl -fsS "$BASE/v1/jobs/$JOB/events" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+kinds = [e["kind"] for e in doc["events"]]
+assert kinds[0] == "queued" and kinds[1] == "running" and kinds[-1] == "done", kinds
+starts, dones = kinds.count("shard-start"), kinds.count("shard-done")
+assert starts > 0 and starts == dones, kinds
+assert all(e["job"] == doc["id"] for e in doc["events"]), doc
+print(f"service-smoke: journal OK ({len(kinds)} events, {starts} shards)")
+' || { say "FAIL: job events journal wrong"; exit 1; }
+
+say "OK: dataset over HTTP == cmd/determinism ($REF_HASH); cache hit did not re-simulate; flight recorder live"
