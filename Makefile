@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke check
+.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke distributed-smoke check
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_7.json — campaign wall-clock for all three scenarios under both
+# BENCH_8.json — campaign wall-clock for all three scenarios under both
 # cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
 # the phantom/replayed event split) with instrumented twins of the lazy
 # rows (full flight-recorder Metrics attached, for the telemetry
@@ -28,11 +28,12 @@ race:
 # compile/instantiate fixed costs, scheduler (wheel vs heap, dense and
 # sparse kernels) throughput, pooled AQM CE-mark throughput, pooled
 # packet-build cost, telemetry write path (all with allocs/op), and
-# control-plane rows (cold submit vs direct campaign.Run vs cache hit)
-# — which CI uploads as the perf-trajectory artifact.
+# control-plane rows (cold submit vs direct campaign.Run vs cache hit
+# vs the lease/worker protocol with four in-process workers) — which CI
+# uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_7.json
+	$(GO) run ./cmd/benchreport -o BENCH_8.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -77,6 +78,14 @@ serve:
 # second simulation, per /v1/stats).
 smoke:
 	./scripts/service_smoke.sh
+
+# distributed-smoke drives the worker protocol with real processes: a
+# coordinator plus two reprod worker processes, one of which abandons
+# its leases mid-run. The final dataset's SHA-256 must equal
+# cmd/determinism's hash, and the lease telemetry must record the
+# expiry/re-issue cycle.
+distributed-smoke:
+	./scripts/distributed_smoke.sh
 
 # perf-gate benchmarks the working tree against PERF_GATE_BASE
 # (default origin/main) and fails on >10% campaign wall-clock

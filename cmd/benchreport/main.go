@@ -1,6 +1,6 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_7.json) as a build artifact, so regressions in campaign
+// output (BENCH_8.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
 // Five metric families:
@@ -28,7 +28,11 @@
 //   - control-plane service: a cold spec submission through cmd/reprod's
 //     HTTP surface (submit + poll + dataset fetch) against the direct
 //     campaign.Run it wraps — the job-manager overhead, expected under
-//     5% — and the cache-hit resubmission, expected near-instant.
+//     5% — the cache-hit resubmission, expected near-instant, and the
+//     same campaign farmed out over the lease/heartbeat worker protocol
+//     to four in-process workers (service/distributed-w4), whose
+//     overhead vs direct is the coordinator round-trip plus
+//     wire-serialization cost of distribution.
 //
 // Campaign knobs come from the shared spec flag surface
 // (campaign.BindSpecFlags): explicit flags > REPRO_* env > the small
@@ -36,11 +40,12 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_7.json] [-seed N] [-traces N] [-scale S]
+//	benchreport [-o BENCH_8.json] [-seed N] [-traces N] [-scale S]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,10 +54,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/apiclient"
 	"repro/internal/aqm"
 	"repro/internal/campaign"
 	"repro/internal/dataset"
@@ -62,6 +69,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/worker"
 )
 
 type campaignRow struct {
@@ -121,7 +129,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output path (- for stdout)")
+	out := flag.String("o", "BENCH_8.json", "output path (- for stdout)")
 	base := campaign.DefaultSpec()
 	base.Scale = "small"
 	base.Traces = 2
@@ -133,7 +141,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	rep := report{Schema: "repro-bench/7", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/8", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
@@ -449,10 +457,79 @@ func benchService(spec campaign.Spec) []serviceRow {
 	cold := timeSubmission(ts.URL, body)
 	hit := timeSubmission(ts.URL, body)
 
+	distributed := benchDistributed(spec, direct)
 	return []serviceRow{
 		{Name: "service/direct-run", WallSeconds: direct},
 		{Name: "service/cold-submit", WallSeconds: cold, OverheadVsDirect: (cold - direct) / direct},
 		{Name: "service/cache-hit", WallSeconds: hit, Cached: true},
+		distributed,
+	}
+}
+
+// benchDistributed farms the same campaign out over the worker
+// protocol: a fresh coordinator (fresh store, so the cold-submit run
+// above cannot be a cache hit — the cache key strips execution shape)
+// with four in-process workers claiming, executing and uploading
+// shards over HTTP. Overhead vs the direct run is the full cost of
+// distribution at this scale: claim/heartbeat/upload round-trips plus
+// wire serialization and the coordinator's canonical-order merge.
+func benchDistributed(spec campaign.Spec, direct float64) serviceRow {
+	const workers = 4
+	dspec := spec.Normalized()
+	dspec.Execution = campaign.ExecutionDistributed
+
+	dir, err := os.MkdirTemp("", "benchreport-dist-*")
+	if err != nil {
+		fatal("distributed: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{DataDir: dir, Jobs: 1})
+	if err != nil {
+		fatal("distributed: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx := context.Background()
+	client := apiclient.New(ts.URL)
+	start := time.Now()
+	job, _, err := client.Submit(ctx, dspec)
+	if err != nil {
+		fatal("distributed submit: %v", err)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = worker.Run(ctx, worker.Config{
+				Client:       client,
+				ID:           fmt.Sprintf("bench-w%d", i),
+				Batch:        2,
+				Poll:         time.Millisecond,
+				ExitWhenIdle: true,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fatal("distributed worker %d: %v", i, err)
+		}
+	}
+	if _, err := client.AwaitJob(ctx, job.ID, time.Millisecond); err != nil {
+		fatal("distributed: %v", err)
+	}
+	if _, err := client.JobDataset(ctx, job.ID); err != nil {
+		fatal("distributed fetch: %v", err)
+	}
+	wall := time.Since(start).Seconds()
+	return serviceRow{
+		Name:             fmt.Sprintf("service/distributed-w%d", workers),
+		WallSeconds:      wall,
+		OverheadVsDirect: (wall - direct) / direct,
 	}
 }
 

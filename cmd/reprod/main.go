@@ -1,109 +1,72 @@
-// Command reprod is the campaign-as-a-service daemon: a long-lived
-// HTTP control plane over the sharded campaign engine. Clients POST a
-// serializable campaign spec (campaign.Spec) to /v1/campaigns, poll the
-// async job it becomes, and fetch the merged dataset plus a run report
-// (determinism hash, event counters, CE-mark estimates). Completed runs
-// are cached on disk content-addressed by the spec's canonical form, so
-// resubmitting a spec — from any client, with any execution shape — is
-// served instantly without re-simulating.
+// Command reprod is the distributed campaign toolchain in one binary,
+// split into three subcommands:
 //
-// The daemon carries its own flight recorder: GET /v1/metrics exposes
-// allocation-free engine and HTTP metrics in the Prometheus text
-// format (/v1/metrics.json for the same snapshot as JSON), GET
-// /v1/jobs/{id}/events replays a job's lifecycle from the in-memory
-// journal, and -pprof mounts net/http/pprof under /debug/pprof/.
+//	reprod serve   — the coordinator: the campaign-as-a-service HTTP
+//	                 control plane with the content-addressed run cache
+//	                 and the lease/heartbeat worker protocol.
+//	reprod worker  — a shard executor: discovers running distributed
+//	                 jobs on a coordinator, leases (vantage, slice)
+//	                 shards, executes them locally against the same
+//	                 frozen blueprint any other machine would compile,
+//	                 and streams results back under heartbeats.
+//	reprod run     — a client: submit a spec, await the job, and write
+//	                 the merged dataset to a file, whether the
+//	                 coordinator ran it in-process or farmed it out.
 //
-// Quickstart (see README.md for the full curl walk-through):
+// Quickstart for a two-machine campaign (see README.md):
 //
-//	reprod -addr :8070 -data ./reprod-data &
-//	curl -s localhost:8070/v1/campaigns -d '{"spec":1,"scale":"small","traces":2,"seed":2015}'
-//	curl -s localhost:8070/v1/jobs/j-000001
-//	curl -s localhost:8070/v1/jobs/j-000001/dataset -o dataset.jsonl
-//	curl -s localhost:8070/v1/metrics | grep repro_sim_events_total
+//	reprod serve -addr :8070 -data ./reprod-data &
+//	reprod worker -coordinator http://localhost:8070 -id w1 &
+//	reprod run -coordinator http://localhost:8070 \
+//	    -spec '{"spec":1,"scale":"small","traces":2,"seed":2015,"execution":"distributed"}' \
+//	    -out dataset.jsonl
 //
-// Usage:
-//
-//	reprod [-addr :8070] [-data DIR] [-jobs N] [-log-format text|json] [-pprof]
-//
-// -jobs bounds concurrently *running campaigns*; each campaign still
-// parallelizes internally per its spec's workers knob, so the default
-// of 1 already uses every core. SIGINT/SIGTERM drain gracefully:
-// in-flight campaigns finish and are cached before exit.
+// Invoking reprod with flags but no subcommand keeps the historical
+// daemon behavior: it serves.
 package main
 
 import (
-	"context"
-	"errors"
-	"flag"
 	"fmt"
-	"log/slog"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
-
-	"repro/internal/server"
 )
 
 func main() {
-	var (
-		addr      = flag.String("addr", ":8070", "HTTP listen address")
-		data      = flag.String("data", "reprod-data", "result-store data directory")
-		jobs      = flag.Int("jobs", 1, "concurrently running campaigns (each parallelizes internally)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	)
-	flag.Parse()
-
-	var handler slog.Handler
-	switch *logFormat {
-	case "text":
-		handler = slog.NewTextHandler(os.Stderr, nil)
-	case "json":
-		handler = slog.NewJSONHandler(os.Stderr, nil)
-	default:
-		fmt.Fprintf(os.Stderr, "reprod: unknown -log-format %q (want text or json)\n", *logFormat)
-		os.Exit(2)
-	}
-	logger := slog.New(handler)
-
-	srv, err := server.New(server.Config{
-		DataDir:     *data,
-		Jobs:        *jobs,
-		Logger:      logger,
-		EnablePprof: *pprofOn,
-	})
-	if err != nil {
-		logger.Error("startup", "error", err)
-		os.Exit(1)
-	}
-
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		logger.Info("shutting down: draining in-flight campaigns")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Error("shutdown", "error", err)
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve", "worker", "run":
+			cmd, args = args[0], args[1:]
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			return
+		default:
+			// Bare flags: the pre-subcommand invocation, reprod -addr ...
+			if len(args[0]) == 0 || args[0][0] != '-' {
+				fmt.Fprintf(os.Stderr, "reprod: unknown command %q\n\n", args[0])
+				usage(os.Stderr)
+				os.Exit(2)
+			}
 		}
-	}()
-
-	logger.Info("serving", "addr", *addr, "data", *data, "jobs", *jobs, "pprof", *pprofOn)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Error("listen", "error", err)
-		os.Exit(1)
 	}
-	// The HTTP listener is closed; finish the queued/running campaigns
-	// so their results are cached for the next start.
-	srv.Close()
-	logger.Info("drained")
+	switch cmd {
+	case "serve":
+		runServe(args)
+	case "worker":
+		runWorker(args)
+	case "run":
+		runRun(args)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: reprod <command> [flags]
+
+commands:
+  serve    start the coordinator (default when only flags are given)
+  worker   execute leased shards against a coordinator
+  run      submit a spec, await the job, fetch the dataset
+
+run "reprod <command> -h" for per-command flags.
+`)
 }

@@ -1,0 +1,102 @@
+package main
+
+// reprod serve: the long-lived coordinator. Clients POST a campaign
+// spec to /v1/campaigns, poll the async job it becomes, and fetch the
+// merged dataset plus a run report. Completed runs are cached on disk
+// content-addressed by the spec's canonical form, so resubmitting a
+// spec — from any client, with any execution shape — is served
+// instantly without re-simulating. Specs with "execution":
+// "distributed" are not run in-process: their shards sit pending until
+// reprod worker processes lease and execute them.
+//
+// The daemon carries its own flight recorder: GET /v1/metrics exposes
+// allocation-free engine, HTTP, and lease metrics in the Prometheus
+// text format (/v1/metrics.json for the same snapshot as JSON), GET
+// /v1/jobs/{id}/events replays a job's lifecycle from the in-memory
+// journal, and -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// -jobs bounds concurrently *running campaigns*; each campaign still
+// parallelizes internally per its spec's workers knob, so the default
+// of 1 already uses every core. SIGINT/SIGTERM drain gracefully:
+// in-flight campaigns finish and are cached before exit.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("reprod serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":8070", "HTTP listen address")
+		data      = fs.String("data", "reprod-data", "result-store data directory")
+		jobs      = fs.Int("jobs", 1, "concurrently running campaigns (each parallelizes internally)")
+		leaseTTL  = fs.Duration("lease-ttl", 30*time.Second, "worker shard-lease TTL")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	fs.Parse(args)
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "reprod serve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	srv, err := server.New(server.Config{
+		DataDir:     *data,
+		Jobs:        *jobs,
+		LeaseTTL:    *leaseTTL,
+		Logger:      logger,
+		EnablePprof: *pprofOn,
+	})
+	if err != nil {
+		logger.Error("startup", "error", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutting down: draining in-flight campaigns")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "error", err)
+		}
+	}()
+
+	logger.Info("serving", "addr", *addr, "data", *data, "jobs", *jobs,
+		"lease_ttl", *leaseTTL, "pprof", *pprofOn)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("listen", "error", err)
+		os.Exit(1)
+	}
+	// The HTTP listener is closed; finish the queued/running campaigns
+	// so their results are cached for the next start.
+	srv.Close()
+	logger.Info("drained")
+}

@@ -436,10 +436,6 @@ func (cfg Config) Shards() []ShardInfo {
 // only the frozen world blueprint, every measurement phase is
 // history-free, and the merge runs in canonical order.
 func Run(cfg Config) (*Result, error) {
-	topo, err := cfg.topologyConfig()
-	if err != nil {
-		return nil, err
-	}
 	sched, ok := netsim.SchedulerByName(cfg.Scheduler)
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown scheduler %q (want wheel or heap)", cfg.Scheduler)
@@ -454,7 +450,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	// Compile the world once; every shard instantiates the frozen
 	// blueprint instead of regenerating and re-routing its own copy.
-	bp, err := topology.Compile(topo, cfg.Seed)
+	bp, err := cfg.CompileBlueprint()
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,14 @@ import (
 // interpretable when the schema grows.
 const SpecVersion = 1
 
+// Execution strategies a spec may select. Local runs the campaign on
+// the coordinator's own job pool; distributed hands the shard plan to
+// remote workers over the v1 worker API.
+const (
+	ExecutionLocal       = "local"
+	ExecutionDistributed = "distributed"
+)
+
 // Spec is the canonical, serializable description of a campaign: the
 // single configuration surface behind the CLI flags, the REPRO_*
 // environment knobs and the HTTP control plane's request body. It is
@@ -82,6 +90,15 @@ type Spec struct {
 	// byte-identical across all of them (the determinism-grid
 	// invariant), so CacheKey excludes them.
 	//
+	// Execution selects the execution strategy: "local" (the default —
+	// the coordinator runs the campaign in-process on its job pool) or
+	// "distributed" (the coordinator only exposes the shard plan;
+	// remote `reprod worker` processes claim (vantage, slice) shards
+	// over the API under lease/heartbeat semantics and upload results,
+	// which the coordinator merges in canonical order). Like every
+	// other shape knob the choice cannot change a dataset byte, so it
+	// is stripped from the cache key.
+	Execution string `json:"execution"`
 	// Workers bounds concurrent shards (0 = GOMAXPROCS).
 	Workers int `json:"workers"`
 	// SlicesPerVantage splits each vantage's quota into contiguous
@@ -107,6 +124,7 @@ func DefaultSpec() Spec {
 		DiscoveryRounds:  50,
 		Stride:           3,
 		Seed:             2015,
+		Execution:        ExecutionLocal,
 		Workers:          0,
 		SlicesPerVantage: 1,
 		Scheduler:        netsim.SchedWheel.Name(),
@@ -143,6 +161,9 @@ func (s Spec) Normalized() Spec {
 	}
 	if s.DiscoveryRounds == 0 {
 		s.DiscoveryRounds = 50
+	}
+	if s.Execution == "" {
+		s.Execution = ExecutionLocal
 	}
 	if s.SlicesPerVantage == 0 {
 		s.SlicesPerVantage = 1
@@ -225,6 +246,11 @@ func (s Spec) Validate() error {
 	if s.Stride < 0 {
 		add("stride", "must not be negative (0 disables traceroutes)")
 	}
+	switch s.Execution {
+	case "", ExecutionLocal, ExecutionDistributed:
+	default:
+		add("execution", "unknown execution strategy %q: want local or distributed", s.Execution)
+	}
 	if s.Workers < 0 {
 		add("workers", "must not be negative (0 means GOMAXPROCS)")
 	}
@@ -263,6 +289,7 @@ func (s Spec) Canonical() ([]byte, error) {
 // different worker count must hit the cache, not re-simulate.
 func (s Spec) CacheKey() (string, error) {
 	s = s.Normalized()
+	s.Execution = ExecutionLocal
 	s.Workers = 0
 	s.SlicesPerVantage = 1
 	s.Scheduler = netsim.SchedWheel.Name()

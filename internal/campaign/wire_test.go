@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// stripWallClock zeroes the one non-deterministic ShardStats field
+// (wall-clock Elapsed) so shard stats can be compared across runs.
+func stripWallClock(stats []ShardStats) []ShardStats {
+	out := make([]ShardStats, len(stats))
+	copy(out, stats)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// executeAllShardsOverWire runs every planned shard through the remote
+// worker path — ExecuteShard, then a full JSON round trip of the wire
+// struct (what an HTTP upload does to it) — and merges the decoded
+// results, exactly as a coordinator assembling worker uploads would.
+func executeAllShardsOverWire(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	bp, err := cfg.CompileBlueprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wires []*ShardResultWire
+	for _, info := range cfg.Shards() {
+		w, err := ExecuteShard(cfg, bp, info.Shard, info.Slice)
+		if err != nil {
+			t.Fatalf("ExecuteShard(%d,%d): %v", info.Shard, info.Slice, err)
+		}
+		raw, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := new(ShardResultWire)
+		if err := json.Unmarshal(raw, decoded); err != nil {
+			t.Fatal(err)
+		}
+		wires = append(wires, decoded)
+	}
+	res, err := MergeWire(wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWireMergeMatchesInProcess is the distributed path's determinism
+// guarantee: executing every shard through ExecuteShard, JSON
+// round-tripping each result, and merging with MergeWire yields the
+// same dataset bytes, server list, congestion samples and shard stats
+// as the in-process campaign.Run — for both uncongested and congested
+// scenarios, with sliced vantages.
+func TestWireMergeMatchesInProcess(t *testing.T) {
+	for _, scenario := range []string{ScenarioUncongested, ScenarioCongestedEdge} {
+		t.Run(scenario, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Scenario = scenario
+			cfg.SlicesPerVantage = 2
+
+			ref := runOrFatal(t, cfg)
+			got := executeAllShardsOverWire(t, cfg)
+
+			refData, gotData := encode(t, ref.Dataset), encode(t, got.Dataset)
+			if len(refData) == 0 {
+				t.Fatal("reference dataset is empty")
+			}
+			if !bytes.Equal(gotData, refData) {
+				t.Errorf("wire-merged dataset differs from in-process run (%d vs %d bytes)",
+					len(gotData), len(refData))
+			}
+			if !reflect.DeepEqual(got.Servers, ref.Servers) {
+				t.Errorf("servers differ: %v vs %v", got.Servers, ref.Servers)
+			}
+			if !reflect.DeepEqual(stripWallClock(got.Shards), stripWallClock(ref.Shards)) {
+				t.Errorf("shard stats differ:\n%+v\nvs\n%+v", got.Shards, ref.Shards)
+			}
+			if !reflect.DeepEqual(got.Congestion, ref.Congestion) {
+				t.Errorf("congestion samples differ:\n%+v\nvs\n%+v", got.Congestion, ref.Congestion)
+			}
+			if got.Events != ref.Events || got.PhantomEvents != ref.PhantomEvents ||
+				got.ReplayedBoundaries != ref.ReplayedBoundaries {
+				t.Errorf("event totals differ: (%d,%d,%d) vs (%d,%d,%d)",
+					got.Events, got.PhantomEvents, got.ReplayedBoundaries,
+					ref.Events, ref.PhantomEvents, ref.ReplayedBoundaries)
+			}
+		})
+	}
+}
+
+// TestExecuteShardUnknownShard rejects coordinates outside the plan.
+func TestExecuteShardUnknownShard(t *testing.T) {
+	cfg := testConfig()
+	bp, err := cfg.CompileBlueprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteShard(cfg, bp, 99, 0); err == nil {
+		t.Fatal("want error for shard outside the plan")
+	}
+}
+
+// TestMergeWireRejectsBadBatches covers the coordinator-side guards:
+// empty batches, nil entries, wrong wire versions and out-of-order
+// uploads are all refused before any merge happens.
+func TestMergeWireRejectsBadBatches(t *testing.T) {
+	cfg := testConfig()
+	bp, err := cfg.CompileBlueprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := cfg.Shards()
+	if len(infos) < 2 {
+		t.Fatalf("test plan too small: %d shards", len(infos))
+	}
+	a, err := ExecuteShard(cfg, bp, infos[0].Shard, infos[0].Slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecuteShard(cfg, bp, infos[1].Shard, infos[1].Slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := MergeWire(nil); err == nil {
+		t.Error("want error for empty batch")
+	}
+	if _, err := MergeWire([]*ShardResultWire{a, nil}); err == nil {
+		t.Error("want error for nil entry")
+	}
+	bad := *a
+	bad.Version = ShardWireVersion + 1
+	if _, err := MergeWire([]*ShardResultWire{&bad}); err == nil {
+		t.Error("want error for wire version mismatch")
+	}
+	if _, err := MergeWire([]*ShardResultWire{b, a}); err == nil {
+		t.Error("want error for out-of-order results")
+	}
+	if _, err := MergeWire([]*ShardResultWire{a, a}); err == nil {
+		t.Error("want error for duplicate shard coordinates")
+	}
+}

@@ -39,11 +39,16 @@ const (
 	JobFailed  JobState = "failed"
 )
 
-// ShardProgress is one (vantage, slice) shard's completion state within
-// a job — the unit a later PR lets remote workers claim over the API.
+// ShardProgress is one (vantage, slice) shard's completion state
+// within a job. In-process shards move pending → running → done;
+// distributed shards move pending → leased → done (with evictions
+// looping leased back to pending — see leases.go).
 type ShardProgress struct {
 	campaign.ShardInfo
-	State string `json:"state"` // pending | running | done
+	State string `json:"state"` // pending | running | leased | done
+	// Worker is the worker holding (or having completed) a distributed
+	// shard; empty for in-process execution.
+	Worker string `json:"worker,omitempty"`
 	// Execution stats, populated when the shard completes.
 	Events         uint64  `json:"events,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
@@ -94,6 +99,9 @@ type job struct {
 	state  JobState
 	cached bool
 	err    string
+	// pos is the job's index in mgr.order — the pagination cursor's
+	// resume point.
+	pos int
 
 	submitted time.Time
 	started   time.Time
@@ -103,6 +111,14 @@ type job struct {
 	shardsDone  int
 	tracesTotal int
 	tracesDone  int
+
+	// Distributed execution state (see leases.go): leases and wires
+	// parallel shards; finalizing latches the upload that completes the
+	// plan so exactly one caller runs the merge.
+	execution  string
+	leases     []shardLease
+	wires      []*campaign.ShardResultWire
+	finalizing bool
 }
 
 func (j *job) view() JobView {
@@ -137,6 +153,12 @@ type jobMgr struct {
 	met    *serverMetrics
 	logger *slog.Logger
 
+	// now is the manager's clock; tests inject a fake so lease expiry
+	// is driven, never slept for. leaseTTL is the lifetime of granted
+	// shard leases.
+	now      func() time.Time
+	leaseTTL time.Duration
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []*job          // submission order, for listing
@@ -145,6 +167,9 @@ type jobMgr struct {
 	nextID  int
 	running int
 	closed  bool
+	// workerNames interns worker IDs so journal appends can carry a
+	// heap-stable *string without allocating per event.
+	workerNames map[string]*string
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -157,12 +182,15 @@ func newJobMgr(store *Store, workers int, met *serverMetrics, logger *slog.Logge
 		workers = 1
 	}
 	m := &jobMgr{
-		store:  store,
-		met:    met,
-		logger: logger,
-		jobs:   make(map[string]*job),
-		active: make(map[string]*job),
-		queue:  make(chan *job, maxQueuedJobs),
+		store:       store,
+		met:         met,
+		logger:      logger,
+		now:         time.Now,
+		leaseTTL:    defaultLeaseTTL,
+		jobs:        make(map[string]*job),
+		active:      make(map[string]*job),
+		workerNames: make(map[string]*string),
+		queue:       make(chan *job, maxQueuedJobs),
 	}
 	for w := 0; w < workers; w++ {
 		m.wg.Add(1)
@@ -213,7 +241,7 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return JobView{}, false, fmt.Errorf("server: job manager is shut down")
+		return JobView{}, false, faultf(503, codeUnavailable, "server: job manager is shut down")
 	}
 	m.stats.Submitted++
 	m.met.jobsSubmitted.Inc()
@@ -230,7 +258,7 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 		j := m.newJobLocked(key, norm, plan)
 		j.state = JobDone
 		j.cached = true
-		j.finished = time.Now()
+		j.finished = m.now()
 		for i := range j.shards {
 			j.shards[i].State = "done"
 		}
@@ -242,12 +270,29 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 	m.met.storeMisses.Inc()
 
 	j := m.newJobLocked(key, norm, plan)
+	if norm.Execution == campaign.ExecutionDistributed {
+		// Distributed jobs never enter the local run queue: they are
+		// "running" the moment they exist, and their shards sit pending
+		// until workers claim them over the API.
+		j.execution = campaign.ExecutionDistributed
+		j.state = JobRunning
+		j.started = m.now()
+		j.leases = make([]shardLease, len(j.shards))
+		j.wires = make([]*campaign.ShardResultWire, len(j.shards))
+		m.active[key] = j
+		m.stats.RunsStarted++
+		m.met.jobsStarted.Inc()
+		m.met.jobsRunning.Add(1)
+		m.met.journal.Append(telemetry.EventJobQueued, &j.id, nil, -1, -1)
+		m.met.journal.Append(telemetry.EventJobRunning, &j.id, nil, -1, -1)
+		return j.view(), true, nil
+	}
 	select {
 	case m.queue <- j:
 	default:
 		delete(m.jobs, j.id)
 		m.order = m.order[:len(m.order)-1]
-		return JobView{}, false, fmt.Errorf("server: job queue full (%d queued)", maxQueuedJobs)
+		return JobView{}, false, faultf(503, codeQueueFull, "server: job queue full (%d queued)", maxQueuedJobs)
 	}
 	m.active[key] = j
 	m.met.journal.Append(telemetry.EventJobQueued, &j.id, nil, -1, -1)
@@ -262,7 +307,8 @@ func (m *jobMgr) newJobLocked(key string, spec campaign.Spec, plan []campaign.Sh
 		key:       key,
 		spec:      spec,
 		state:     JobQueued,
-		submitted: time.Now(),
+		pos:       len(m.order),
+		submitted: m.now(),
 		shards:    make([]ShardProgress, len(plan)),
 	}
 	for i, sh := range plan {
@@ -275,11 +321,69 @@ func (m *jobMgr) newJobLocked(key string, spec campaign.Spec, plan []campaign.Sh
 	return j
 }
 
+// failJob marks a job failed and releases its dedup slot. pool is true
+// when the job occupied a local run-queue worker (in-process
+// execution); distributed jobs never did.
+func (m *jobMgr) failJob(j *job, err error, pool bool) {
+	m.mu.Lock()
+	j.state = JobFailed
+	j.err = err.Error()
+	j.finished = m.now()
+	delete(m.active, j.key)
+	m.stats.RunsFailed++
+	if pool {
+		m.running--
+	}
+	m.mu.Unlock()
+	m.met.jobsFailed.Inc()
+	m.met.jobsRunning.Add(-1)
+	m.met.journal.Append(telemetry.EventJobFailed, &j.id, &j.err, -1, -1)
+	m.logger.Error("job failed", "job", j.id, "error", err)
+}
+
+// fileRun serializes and files a completed campaign's artifacts into
+// the content-addressed store — the single path shared by in-process
+// runs and distributed merges, so both produce identical RunMeta and
+// identical dataset bytes. Returns the dataset size.
+func (m *jobMgr) fileRun(j *job, res *campaign.Result, wall time.Duration) (int, error) {
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, res.Dataset); err != nil {
+		return 0, err
+	}
+	specBytes, err := j.spec.Canonical()
+	if err != nil {
+		return 0, err
+	}
+	meta := RunMeta{
+		Key:                j.key,
+		Spec:               j.spec,
+		DatasetSHA256:      fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
+		DatasetBytes:       int64(buf.Len()),
+		Traces:             len(res.Dataset.Traces),
+		Servers:            len(res.Servers),
+		Shards:             len(res.Shards),
+		Events:             res.Events,
+		PhantomEvents:      res.PhantomEvents,
+		ReplayedBoundaries: res.ReplayedBoundaries,
+		WallSeconds:        wall.Seconds(),
+		CompletedAt:        m.now().UTC(),
+	}
+	if len(res.Congestion) > 0 {
+		rep := analysis.ComputeCEMarkReport(res.Congestion)
+		meta.Congestion = &rep
+	}
+	if err := m.store.Put(j.key, specBytes, meta, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	m.met.storeBytesWritten.Add(uint64(buf.Len()))
+	return buf.Len(), nil
+}
+
 // runJob executes one queued campaign on a worker goroutine.
 func (m *jobMgr) runJob(j *job) {
 	m.mu.Lock()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = m.now()
 	m.stats.RunsStarted++
 	m.running++
 	m.mu.Unlock()
@@ -288,20 +392,7 @@ func (m *jobMgr) runJob(j *job) {
 	m.met.journal.Append(telemetry.EventJobRunning, &j.id, nil, -1, -1)
 	m.logger.Info("job start", "job", j.id, "key", j.key[:12])
 
-	fail := func(err error) {
-		m.mu.Lock()
-		j.state = JobFailed
-		j.err = err.Error()
-		j.finished = time.Now()
-		delete(m.active, j.key)
-		m.stats.RunsFailed++
-		m.running--
-		m.mu.Unlock()
-		m.met.jobsFailed.Inc()
-		m.met.jobsRunning.Add(-1)
-		m.met.journal.Append(telemetry.EventJobFailed, &j.id, &j.err, -1, -1)
-		m.logger.Error("job failed", "job", j.id, "error", err)
-	}
+	fail := func(err error) { m.failJob(j, err, true) }
 
 	cfg, err := j.spec.Config()
 	if err != nil {
@@ -316,59 +407,31 @@ func (m *jobMgr) runJob(j *job) {
 		m.setShardState(j, stats.Shard, stats.Slice, "done", &stats)
 	}
 
-	start := time.Now()
+	start := m.now()
 	res, err := campaign.Run(cfg)
 	if err != nil {
 		fail(err)
 		return
 	}
-	wall := time.Since(start)
+	wall := m.now().Sub(start)
 
-	var buf bytes.Buffer
-	if err := dataset.Write(&buf, res.Dataset); err != nil {
-		fail(err)
-		return
-	}
-	specBytes, err := j.spec.Canonical()
+	n, err := m.fileRun(j, res, wall)
 	if err != nil {
-		fail(err)
-		return
-	}
-	meta := RunMeta{
-		Key:                j.key,
-		Spec:               j.spec,
-		DatasetSHA256:      fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
-		DatasetBytes:       int64(buf.Len()),
-		Traces:             len(res.Dataset.Traces),
-		Servers:            len(res.Servers),
-		Shards:             len(res.Shards),
-		Events:             res.Events,
-		PhantomEvents:      res.PhantomEvents,
-		ReplayedBoundaries: res.ReplayedBoundaries,
-		WallSeconds:        wall.Seconds(),
-		CompletedAt:        time.Now().UTC(),
-	}
-	if len(res.Congestion) > 0 {
-		rep := analysis.ComputeCEMarkReport(res.Congestion)
-		meta.Congestion = &rep
-	}
-	if err := m.store.Put(j.key, specBytes, meta, buf.Bytes()); err != nil {
 		fail(err)
 		return
 	}
 
 	m.mu.Lock()
 	j.state = JobDone
-	j.finished = time.Now()
+	j.finished = m.now()
 	delete(m.active, j.key)
 	m.running--
 	m.mu.Unlock()
 	m.met.jobsDone.Inc()
 	m.met.jobsRunning.Add(-1)
-	m.met.storeBytesWritten.Add(uint64(buf.Len()))
 	m.met.journal.Append(telemetry.EventJobDone, &j.id, nil, -1, -1)
 	m.logger.Info("job done", "job", j.id, "key", j.key[:12],
-		"traces", meta.Traces, "wall_seconds", meta.WallSeconds)
+		"traces", len(res.Dataset.Traces), "dataset_bytes", n, "wall_seconds", wall.Seconds())
 }
 
 // setShardState updates one (vantage-index, slice) shard's progress
@@ -427,6 +490,37 @@ func (m *jobMgr) List() []JobView {
 		views[i] = j.view()
 	}
 	return views
+}
+
+// Page returns up to limit job snapshots in submission order, starting
+// strictly after the cursor job (all jobs when cursor is empty),
+// optionally filtered by state. The returned cursor is non-empty iff
+// more matching jobs follow; feed it back to resume.
+func (m *jobMgr) Page(cursor string, limit int, state JobState) ([]JobView, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := 0
+	if cursor != "" {
+		j, ok := m.jobs[cursor]
+		if !ok {
+			return nil, "", faultf(400, codeCursorInvalid, "unknown cursor %q", cursor)
+		}
+		start = j.pos + 1
+	}
+	views := []JobView{}
+	next := ""
+	for i := start; i < len(m.order); i++ {
+		j := m.order[i]
+		if state != "" && j.state != state {
+			continue
+		}
+		if len(views) == limit {
+			next = views[len(views)-1].ID
+			break
+		}
+		views = append(views, j.view())
+	}
+	return views, next, nil
 }
 
 // Shards returns a job's per-(vantage, slice) completion snapshot.

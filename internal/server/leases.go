@@ -1,0 +1,364 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// The shard lease table: how a distributed job hands its (vantage,
+// slice) shards to remote workers. The state machine per shard is
+//
+//	pending ──claim──▶ leased ──result──▶ done
+//	   ▲                  │
+//	   └────eviction──────┘
+//
+// A lease is valid until evicted. Eviction happens when the TTL has
+// passed AND the control plane notices — at a claim sweep, or on a
+// heartbeat/upload arriving for a lapsed lease. Uploads are accepted
+// iff the presented token is the shard's current (un-evicted) lease;
+// because shard execution is deterministic, a slow worker whose lease
+// lapsed but was never re-issued still uploads the correct bytes, so
+// such uploads are accepted rather than wasted. Once a shard is done,
+// re-uploads under the winning token are idempotent successes and
+// anything else is stale_result — first writer wins. The spec-hash
+// guard rejects uploads computed for a different spec before any of
+// this, so a confused worker can never poison a job's merge.
+//
+// All lease state lives inside the job and is guarded by mgr.mu; time
+// comes from mgr.now, an injected monotonic clock, so expiry tests
+// never sleep.
+
+// defaultLeaseTTL is the lease lifetime granted to workers when the
+// server config does not override it.
+const defaultLeaseTTL = 30 * time.Second
+
+// shardLease is one shard's lease slot (meaningful while the shard is
+// "leased", plus the doneToken once it is "done").
+type shardLease struct {
+	token   string
+	worker  string
+	expires time.Time
+	// seq counts issuances for this shard; a grant with seq > 1 is a
+	// re-issue after an eviction.
+	seq int
+	// doneToken is the token whose upload won the shard; duplicate
+	// uploads presenting it are idempotent successes.
+	doneToken string
+}
+
+// ShardClaim is one leased shard in a claim response.
+type ShardClaim struct {
+	// Index is the shard's position in the job's canonical plan — the
+	// {shard} the heartbeat and result routes address.
+	Index int `json:"index"`
+	campaign.ShardInfo
+	// Lease is the opaque token the worker must present on heartbeat
+	// and upload; ExpiresAt is its deadline on the coordinator's clock.
+	Lease     string    `json:"lease"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// ClaimResponse is POST /v1/jobs/{id}/shards/claim's body. It carries
+// everything a worker needs to execute without further reads: the
+// job's canonical spec (compile the blueprint locally), its cache key
+// (stamp uploads for the spec-hash guard), and the leased batch. An
+// empty batch with state "running" means every remaining shard is
+// leased elsewhere — back off and re-claim; state "done"/"failed"
+// means drain.
+type ClaimResponse struct {
+	Job             string        `json:"job"`
+	State           JobState      `json:"state"`
+	SpecHash        string        `json:"spec_hash"`
+	Spec            campaign.Spec `json:"spec"`
+	LeaseTTLSeconds float64       `json:"lease_ttl_seconds"`
+	ShardsTotal     int           `json:"shards_total"`
+	ShardsDone      int           `json:"shards_done"`
+	Shards          []ShardClaim  `json:"shards"`
+}
+
+// HeartbeatResponse acknowledges a lease extension.
+type HeartbeatResponse struct {
+	Job       string    `json:"job"`
+	Index     int       `json:"index"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// ResultResponse acknowledges a shard upload. Status is "accepted" for
+// the winning upload and "duplicate" for an idempotent re-send.
+type ResultResponse struct {
+	Job         string   `json:"job"`
+	Index       int      `json:"index"`
+	Status      string   `json:"status"`
+	ShardsDone  int      `json:"shards_done"`
+	ShardsTotal int      `json:"shards_total"`
+	State       JobState `json:"state"`
+}
+
+// distributedJobLocked resolves a worker-protocol job reference;
+// callers hold m.mu.
+func (m *jobMgr) distributedJobLocked(jobID string) (*job, error) {
+	j, ok := m.jobs[jobID]
+	if !ok {
+		return nil, faultf(http.StatusNotFound, codeJobNotFound, "no such job %q", jobID)
+	}
+	if j.execution != campaign.ExecutionDistributed {
+		return nil, faultf(http.StatusConflict, codeJobNotDistributed,
+			"job %s executes in-process; its shards cannot be claimed", jobID)
+	}
+	return j, nil
+}
+
+// internWorkerLocked returns a heap-stable pointer to the worker's
+// name for allocation-free journal appends; callers hold m.mu.
+func (m *jobMgr) internWorkerLocked(worker string) *string {
+	if p, ok := m.workerNames[worker]; ok {
+		return p
+	}
+	p := &worker
+	m.workerNames[worker] = p
+	return p
+}
+
+// sweepExpiredLocked evicts every lapsed lease in the job — shards
+// return to "pending" and the eviction is counted and journaled.
+// Callers hold m.mu.
+func (m *jobMgr) sweepExpiredLocked(j *job, now time.Time) {
+	for i := range j.shards {
+		sh := &j.shards[i]
+		if sh.State != "leased" || j.leases[i].expires.After(now) {
+			continue
+		}
+		m.evictLeaseLocked(j, i)
+	}
+}
+
+// evictLeaseLocked returns one leased shard to the pending pool.
+func (m *jobMgr) evictLeaseLocked(j *job, i int) {
+	sh := &j.shards[i]
+	l := &j.leases[i]
+	sh.State = "pending"
+	sh.Worker = ""
+	m.met.leaseExpiries.Inc()
+	m.met.journal.Append(telemetry.EventLeaseExpired, &j.id,
+		m.internWorkerLocked(l.worker), int32(sh.Shard), int32(sh.Slice))
+	m.logger.Info("lease expired", "job", j.id, "shard", i, "worker", l.worker)
+}
+
+// Claim leases up to max pending shards of a distributed job to one
+// worker. Every claim first sweeps lapsed leases back to the pool, so
+// a crashed worker's shards are re-issued as soon as any live worker
+// asks for work.
+func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
+	if max < 1 {
+		max = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.distributedJobLocked(jobID)
+	if err != nil {
+		return ClaimResponse{}, err
+	}
+	resp := ClaimResponse{
+		Job:             j.id,
+		SpecHash:        j.key,
+		Spec:            j.spec,
+		LeaseTTLSeconds: m.leaseTTL.Seconds(),
+	}
+	now := m.now()
+	m.sweepExpiredLocked(j, now)
+	if j.state == JobRunning {
+		wp := m.internWorkerLocked(worker)
+		for i := range j.shards {
+			if len(resp.Shards) == max {
+				break
+			}
+			sh := &j.shards[i]
+			if sh.State != "pending" {
+				continue
+			}
+			l := &j.leases[i]
+			l.seq++
+			l.token = fmt.Sprintf("%s.%d.%d", j.id, i, l.seq)
+			l.worker = worker
+			l.expires = now.Add(m.leaseTTL)
+			sh.State = "leased"
+			sh.Worker = worker
+			m.met.leaseGrants.Inc()
+			if l.seq > 1 {
+				m.met.leaseReissues.Inc()
+			}
+			m.met.journal.Append(telemetry.EventShardLeased, &j.id, wp,
+				int32(sh.Shard), int32(sh.Slice))
+			resp.Shards = append(resp.Shards, ShardClaim{
+				Index:     i,
+				ShardInfo: sh.ShardInfo,
+				Lease:     l.token,
+				ExpiresAt: l.expires,
+			})
+		}
+	}
+	resp.State = j.state
+	resp.ShardsTotal = len(j.shards)
+	resp.ShardsDone = j.shardsDone
+	return resp, nil
+}
+
+// Heartbeat extends exactly one unexpired lease by a full TTL. A
+// heartbeat for a lapsed lease evicts it on the spot and reports
+// lease_expired — the worker must re-claim, it cannot resurrect the
+// old token.
+func (m *jobMgr) Heartbeat(jobID string, idx int, token string) (HeartbeatResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.distributedJobLocked(jobID)
+	if err != nil {
+		return HeartbeatResponse{}, err
+	}
+	if idx < 0 || idx >= len(j.shards) {
+		return HeartbeatResponse{}, faultf(http.StatusNotFound, codeShardNotFound,
+			"job %s has no shard %d (plan has %d)", jobID, idx, len(j.shards))
+	}
+	sh := &j.shards[idx]
+	l := &j.leases[idx]
+	if sh.State != "leased" || l.token != token {
+		return HeartbeatResponse{}, faultf(http.StatusConflict, codeLeaseExpired,
+			"lease is not current for shard %d of job %s", idx, jobID)
+	}
+	now := m.now()
+	if !l.expires.After(now) {
+		m.evictLeaseLocked(j, idx)
+		return HeartbeatResponse{}, faultf(http.StatusConflict, codeLeaseExpired,
+			"lease for shard %d of job %s expired %s ago", idx, jobID, now.Sub(l.expires))
+	}
+	l.expires = now.Add(m.leaseTTL)
+	return HeartbeatResponse{Job: j.id, Index: idx, ExpiresAt: l.expires}, nil
+}
+
+// ShardResult accepts one shard's uploaded result. First writer wins;
+// a duplicate of the winning upload is an idempotent success; a result
+// computed for a different spec, a mismatched shard, or an evicted
+// lease never reaches the merge. The accepted upload that completes
+// the plan triggers the canonical merge and files the run.
+func (m *jobMgr) ShardResult(jobID string, idx int, worker, token string, wire *campaign.ShardResultWire) (ResultResponse, error) {
+	m.mu.Lock()
+	j, err := m.distributedJobLocked(jobID)
+	if err != nil {
+		m.mu.Unlock()
+		return ResultResponse{}, err
+	}
+	resp, finalize, err := m.shardResultLocked(j, idx, worker, token, wire)
+	m.mu.Unlock()
+	if err != nil {
+		return ResultResponse{}, err
+	}
+	if finalize {
+		// Synchronous: the upload that completes the plan pays for the
+		// merge, so when its 200 arrives the artifacts are served.
+		m.finalizeDistributed(j)
+		resp.State = JobDone
+		if v, ok := m.Get(jobID); ok {
+			resp.State = v.State // failed merges surface too
+		}
+	}
+	return resp, nil
+}
+
+func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *campaign.ShardResultWire) (ResultResponse, bool, error) {
+	if idx < 0 || idx >= len(j.shards) {
+		return ResultResponse{}, false, faultf(http.StatusNotFound, codeShardNotFound,
+			"job %s has no shard %d (plan has %d)", j.id, idx, len(j.shards))
+	}
+	sh := &j.shards[idx]
+	l := &j.leases[idx]
+	if wire.Version != campaign.ShardWireVersion {
+		return ResultResponse{}, false, faultf(http.StatusBadRequest, codeResultInvalid,
+			"shard result has wire version %d (this server speaks %d)",
+			wire.Version, campaign.ShardWireVersion)
+	}
+	if wire.SpecHash != j.key {
+		m.met.resultsStale.Inc()
+		return ResultResponse{}, false, faultf(http.StatusConflict, codeStaleResult,
+			"result computed for spec %.12s, job %s wants %.12s", wire.SpecHash, j.id, j.key)
+	}
+	if wire.Shard != sh.Shard || wire.Slice != sh.Slice {
+		return ResultResponse{}, false, faultf(http.StatusBadRequest, codeResultInvalid,
+			"payload is for shard (%d,%d) but was posted to (%d,%d)",
+			wire.Shard, wire.Slice, sh.Shard, sh.Slice)
+	}
+	resp := ResultResponse{Job: j.id, Index: idx, ShardsTotal: len(j.shards)}
+	if sh.State == "done" {
+		if token != "" && token == l.doneToken {
+			m.met.resultsDuplicate.Inc()
+			resp.Status = "duplicate"
+			resp.ShardsDone = j.shardsDone
+			resp.State = j.state
+			return resp, false, nil
+		}
+		m.met.resultsStale.Inc()
+		return ResultResponse{}, false, faultf(http.StatusConflict, codeStaleResult,
+			"shard %d of job %s already has a result from %s", idx, j.id, sh.Worker)
+	}
+	if sh.State != "leased" || l.token != token {
+		// Pending (evicted) or leased to a successor: the uploader lost
+		// its lease and someone else owns — or will own — the shard.
+		m.met.resultsStale.Inc()
+		return ResultResponse{}, false, faultf(http.StatusConflict, codeStaleResult,
+			"lease is not current for shard %d of job %s", idx, j.id)
+	}
+	// Accept. Note no expiry check: a lapsed lease that was never
+	// evicted is still the shard's current lease, and determinism
+	// makes the slow worker's bytes as good as anyone's.
+	j.wires[idx] = wire
+	l.doneToken = token
+	sh.State = "done"
+	sh.Worker = worker
+	sh.Events = wire.Stats.Events
+	sh.ElapsedSeconds = wire.Stats.Elapsed.Seconds()
+	j.shardsDone++
+	j.tracesDone += sh.Traces
+	m.met.resultsAccepted.Inc()
+	m.met.workerShardSeconds(worker).Observe(wire.Stats.Elapsed.Seconds())
+	m.met.journal.Append(telemetry.EventShardDone, &j.id,
+		m.internWorkerLocked(worker), int32(sh.Shard), int32(sh.Slice))
+	resp.Status = "accepted"
+	resp.ShardsDone = j.shardsDone
+	resp.State = j.state
+	finalize := j.shardsDone == len(j.shards) && !j.finalizing
+	if finalize {
+		j.finalizing = true
+	}
+	return resp, finalize, nil
+}
+
+// finalizeDistributed merges a completed distributed job's uploaded
+// shard results in canonical order and files the run — the same
+// filing path the in-process runner uses, so the stored artifacts are
+// indistinguishable.
+func (m *jobMgr) finalizeDistributed(j *job) {
+	res, err := campaign.MergeWire(j.wires)
+	if err != nil {
+		m.failJob(j, err, false)
+		return
+	}
+	wall := m.now().Sub(j.started)
+	n, err := m.fileRun(j, res, wall)
+	if err != nil {
+		m.failJob(j, err, false)
+		return
+	}
+	m.mu.Lock()
+	j.state = JobDone
+	j.finished = m.now()
+	j.wires = nil // uploaded shard data is merged and filed; release it
+	delete(m.active, j.key)
+	m.mu.Unlock()
+	m.met.jobsDone.Inc()
+	m.met.jobsRunning.Add(-1)
+	m.met.journal.Append(telemetry.EventJobDone, &j.id, nil, -1, -1)
+	m.logger.Info("job done", "job", j.id, "key", j.key[:12],
+		"execution", "distributed", "dataset_bytes", n, "wall_seconds", wall.Seconds())
+}

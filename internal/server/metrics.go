@@ -33,6 +33,16 @@ type serverMetrics struct {
 	storeHits         *telemetry.Counter
 	storeMisses       *telemetry.Counter
 	storeBytesWritten *telemetry.Counter
+
+	// Worker-protocol instruments: lease lifecycle (grant/expire/
+	// reissue) and shard-result upload dispositions. The distributed-
+	// smoke CI job asserts these reconcile with the run it drives.
+	leaseGrants      *telemetry.Counter
+	leaseExpiries    *telemetry.Counter
+	leaseReissues    *telemetry.Counter
+	resultsAccepted  *telemetry.Counter
+	resultsDuplicate *telemetry.Counter
+	resultsStale     *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -67,7 +77,35 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			telemetry.Label{Name: "result", Value: "miss"}),
 		storeBytesWritten: reg.Counter("repro_store_dataset_bytes_written_total",
 			"Dataset bytes filed into the store by completed runs."),
+		leaseGrants: reg.Counter("repro_lease_events_total",
+			"Shard lease lifecycle events, by event.",
+			telemetry.Label{Name: "event", Value: "grant"}),
+		leaseExpiries: reg.Counter("repro_lease_events_total",
+			"Shard lease lifecycle events, by event.",
+			telemetry.Label{Name: "event", Value: "expire"}),
+		leaseReissues: reg.Counter("repro_lease_events_total",
+			"Shard lease lifecycle events, by event.",
+			telemetry.Label{Name: "event", Value: "reissue"}),
+		resultsAccepted: reg.Counter("repro_shard_results_total",
+			"Shard result uploads, by disposition.",
+			telemetry.Label{Name: "result", Value: "accepted"}),
+		resultsDuplicate: reg.Counter("repro_shard_results_total",
+			"Shard result uploads, by disposition.",
+			telemetry.Label{Name: "result", Value: "duplicate"}),
+		resultsStale: reg.Counter("repro_shard_results_total",
+			"Shard result uploads, by disposition.",
+			telemetry.Label{Name: "result", Value: "stale"}),
 	}
+}
+
+// workerShardSeconds returns the shard-duration histogram for one
+// worker ID. Registration is idempotent, so the per-upload lookup just
+// indexes the registry; worker IDs are expected to be few and stable.
+func (sm *serverMetrics) workerShardSeconds(worker string) *telemetry.Histogram {
+	return sm.reg.Histogram("repro_worker_shard_duration_seconds",
+		"Shard execution wall time uploaded per worker, as reported in shard stats.",
+		telemetry.DurationBuckets(),
+		telemetry.Label{Name: "worker", Value: worker})
 }
 
 // requestInstruments returns the counter and latency histogram for one

@@ -8,12 +8,12 @@
 // The API (all JSON unless noted; see DESIGN.md §11):
 //
 //	POST /v1/campaigns            submit a spec → job (202 queued, 200 joined/cached)
-//	GET  /v1/jobs                 list jobs, submission order
+//	GET  /v1/jobs                 list jobs, submission order; limit/cursor pagination
 //	GET  /v1/jobs/{id}            one job: state, progress counters
 //	GET  /v1/jobs/{id}/shards     per-(vantage, slice) completion
 //	GET  /v1/jobs/{id}/dataset    merged dataset, JSON lines (done jobs)
 //	GET  /v1/jobs/{id}/report     RunMeta: determinism hash, counters, CE report
-//	GET  /v1/runs                 cached run keys
+//	GET  /v1/runs                 cached run keys, sorted; limit/cursor pagination
 //	GET  /v1/runs/{key}           one cached run's RunMeta
 //	GET  /v1/runs/{key}/dataset   cached dataset, JSON lines
 //	GET  /v1/stats                job-manager lifetime counters
@@ -22,6 +22,17 @@
 //	GET  /v1/metrics.json         the same snapshot as JSON
 //	GET  /v1/jobs/{id}/events     one job's journal: lifecycle + shard transitions
 //	GET  /debug/pprof/...         run-time profiles (only with Config.EnablePprof)
+//
+// The worker protocol (distributed execution; see leases.go and
+// DESIGN.md §13):
+//
+//	POST /v1/jobs/{id}/shards/claim              lease a batch of pending shards
+//	POST /v1/jobs/{id}/shards/{shard}/heartbeat  extend one lease
+//	POST /v1/jobs/{id}/shards/{shard}/result     upload one shard's result (idempotent)
+//
+// Errors are uniform across every endpoint: a non-2xx response body is
+// {"error": {"code", "message", "fields"}} with a stable machine code
+// (errors.go).
 //
 // The correctness contract is the engine's determinism invariant
 // carried over HTTP: a dataset served here is byte-identical to what
@@ -39,7 +50,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -62,6 +75,13 @@ type Config struct {
 	// default: profiles expose enough internals that they are opt-in
 	// even on an internal control plane.
 	EnablePprof bool
+	// LeaseTTL is the lifetime of shard leases granted to distributed
+	// workers. Zero means the 30s default.
+	LeaseTTL time.Duration
+	// Clock overrides the job manager's time source. Lease expiry is
+	// driven entirely by this clock, so tests inject a fake and step it
+	// instead of sleeping. Nil means time.Now.
+	Clock func() time.Time
 }
 
 // Server routes the control-plane API. It is an http.Handler; callers
@@ -97,6 +117,12 @@ func New(cfg Config) (*Server, error) {
 		dataDir: cfg.DataDir,
 		start:   time.Now(),
 	}
+	if cfg.LeaseTTL > 0 {
+		s.mgr.leaseTTL = cfg.LeaseTTL
+	}
+	if cfg.Clock != nil {
+		s.mgr.now = cfg.Clock
+	}
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
@@ -107,6 +133,9 @@ func New(cfg Config) (*Server, error) {
 	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	handle("GET /v1/jobs/{id}/dataset", s.handleJobDataset)
 	handle("GET /v1/jobs/{id}/report", s.handleJobReport)
+	handle("POST /v1/jobs/{id}/shards/claim", s.handleShardClaim)
+	handle("POST /v1/jobs/{id}/shards/{shard}/heartbeat", s.handleShardHeartbeat)
+	handle("POST /v1/jobs/{id}/shards/{shard}/result", s.handleShardResult)
 	handle("GET /v1/runs", s.handleRuns)
 	handle("GET /v1/runs/{key}", s.handleRun)
 	handle("GET /v1/runs/{key}/dataset", s.handleRunDataset)
@@ -170,13 +199,6 @@ func (s *Server) Close() { s.mgr.Close() }
 // Store exposes the result store (read paths are used by tooling).
 func (s *Server) Store() *Store { return s.store }
 
-// apiError is the uniform error body. Validation failures carry the
-// offending fields so clients can fix a spec in one round trip.
-type apiError struct {
-	Error  string                `json:"error"`
-	Fields []campaign.FieldError `json:"fields,omitempty"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
@@ -185,13 +207,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	body := apiError{Error: err.Error()}
-	var verr *campaign.ValidationError
-	if errors.As(err, &verr) {
-		body.Fields = verr.Fields
+// decodeBody reads and unmarshals a bounded JSON request body into v,
+// classifying failures as bad_request faults.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return faultf(http.StatusBadRequest, codeBadRequest, "read body: %v", err)
 	}
-	writeJSON(w, status, body)
+	if err := json.Unmarshal(body, v); err != nil {
+		return faultf(http.StatusBadRequest, codeBadRequest, "parse body: %v", err)
+	}
+	return nil
 }
 
 // submitResponse is POST /v1/campaigns' body: the job serving the spec
@@ -207,22 +233,22 @@ type submitResponse struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		writeFault(w, faultf(http.StatusBadRequest, codeBadRequest, "read body: %v", err))
 		return
 	}
 	spec, err := campaign.ParseSpec(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var verr *campaign.ValidationError
+		if errors.As(err, &verr) {
+			writeFault(w, verr)
+		} else {
+			writeFault(w, faultf(http.StatusBadRequest, codeBadRequest, "%v", err))
+		}
 		return
 	}
 	view, created, err := s.mgr.Submit(spec)
 	if err != nil {
-		var verr *campaign.ValidationError
-		if errors.As(err, &verr) {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeFault(w, err)
 		return
 	}
 	// A fresh submission queues work (202); a duplicate — joined onto
@@ -236,14 +262,83 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, submitResponse{JobView: view})
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+// JobsPage is GET /v1/jobs' body: one page of jobs in submission
+// order. NextCursor, when non-empty, resumes the listing (also carried
+// in a Link rel="next" header).
+type JobsPage struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
+// RunsPage is GET /v1/runs' body: one page of cached run keys in
+// lexicographic order.
+type RunsPage struct {
+	Runs       []string `json:"runs"`
+	NextCursor string   `json:"next_cursor,omitempty"`
+}
+
+// pageParams parses the shared limit/cursor pagination query.
+func pageParams(r *http.Request, def, max int) (limit int, cursor string, err error) {
+	q := r.URL.Query()
+	limit = def
+	if raw := q.Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 1 {
+			return 0, "", faultf(http.StatusBadRequest, codeBadRequest,
+				"limit must be a positive integer, got %q", raw)
+		}
+		if limit > max {
+			limit = max
+		}
+	}
+	return limit, q.Get("cursor"), nil
+}
+
+// nextLink emits the Link rel="next" header for a follow-up page.
+func nextLink(w http.ResponseWriter, path string, limit int, cursor string, extra url.Values) {
+	q := url.Values{}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	q.Set("limit", strconv.Itoa(limit))
+	q.Set("cursor", cursor)
+	w.Header().Set("Link", fmt.Sprintf("<%s?%s>; rel=\"next\"", path, q.Encode()))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, err := pageParams(r, 100, 1000)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	state := JobState(r.URL.Query().Get("state"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed:
+	default:
+		writeFault(w, faultf(http.StatusBadRequest, codeBadRequest,
+			"unknown state filter %q", state))
+		return
+	}
+	views, next, err := s.mgr.Page(cursor, limit, state)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	if next != "" {
+		extra := url.Values{}
+		if state != "" {
+			extra.Set("state", string(state))
+		}
+		nextLink(w, "/v1/jobs", limit, next, extra)
+	}
+	writeJSON(w, http.StatusOK, JobsPage{Jobs: views, NextCursor: next})
 }
 
 func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (JobView, bool) {
 	view, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		writeFault(w, faultf(http.StatusNotFound, codeJobNotFound,
+			"no such job %q", r.PathValue("id")))
 	}
 	return view, ok
 }
@@ -279,12 +374,12 @@ func (s *Server) finishedKey(w http.ResponseWriter, r *http.Request) (string, bo
 	case JobDone:
 		return view.Key, true
 	case JobFailed:
-		writeError(w, http.StatusBadGateway, fmt.Errorf("job %s failed: %s", view.ID, view.Error))
+		writeFault(w, faultf(http.StatusBadGateway, codeJobFailed,
+			"job %s failed: %s", view.ID, view.Error))
 	default:
-		writeJSON(w, http.StatusConflict, apiError{
-			Error: fmt.Sprintf("job %s is %s (%d/%d shards); retry when done",
-				view.ID, view.State, view.ShardsDone, view.ShardsTotal),
-		})
+		writeFault(w, faultf(http.StatusConflict, codeJobNotDone,
+			"job %s is %s (%d/%d shards); retry when done",
+			view.ID, view.State, view.ShardsDone, view.ShardsTotal))
 	}
 	return "", false
 }
@@ -301,8 +396,30 @@ func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"runs": s.store.Keys()})
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, err := pageParams(r, 100, 1000)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	keys := s.store.Keys()
+	sort.Strings(keys)
+	// Cursor semantics for runs are "strictly after this key"; unlike
+	// job cursors the key need not exist, so a page stays resumable
+	// even if its last run is pruned between requests.
+	start := sort.SearchStrings(keys, cursor)
+	if start < len(keys) && keys[start] == cursor {
+		start++
+	}
+	end := start + limit
+	next := ""
+	if end < len(keys) {
+		next = keys[end-1]
+		nextLink(w, "/v1/runs", limit, next, nil)
+	} else {
+		end = len(keys)
+	}
+	writeJSON(w, http.StatusOK, RunsPage{Runs: keys[start:end], NextCursor: next})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -321,10 +438,10 @@ func (s *Server) serveMeta(w http.ResponseWriter, key string) {
 	meta, err := s.store.Meta(key)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no cached run %q", key))
+			writeFault(w, faultf(http.StatusNotFound, codeRunNotFound, "no cached run %q", key))
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeFault(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, meta)
@@ -334,14 +451,116 @@ func (s *Server) serveDataset(w http.ResponseWriter, key string) {
 	rc, size, err := s.store.OpenDataset(key)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no cached run %q", key))
+			writeFault(w, faultf(http.StatusNotFound, codeRunNotFound, "no cached run %q", key))
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeFault(w, err)
 		return
 	}
 	defer rc.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	_, _ = io.Copy(w, rc) // client disconnects are not server errors
+}
+
+// ClaimRequest is POST /v1/jobs/{id}/shards/claim's body.
+type ClaimRequest struct {
+	// Worker identifies the claiming worker; it labels leases,
+	// journal events and the per-worker shard-duration histogram.
+	Worker string `json:"worker"`
+	// MaxShards bounds the leased batch; zero or negative means 1.
+	MaxShards int `json:"max_shards"`
+}
+
+// leaseRequest is the shared heartbeat/result body: the worker's
+// identity and the lease token it holds for the addressed shard. The
+// result route additionally carries the executed shard.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+	// Result is the executed shard's wire form (result route only).
+	Result *campaign.ShardResultWire `json:"result,omitempty"`
+}
+
+// shardIndex parses the {shard} path segment — the shard's index in
+// the job's canonical plan, as returned by claim.
+func shardIndex(r *http.Request) (int, error) {
+	idx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		return 0, faultf(http.StatusBadRequest, codeBadRequest,
+			"shard must be a plan index, got %q", r.PathValue("shard"))
+	}
+	return idx, nil
+}
+
+func (s *Server) handleShardClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if err := decodeBody(w, r, 1<<20, &req); err != nil {
+		writeFault(w, err)
+		return
+	}
+	if req.Worker == "" {
+		writeFault(w, faultf(http.StatusBadRequest, codeBadRequest, "worker is required"))
+		return
+	}
+	resp, err := s.mgr.Claim(r.PathValue("id"), req.Worker, req.MaxShards)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	if len(resp.Shards) > 0 {
+		s.logger.Info("shards leased", "job", resp.Job, "worker", req.Worker,
+			"shards", len(resp.Shards))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShardHeartbeat(w http.ResponseWriter, r *http.Request) {
+	idx, err := shardIndex(r)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	var req leaseRequest
+	if err := decodeBody(w, r, 1<<20, &req); err != nil {
+		writeFault(w, err)
+		return
+	}
+	resp, err := s.mgr.Heartbeat(r.PathValue("id"), idx, req.Lease)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxResultBytes bounds a shard-result upload. Paper-scale shards are
+// single-digit MiB of JSON; 256 MiB leaves room without letting one
+// request buffer unbounded memory.
+const maxResultBytes = 256 << 20
+
+func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
+	idx, err := shardIndex(r)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	var req leaseRequest
+	if err := decodeBody(w, r, maxResultBytes, &req); err != nil {
+		writeFault(w, err)
+		return
+	}
+	if req.Result == nil {
+		writeFault(w, faultf(http.StatusBadRequest, codeResultInvalid, "result is required"))
+		return
+	}
+	resp, err := s.mgr.ShardResult(r.PathValue("id"), idx, req.Worker, req.Lease, req.Result)
+	if err != nil {
+		writeFault(w, err)
+		return
+	}
+	s.logger.Info("shard result", "job", resp.Job, "shard", idx,
+		"worker", req.Worker, "status", resp.Status,
+		"done", fmt.Sprintf("%d/%d", resp.ShardsDone, resp.ShardsTotal))
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -253,53 +253,61 @@ func TestCacheHit(t *testing.T) {
 	}
 }
 
-// TestMalformedSpec: structured 400s with field-level errors.
+// TestMalformedSpec: structured 400s in the unified envelope, with
+// stable codes and field-level errors.
 func TestMalformedSpec(t *testing.T) {
 	_, ts := newTestServer(t)
 
-	post := func(body string) (int, apiError) {
+	post := func(body string) (int, ErrorBody) {
 		t.Helper()
 		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewBufferString(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var apiErr apiError
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		var envelope ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
 			t.Fatal(err)
 		}
-		return resp.StatusCode, apiErr
+		return resp.StatusCode, envelope
 	}
 
 	// Out-of-vocabulary values: every bad field reported.
-	status, apiErr := post(`{"spec": 1, "scale": "galactic", "scenario": "congested", "workers": -1}`)
+	status, envelope := post(`{"spec": 1, "scale": "galactic", "scenario": "congested", "workers": -1}`)
 	if status != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", status)
 	}
+	if envelope.Error.Code != "spec_invalid" || envelope.Error.Message == "" {
+		t.Fatalf("invalid-spec envelope = %+v", envelope)
+	}
 	fields := map[string]bool{}
-	for _, f := range apiErr.Fields {
+	for _, f := range envelope.Error.Fields {
 		fields[f.Field] = true
 	}
 	for _, want := range []string{"scale", "scenario", "workers"} {
 		if !fields[want] {
-			t.Errorf("field %q missing from error %+v", want, apiErr)
+			t.Errorf("field %q missing from error %+v", want, envelope)
 		}
 	}
 
 	// Unknown field: named in the error, not silently dropped.
-	status, apiErr = post(`{"spec": 1, "scale": "small", "tracez": 5}`)
-	if status != http.StatusBadRequest || len(apiErr.Fields) != 1 || apiErr.Fields[0].Field != "tracez" {
-		t.Fatalf("unknown-field response: %d %+v", status, apiErr)
+	status, envelope = post(`{"spec": 1, "scale": "small", "tracez": 5}`)
+	if status != http.StatusBadRequest || len(envelope.Error.Fields) != 1 ||
+		envelope.Error.Fields[0].Field != "tracez" {
+		t.Fatalf("unknown-field response: %d %+v", status, envelope)
 	}
 
-	// Not JSON at all.
-	if status, _ := post(`this is not json`); status != http.StatusBadRequest {
-		t.Fatalf("non-JSON status = %d, want 400", status)
+	// Not JSON at all: still the envelope, but bad_request — the body
+	// never parsed far enough to be an invalid spec.
+	status, envelope = post(`this is not json`)
+	if status != http.StatusBadRequest || envelope.Error.Code != "bad_request" {
+		t.Fatalf("non-JSON response: %d %+v", status, envelope)
 	}
 
 	// A plan that selects no vantages.
-	if status, _ := post(`{"spec": 1, "scale": "small", "trace_plan": {"Perkins home": 0}}`); status != http.StatusBadRequest {
-		t.Fatalf("empty-plan status = %d, want 400", status)
+	status, envelope = post(`{"spec": 1, "scale": "small", "trace_plan": {"Perkins home": 0}}`)
+	if status != http.StatusBadRequest || envelope.Error.Code != "spec_invalid" {
+		t.Fatalf("empty-plan response: %d %+v", status, envelope)
 	}
 
 	// Nothing should have been queued.

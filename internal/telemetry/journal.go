@@ -48,18 +48,22 @@ const (
 	EventJobJoined
 	EventShardStart
 	EventShardDone
+	EventShardLeased
+	EventLeaseExpired
 )
 
 var eventKindNames = [...]string{
-	EventNone:        "none",
-	EventJobQueued:   "queued",
-	EventJobRunning:  "running",
-	EventJobDone:     "done",
-	EventJobFailed:   "failed",
-	EventJobCacheHit: "cache-hit",
-	EventJobJoined:   "joined",
-	EventShardStart:  "shard-start",
-	EventShardDone:   "shard-done",
+	EventNone:         "none",
+	EventJobQueued:    "queued",
+	EventJobRunning:   "running",
+	EventJobDone:      "done",
+	EventJobFailed:    "failed",
+	EventJobCacheHit:  "cache-hit",
+	EventJobJoined:    "joined",
+	EventShardStart:   "shard-start",
+	EventShardDone:    "shard-done",
+	EventShardLeased:  "shard-leased",
+	EventLeaseExpired: "lease-expired",
 }
 
 // String returns the kind's wire name.

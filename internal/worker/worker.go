@@ -1,0 +1,264 @@
+// Package worker implements the distributed shard executor: a loop
+// that discovers running distributed jobs on a coordinator, leases
+// batches of (vantage, slice) shards over the v1 API, executes them
+// with the local campaign engine against a locally compiled blueprint,
+// and streams results back under heartbeat-extended leases.
+//
+// A worker holds no durable state. Everything it needs arrives in the
+// claim response — the canonical spec (compile the same frozen
+// blueprint any other machine would) and the job's spec hash (stamp
+// uploads for the coordinator's poison guard) — so a worker that
+// crashes is replaced by any other worker re-claiming its lapsed
+// leases, and determinism guarantees the replacement uploads the same
+// bytes the original would have.
+package worker
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/apiclient"
+	"repro/internal/campaign"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one worker run.
+type Config struct {
+	// Client speaks to the coordinator.
+	Client *apiclient.Client
+	// ID names this worker in leases, metrics and journal events.
+	ID string
+	// Batch bounds shards claimed per request. Zero means 2.
+	Batch int
+	// Poll is the idle re-scan interval. Zero means 500ms.
+	Poll time.Duration
+	// Jobs restricts the worker to explicit job IDs; empty discovers
+	// running distributed jobs from the listing.
+	Jobs []string
+	// ExitWhenIdle returns from Run once a scan finds no distributed
+	// work anywhere, instead of polling forever.
+	ExitWhenIdle bool
+	// ExitAfterResults, when positive, abandons the run the moment that
+	// many uploads have been accepted — without finishing or releasing
+	// the rest of the claimed batch. It exists to exercise the
+	// crash/lease-expiry path in tests and the distributed-smoke job.
+	ExitAfterResults int
+	// Logger receives per-shard progress. Nil discards.
+	Logger *slog.Logger
+}
+
+// Stats summarizes one worker run.
+type Stats struct {
+	Claims    int `json:"claims"`
+	Executed  int `json:"executed"`
+	Accepted  int `json:"accepted"`
+	Duplicate int `json:"duplicate"`
+	// Rejected counts uploads the coordinator refused (stale_result,
+	// lease_expired) — work lost to eviction, not an error.
+	Rejected int `json:"rejected"`
+}
+
+// errExitAfterResults signals the deliberate mid-run abandonment that
+// ExitAfterResults requests.
+var errExitAfterResults = fmt.Errorf("worker: exit-after-results reached")
+
+// compiledJob caches the per-spec-hash execution state: one compiled
+// blueprint serves every shard of the job.
+type compiledJob struct {
+	cfg campaign.Config
+	bp  *topology.Blueprint
+}
+
+// Run executes the worker loop until ctx is canceled, the coordinator
+// has no more distributed work (with ExitWhenIdle), or
+// ExitAfterResults fires. The returned stats count this run only.
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.Client == nil {
+		return Stats{}, fmt.Errorf("worker: no coordinator client")
+	}
+	if cfg.ID == "" {
+		return Stats{}, fmt.Errorf("worker: ID is required")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 2
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+
+	var stats Stats
+	compiled := make(map[string]*compiledJob)
+	for {
+		jobs, err := discoverJobs(ctx, cfg)
+		if err != nil {
+			return stats, err
+		}
+		worked := false
+		for _, jobID := range jobs {
+			n, err := workJob(ctx, cfg, logger, jobID, compiled, &stats)
+			if err == errExitAfterResults {
+				return stats, nil
+			}
+			if err != nil {
+				return stats, err
+			}
+			worked = worked || n > 0
+		}
+		if !worked {
+			if cfg.ExitWhenIdle {
+				return stats, nil
+			}
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		}
+		// Claimed and executed something: immediately scan again; more
+		// shards are likely pending.
+		select {
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		default:
+		}
+	}
+}
+
+// discoverJobs resolves the job IDs to work on: the explicit list, or
+// every running distributed job in the (paginated) listing.
+func discoverJobs(ctx context.Context, cfg Config) ([]string, error) {
+	if len(cfg.Jobs) > 0 {
+		return cfg.Jobs, nil
+	}
+	var ids []string
+	cursor := ""
+	for {
+		page, err := cfg.Client.Jobs(ctx, apiclient.JobsOptions{
+			Limit: 200, Cursor: cursor, State: "running",
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range page.Jobs {
+			if j.Spec.Execution == campaign.ExecutionDistributed {
+				ids = append(ids, j.ID)
+			}
+		}
+		if page.NextCursor == "" {
+			return ids, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// workJob claims and executes one batch for one job, returning the
+// number of shards leased to us.
+func workJob(ctx context.Context, cfg Config, logger *slog.Logger, jobID string, compiled map[string]*compiledJob, stats *Stats) (int, error) {
+	claim, err := cfg.Client.Claim(ctx, jobID, cfg.ID, cfg.Batch)
+	if err != nil {
+		// The job may have finished, or be a local-execution job named
+		// explicitly; neither ends the worker.
+		if apiclient.IsCode(err, "job_not_found") || apiclient.IsCode(err, "job_not_distributed") {
+			return 0, nil
+		}
+		return 0, err
+	}
+	stats.Claims++
+	if len(claim.Shards) == 0 {
+		return 0, nil
+	}
+	cj, err := compileFor(claim, compiled)
+	if err != nil {
+		return 0, err
+	}
+	ttl := time.Duration(claim.LeaseTTLSeconds * float64(time.Second))
+	for _, sh := range claim.Shards {
+		if err := executeAndUpload(ctx, cfg, logger, claim, cj, sh, ttl, stats); err != nil {
+			return len(claim.Shards), err
+		}
+	}
+	return len(claim.Shards), nil
+}
+
+// compileFor returns the job's cached execution state, deriving the
+// engine config from the claim's canonical spec and compiling the
+// frozen blueprint on first use.
+func compileFor(claim apiclient.Claim, compiled map[string]*compiledJob) (*compiledJob, error) {
+	if cj, ok := compiled[claim.SpecHash]; ok {
+		return cj, nil
+	}
+	engineCfg, err := claim.Spec.Config()
+	if err != nil {
+		return nil, fmt.Errorf("worker: job %s spec: %w", claim.Job, err)
+	}
+	bp, err := engineCfg.CompileBlueprint()
+	if err != nil {
+		return nil, fmt.Errorf("worker: job %s blueprint: %w", claim.Job, err)
+	}
+	cj := &compiledJob{cfg: engineCfg, bp: bp}
+	compiled[claim.SpecHash] = cj
+	return cj, nil
+}
+
+// executeAndUpload runs one leased shard and uploads its result, with
+// a heartbeat goroutine extending the lease at a third of its TTL
+// while the shard executes.
+func executeAndUpload(ctx context.Context, cfg Config, logger *slog.Logger, claim apiclient.Claim, cj *compiledJob, sh apiclient.ClaimedShard, ttl time.Duration, stats *Stats) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if interval := ttl / 3; interval > 0 {
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-t.C:
+					if _, err := cfg.Client.Heartbeat(hbCtx, claim.Job, sh.Index, cfg.ID, sh.Lease); err != nil {
+						// Lease lost (or job done): stop beating. The
+						// upload path reports the definitive outcome.
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wire, err := campaign.ExecuteShard(cj.cfg, cj.bp, sh.Shard, sh.Slice)
+	if err != nil {
+		return fmt.Errorf("worker: execute shard (%d,%d) of %s: %w", sh.Shard, sh.Slice, claim.Job, err)
+	}
+	stats.Executed++
+	wire.SpecHash = claim.SpecHash
+	stopHB()
+
+	ack, err := cfg.Client.PushShardResult(ctx, claim.Job, sh.Index, cfg.ID, sh.Lease, wire)
+	if err != nil {
+		if apiclient.IsCode(err, "stale_result") || apiclient.IsCode(err, "lease_expired") {
+			stats.Rejected++
+			logger.Info("shard result rejected", "job", claim.Job, "shard", sh.Index, "err", err)
+			return nil
+		}
+		return err
+	}
+	switch ack.Status {
+	case "duplicate":
+		stats.Duplicate++
+	default:
+		stats.Accepted++
+	}
+	logger.Info("shard uploaded", "job", claim.Job, "shard", sh.Index,
+		"status", ack.Status, "done", fmt.Sprintf("%d/%d", ack.ShardsDone, ack.ShardsTotal))
+	if cfg.ExitAfterResults > 0 && stats.Accepted >= cfg.ExitAfterResults {
+		return errExitAfterResults
+	}
+	return nil
+}

@@ -44,7 +44,7 @@ say "reference hash from cmd/determinism (direct engine run)"
 REF_HASH="$(head -n1 "$WORK/determinism.out" | cut -d' ' -f1)"
 say "reference $REF_HASH"
 
-"$WORK/reprod" -addr "$ADDR" -data "$WORK/data" -jobs 1 &
+"$WORK/reprod" serve -addr "$ADDR" -data "$WORK/data" -jobs 1 &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -153,5 +153,22 @@ assert starts > 0 and starts == dones, kinds
 assert all(e["job"] == doc["id"] for e in doc["events"]), doc
 print(f"service-smoke: journal OK ({len(kinds)} events, {starts} shards)")
 ' || { say "FAIL: job events journal wrong"; exit 1; }
+
+say "typed-client companion (reprod run via internal/apiclient)"
+# The same spec through the typed client must be another pure cache
+# hit serving the same bytes, and the decoded report must agree.
+"$WORK/reprod" run -coordinator "$BASE" -spec "$SPEC" -out "$WORK/dataset3.jsonl" \
+    > "$WORK/report3.json" 2>/dev/null
+cmp -s "$WORK/dataset1.jsonl" "$WORK/dataset3.jsonl" \
+    || { say "FAIL: typed client fetched different bytes"; exit 1; }
+CLIENT_HASH="$(jsonval '"dataset_sha256"' < "$WORK/report3.json")"
+[ "$CLIENT_HASH" = "$REF_HASH" ] \
+    || { say "FAIL: typed-client report hash $CLIENT_HASH != $REF_HASH"; exit 1; }
+curl -fsS "$BASE/v1/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["runs_started"] == 1, f"typed-client resubmit re-ran the campaign: {s}"
+assert s["cache_hits"] == 2, s
+' || { say "FAIL: typed-client resubmit was not a cache hit"; exit 1; }
 
 say "OK: dataset over HTTP == cmd/determinism ($REF_HASH); cache hit did not re-simulate; flight recorder live"
