@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke distributed-smoke check
+.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke distributed-smoke crash-smoke check
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_8.json — campaign wall-clock for all three scenarios under both
+# BENCH_9.json — campaign wall-clock for all three scenarios under both
 # cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
 # the phantom/replayed event split) with instrumented twins of the lazy
 # rows (full flight-recorder Metrics attached, for the telemetry
@@ -29,11 +29,12 @@ race:
 # sparse kernels) throughput, pooled AQM CE-mark throughput, pooled
 # packet-build cost, telemetry write path (all with allocs/op), and
 # control-plane rows (cold submit vs direct campaign.Run vs cache hit
-# vs the lease/worker protocol with four in-process workers) — which CI
-# uploads as the perf-trajectory artifact.
+# vs the lease/worker protocol with four in-process workers, with and
+# without the write-ahead journal — the journal-overhead pair) — which
+# CI uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_8.json
+	$(GO) run ./cmd/benchreport -o BENCH_9.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -86,6 +87,14 @@ smoke:
 # expiry/re-issue cycle.
 distributed-smoke:
 	./scripts/distributed_smoke.sh
+
+# crash-smoke kills a real coordinator (exit 137, via the
+# crash-after-journal failpoint) in the middle of a two-worker
+# campaign, restarts it on the same data directory, and requires the
+# drained dataset's SHA-256 to equal cmd/determinism's hash — plus
+# non-zero worker-retry and journal-recovery telemetry.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # perf-gate benchmarks the working tree against PERF_GATE_BASE
 # (default origin/main) and fails on >10% campaign wall-clock

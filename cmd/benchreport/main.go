@@ -1,6 +1,6 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_8.json) as a build artifact, so regressions in campaign
+// output (BENCH_9.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
 // Five metric families:
@@ -32,7 +32,11 @@
 //     same campaign farmed out over the lease/heartbeat worker protocol
 //     to four in-process workers (service/distributed-w4), whose
 //     overhead vs direct is the coordinator round-trip plus
-//     wire-serialization cost of distribution.
+//     wire-serialization cost of distribution. The distributed shape
+//     runs twice — with the write-ahead journal (the production
+//     default) and without (service/distributed-w4-nojournal) — and
+//     the journal row carries the fsync cost of crash tolerance as
+//     journal_overhead_vs_nojournal, budgeted under 5%.
 //
 // Campaign knobs come from the shared spec flag surface
 // (campaign.BindSpecFlags): explicit flags > REPRO_* env > the small
@@ -40,7 +44,7 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_8.json] [-seed N] [-traces N] [-scale S]
+//	benchreport [-o BENCH_9.json] [-seed N] [-traces N] [-scale S]
 package main
 
 import (
@@ -118,6 +122,10 @@ type serviceRow struct {
 	// OverheadVsDirect is (row - direct run) / direct run; the job
 	// manager plus HTTP transport should stay under 5%.
 	OverheadVsDirect float64 `json:"overhead_vs_direct,omitempty"`
+	// JournalOverheadVsNoJournal, on the journaled distributed row, is
+	// (journal on - journal off) / journal off: the fsync-before-ack
+	// price of crash tolerance, budgeted under 5%.
+	JournalOverheadVsNoJournal float64 `json:"journal_overhead_vs_nojournal,omitempty"`
 }
 
 type report struct {
@@ -129,7 +137,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_8.json", "output path (- for stdout)")
+	out := flag.String("o", "BENCH_9.json", "output path (- for stdout)")
 	base := campaign.DefaultSpec()
 	base.Scale = "small"
 	base.Traces = 2
@@ -141,7 +149,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	rep := report{Schema: "repro-bench/8", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/9", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
@@ -457,12 +465,19 @@ func benchService(spec campaign.Spec) []serviceRow {
 	cold := timeSubmission(ts.URL, body)
 	hit := timeSubmission(ts.URL, body)
 
-	distributed := benchDistributed(spec, direct)
+	// The distributed pair: the production shape (write-ahead journal
+	// on) against the same fan-out with the journal disabled, isolating
+	// the fsync-before-ack cost of crash tolerance.
+	noJournal := benchDistributed(spec, direct, true)
+	journaled := benchDistributed(spec, direct, false)
+	journaled.JournalOverheadVsNoJournal =
+		(journaled.WallSeconds - noJournal.WallSeconds) / noJournal.WallSeconds
 	return []serviceRow{
 		{Name: "service/direct-run", WallSeconds: direct},
 		{Name: "service/cold-submit", WallSeconds: cold, OverheadVsDirect: (cold - direct) / direct},
 		{Name: "service/cache-hit", WallSeconds: hit, Cached: true},
-		distributed,
+		journaled,
+		noJournal,
 	}
 }
 
@@ -473,7 +488,7 @@ func benchService(spec campaign.Spec) []serviceRow {
 // shards over HTTP. Overhead vs the direct run is the full cost of
 // distribution at this scale: claim/heartbeat/upload round-trips plus
 // wire serialization and the coordinator's canonical-order merge.
-func benchDistributed(spec campaign.Spec, direct float64) serviceRow {
+func benchDistributed(spec campaign.Spec, direct float64, disableJournal bool) serviceRow {
 	const workers = 4
 	dspec := spec.Normalized()
 	dspec.Execution = campaign.ExecutionDistributed
@@ -483,7 +498,7 @@ func benchDistributed(spec campaign.Spec, direct float64) serviceRow {
 		fatal("distributed: %v", err)
 	}
 	defer os.RemoveAll(dir)
-	srv, err := server.New(server.Config{DataDir: dir, Jobs: 1})
+	srv, err := server.New(server.Config{DataDir: dir, Jobs: 1, DisableJournal: disableJournal})
 	if err != nil {
 		fatal("distributed: %v", err)
 	}
@@ -526,8 +541,12 @@ func benchDistributed(spec campaign.Spec, direct float64) serviceRow {
 		fatal("distributed fetch: %v", err)
 	}
 	wall := time.Since(start).Seconds()
+	name := fmt.Sprintf("service/distributed-w%d", workers)
+	if disableJournal {
+		name += "-nojournal"
+	}
 	return serviceRow{
-		Name:             fmt.Sprintf("service/distributed-w%d", workers),
+		Name:             name,
 		WallSeconds:      wall,
 		OverheadVsDirect: (wall - direct) / direct,
 	}

@@ -44,6 +44,8 @@ func runServe(args []string) {
 		leaseTTL  = fs.Duration("lease-ttl", 30*time.Second, "worker shard-lease TTL")
 		logFormat = fs.String("log-format", "text", "log output format: text or json")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		journal   = fs.Bool("journal", true, "write-ahead journal for distributed jobs (crash recovery)")
+		drainFor  = fs.Duration("drain", 30*time.Second, "graceful-shutdown window for in-flight work")
 	)
 	fs.Parse(args)
 
@@ -60,11 +62,12 @@ func runServe(args []string) {
 	logger := slog.New(handler)
 
 	srv, err := server.New(server.Config{
-		DataDir:     *data,
-		Jobs:        *jobs,
-		LeaseTTL:    *leaseTTL,
-		Logger:      logger,
-		EnablePprof: *pprofOn,
+		DataDir:        *data,
+		Jobs:           *jobs,
+		LeaseTTL:       *leaseTTL,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
+		DisableJournal: !*journal,
 	})
 	if err != nil {
 		logger.Error("startup", "error", err)
@@ -81,8 +84,14 @@ func runServe(args []string) {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		logger.Info("shutting down: draining in-flight campaigns")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// The drain sequence: refuse new submissions and claims (503 +
+		// Retry-After — workers back off instead of erroring) while
+		// in-flight shard uploads land over still-open connections, then
+		// stop the listener, then Close — which finishes local runs and
+		// journals the clean-shutdown marker.
+		logger.Info("shutting down: draining in-flight campaigns", "window", *drainFor)
+		srv.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "error", err)
@@ -90,7 +99,7 @@ func runServe(args []string) {
 	}()
 
 	logger.Info("serving", "addr", *addr, "data", *data, "jobs", *jobs,
-		"lease_ttl", *leaseTTL, "pprof", *pprofOn)
+		"lease_ttl", *leaseTTL, "pprof", *pprofOn, "journal", *journal)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listen", "error", err)
 		os.Exit(1)

@@ -32,6 +32,11 @@ func runWorker(args []string) {
 		exitIdle    = fs.Bool("exit-when-idle", false, "exit once no distributed work remains")
 		exitAfter   = fs.Int("exit-after-results", 0, "abandon the run after N accepted uploads (crash-test hook; 0 = never)")
 		logFormat   = fs.String("log-format", "text", "log output format: text or json")
+		retryMax    = fs.Int("retry-max", 8, "retries per transient coordinator failure")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles, capped)")
+		retryCap    = fs.Duration("retry-cap", 5*time.Second, "retry backoff ceiling")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request coordinator timeout (0 = none)")
+		noGzip      = fs.Bool("no-gzip", false, "upload shard results uncompressed")
 	)
 	var jobIDs stringList
 	fs.Var(&jobIDs, "job", "work only this job ID (repeatable; default discovers running jobs)")
@@ -62,7 +67,7 @@ func runWorker(args []string) {
 
 	logger.Info("worker starting", "coordinator", *coordinator, "id", *id, "batch", *batch)
 	stats, err := worker.Run(ctx, worker.Config{
-		Client:           apiclient.New(*coordinator),
+		Client:           apiclient.New(*coordinator).WithUploadCompression(!*noGzip),
 		ID:               *id,
 		Batch:            *batch,
 		Poll:             *poll,
@@ -70,6 +75,10 @@ func runWorker(args []string) {
 		ExitWhenIdle:     *exitIdle,
 		ExitAfterResults: *exitAfter,
 		Logger:           logger,
+		MaxRetries:       *retryMax,
+		RetryBase:        *retryBase,
+		RetryCap:         *retryCap,
+		RequestTimeout:   *reqTimeout,
 	})
 	out, _ := json.Marshal(stats)
 	fmt.Println(string(out))

@@ -12,8 +12,10 @@ package apiclient
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +32,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// timeout bounds each individual request (WithTimeout); zero means
+	// only the caller's context applies.
+	timeout time.Duration
+	// plainUploads disables gzip on shard-result uploads
+	// (WithUploadCompression(false)); uploads compress by default.
+	plainUploads bool
 }
 
 // New returns a client for the coordinator at base (e.g.
@@ -44,6 +52,25 @@ func NewWithHTTPClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// WithTimeout returns a copy of the client whose every request carries
+// its own deadline on top of the caller's context — the guard that
+// turns a hung coordinator into a retryable error instead of a stuck
+// worker. Zero removes the per-request bound.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cp := *c
+	cp.timeout = d
+	return &cp
+}
+
+// WithUploadCompression returns a copy of the client with gzip
+// shard-result uploads switched on (the default) or off. Off exists
+// for old coordinators and for measuring what compression buys.
+func (c *Client) WithUploadCompression(on bool) *Client {
+	cp := *c
+	cp.plainUploads = !on
+	return &cp
+}
+
 // APIError is any non-2xx response, decoded from the unified error
 // envelope. Code is the stable machine-readable contract; branch on it,
 // not on Message.
@@ -52,10 +79,34 @@ type APIError struct {
 	Code    string
 	Message string
 	Fields  []campaign.FieldError
+	// RetryAfter is the server's back-off hint in seconds (the
+	// Retry-After header on drain/overload rejections); zero when the
+	// server sent none.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("api: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// IsTransient classifies an error for retry: true means a later,
+// identical request may succeed and the server's idempotency (dedup,
+// first-writer-wins uploads) makes the re-send safe. API errors are
+// transient iff server-side (5xx — unavailable, queue_full, internal);
+// every 4xx is a fact about the request that retrying cannot change
+// (spec_invalid, stale_result, lease_expired, ...). Anything that
+// never became an HTTP response — severed connections, timeouts, DNS —
+// is the ambiguous case and is transient by design. A canceled caller
+// context is terminal: the caller gave up.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var ae *APIError
+	if asAPIError(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true
 }
 
 // IsCode reports whether err is an APIError carrying the given stable
@@ -133,6 +184,7 @@ type Stats struct {
 	RunsStarted int `json:"runs_started"`
 	RunsFailed  int `json:"runs_failed"`
 	Jobs        int `json:"jobs"`
+	Recovered   int `json:"recovered"`
 }
 
 // Report is a run's stored metadata (GET .../report). Congestion, when
@@ -204,12 +256,44 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 		}
 		body = bytes.NewReader(raw)
 	}
+	return c.send(ctx, method, path, body, "", out)
+}
+
+// doGzip is do with a gzip-compressed request body — the shard-result
+// upload path, where the payload is large repetitive JSON.
+func (c *Client) doGzip(ctx context.Context, method, path string, in, out any) (int, error) {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		return 0, err
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	return c.send(ctx, method, path, &buf, "gzip", out)
+}
+
+// send issues one request with an optional per-request deadline and
+// optional Content-Encoding, decoding errors and output like do.
+func (c *Client) send(ctx context.Context, method, path string, body io.Reader, encoding string, out any) (int, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return 0, err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -221,7 +305,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 		return resp.StatusCode, err
 	}
 	if resp.StatusCode >= 400 {
-		return resp.StatusCode, decodeAPIError(resp.StatusCode, raw)
+		return resp.StatusCode, decodeAPIError(resp, raw)
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
@@ -231,7 +315,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 	return resp.StatusCode, nil
 }
 
-func decodeAPIError(status int, raw []byte) error {
+func decodeAPIError(resp *http.Response, raw []byte) error {
+	retryAfter := 0
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		retryAfter, _ = strconv.Atoi(ra)
+	}
 	var envelope struct {
 		Error struct {
 			Code    string                `json:"code"`
@@ -240,14 +328,16 @@ func decodeAPIError(status int, raw []byte) error {
 		} `json:"error"`
 	}
 	if err := json.Unmarshal(raw, &envelope); err != nil || envelope.Error.Code == "" {
-		return &APIError{Status: status, Code: "internal",
-			Message: fmt.Sprintf("unparseable error body: %.200s", raw)}
+		return &APIError{Status: resp.StatusCode, Code: "internal",
+			Message:    fmt.Sprintf("unparseable error body: %.200s", raw),
+			RetryAfter: retryAfter}
 	}
 	return &APIError{
-		Status:  status,
-		Code:    envelope.Error.Code,
-		Message: envelope.Error.Message,
-		Fields:  envelope.Error.Fields,
+		Status:     resp.StatusCode,
+		Code:       envelope.Error.Code,
+		Message:    envelope.Error.Message,
+		Fields:     envelope.Error.Fields,
+		RetryAfter: retryAfter,
 	}
 }
 
@@ -267,7 +357,7 @@ func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode >= 400 {
-		return nil, decodeAPIError(resp.StatusCode, body)
+		return nil, decodeAPIError(resp, body)
 	}
 	return body, nil
 }
@@ -435,15 +525,24 @@ func (c *Client) Heartbeat(ctx context.Context, jobID string, index int, worker,
 	return hb, err
 }
 
-// PushShardResult uploads one executed shard under its lease.
+// PushShardResult uploads one executed shard under its lease. The
+// body is gzip-compressed by default (trace wire payloads are large,
+// repetitive JSON); WithUploadCompression(false) sends it plain. The
+// upload is idempotent — the server's first-writer-wins dedup makes
+// re-sending after an ambiguous failure safe.
 func (c *Client) PushShardResult(ctx context.Context, jobID string, index int, worker, lease string, res *campaign.ShardResultWire) (ResultAck, error) {
 	req := struct {
 		Worker string                    `json:"worker"`
 		Lease  string                    `json:"lease"`
 		Result *campaign.ShardResultWire `json:"result"`
 	}{Worker: worker, Lease: lease, Result: res}
+	path := fmt.Sprintf("/v1/jobs/%s/shards/%d/result", url.PathEscape(jobID), index)
 	var ack ResultAck
-	_, err := c.do(ctx, http.MethodPost,
-		fmt.Sprintf("/v1/jobs/%s/shards/%d/result", url.PathEscape(jobID), index), req, &ack)
+	var err error
+	if c.plainUploads {
+		_, err = c.do(ctx, http.MethodPost, path, req, &ack)
+	} else {
+		_, err = c.doGzip(ctx, http.MethodPost, path, req, &ack)
+	}
 	return ack, err
 }

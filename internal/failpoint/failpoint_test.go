@@ -1,0 +1,58 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// The env-crash path (os.Exit(137)) is exercised end to end by
+// scripts/crash_smoke.sh; in-process tests cover the hook mechanics.
+
+func TestUnarmedPointIsNil(t *testing.T) {
+	if err := Check("nobody.armed:this"); err != nil {
+		t.Fatalf("unarmed point returned %v", err)
+	}
+}
+
+func TestHookFiresAndDisarms(t *testing.T) {
+	boom := errors.New("injected")
+	calls := 0
+	remove := SetHook("test.point:hook", func() error {
+		calls++
+		return boom
+	})
+	if err := Check("test.point:hook"); !errors.Is(err, boom) {
+		t.Fatalf("armed point returned %v, want the hook's error", err)
+	}
+	// Other points stay unarmed.
+	if err := Check("test.other:point"); err != nil {
+		t.Fatalf("unrelated point returned %v", err)
+	}
+	remove()
+	if err := Check("test.point:hook"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1", calls)
+	}
+}
+
+func TestNilReturningHookContinues(t *testing.T) {
+	// A hook may return nil to let execution continue — the one-shot
+	// pattern: fail the first pass, observe the second.
+	fired := false
+	remove := SetHook("test.point:oneshot", func() error {
+		if fired {
+			return nil
+		}
+		fired = true
+		return errors.New("first pass fails")
+	})
+	defer remove()
+	if err := Check("test.point:oneshot"); err == nil {
+		t.Fatal("first pass should fail")
+	}
+	if err := Check("test.point:oneshot"); err != nil {
+		t.Fatalf("second pass returned %v, want nil", err)
+	}
+}

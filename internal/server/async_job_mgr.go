@@ -90,6 +90,10 @@ type Stats struct {
 	RunsStarted int `json:"runs_started"`
 	RunsFailed  int `json:"runs_failed"`
 	Jobs        int `json:"jobs"`
+	// Recovered counts jobs reconstructed from the write-ahead journal
+	// at startup (whatever their recovered state); the crash-smoke CI
+	// job asserts it is non-zero after a mid-campaign kill.
+	Recovered int `json:"recovered"`
 }
 
 type job struct {
@@ -119,6 +123,10 @@ type job struct {
 	leases     []shardLease
 	wires      []*campaign.ShardResultWire
 	finalizing bool
+	// wal is the job's open write-ahead journal (journal.go); nil for
+	// in-process jobs and when journaling is disabled. Appends are
+	// serialized by mgr.mu like the state they shadow.
+	wal *jobWAL
 }
 
 func (j *job) view() JobView {
@@ -159,6 +167,11 @@ type jobMgr struct {
 	now      func() time.Time
 	leaseTTL time.Duration
 
+	// wal is the write-ahead journal directory for distributed jobs;
+	// nil disables journaling (Config.DisableJournal, and benchmarks
+	// that want the no-durability baseline).
+	wal *walDir
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []*job          // submission order, for listing
@@ -167,6 +180,10 @@ type jobMgr struct {
 	nextID  int
 	running int
 	closed  bool
+	// draining rejects new submissions and claims with 503 unavailable
+	// + Retry-After while in-flight shard uploads still land — the
+	// graceful-shutdown window (BeginDrain).
+	draining bool
 	// workerNames interns worker IDs so journal appends can carry a
 	// heap-stable *string without allocating per event.
 	workerNames map[string]*string
@@ -204,7 +221,9 @@ func newJobMgr(store *Store, workers int, met *serverMetrics, logger *slog.Logge
 	return m
 }
 
-// Close stops accepting jobs and waits for in-flight runs to finish.
+// Close stops accepting jobs and waits for in-flight runs to finish,
+// then journals a clean-shutdown marker: the next startup knows this
+// process exited deliberately rather than crashed.
 func (m *jobMgr) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -215,6 +234,72 @@ func (m *jobMgr) Close() {
 	m.mu.Unlock()
 	close(m.queue)
 	m.wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.order {
+		if j.wal != nil {
+			j.wal.close()
+			j.wal = nil
+		}
+	}
+	if m.wal != nil {
+		if err := m.wal.markCleanShutdown(m.now()); err != nil {
+			m.logger.Error("clean-shutdown marker", "error", err)
+		}
+	}
+}
+
+// BeginDrain enters the graceful-shutdown window: new submissions and
+// shard claims are refused with 503 unavailable + Retry-After so
+// workers back off, while heartbeats and in-flight result uploads for
+// existing leases keep landing (and keep being journaled). The caller
+// stops accepting connections and Closes once the window lapses.
+func (m *jobMgr) BeginDrain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.draining = true
+}
+
+// Draining reports whether the drain window is open (healthz).
+func (m *jobMgr) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// drainRetryAfterSeconds is the back-off hint sent with drain-window
+// rejections — long enough for a restart to come back, short enough
+// that workers retry briskly.
+const drainRetryAfterSeconds = 2
+
+// walAppend frames one record into a job's journal, counting journal
+// traffic. A nil j.wal (in-process job, journaling disabled) is a
+// no-op. Callers hold m.mu.
+func (m *jobMgr) walAppend(j *job, rec *walRecord) error {
+	if j.wal == nil {
+		return nil
+	}
+	n, err := j.wal.append(rec)
+	if err != nil {
+		return err
+	}
+	m.met.journalRecords.Inc()
+	m.met.journalBytes.Add(uint64(n))
+	return nil
+}
+
+// walSync makes a job's appended records durable; one call per
+// acknowledged response. Callers hold m.mu.
+func (m *jobMgr) walSync(j *job) error {
+	if j.wal == nil {
+		return nil
+	}
+	if err := j.wal.sync(); err != nil {
+		return err
+	}
+	m.met.journalSyncs.Inc()
+	return nil
 }
 
 // Submit registers a validated spec and returns the job serving it —
@@ -242,6 +327,10 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 	defer m.mu.Unlock()
 	if m.closed {
 		return JobView{}, false, faultf(503, codeUnavailable, "server: job manager is shut down")
+	}
+	if m.draining {
+		return JobView{}, false, faultRetryf(503, codeUnavailable, drainRetryAfterSeconds,
+			"server: draining for shutdown; resubmit shortly")
 	}
 	m.stats.Submitted++
 	m.met.jobsSubmitted.Inc()
@@ -279,6 +368,16 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 		j.started = m.now()
 		j.leases = make([]shardLease, len(j.shards))
 		j.wires = make([]*campaign.ShardResultWire, len(j.shards))
+		// Durability before acceptance: the submission record (canonical
+		// spec + key — everything recovery needs to rebuild the plan) is
+		// fsync'd before the 202 goes out. If the journal cannot take it,
+		// the job is refused — better than accepting work the coordinator
+		// cannot promise to survive.
+		if err := m.openJobWALLocked(j); err != nil {
+			delete(m.jobs, j.id)
+			m.order = m.order[:len(m.order)-1]
+			return JobView{}, false, faultf(500, codeInternal, "%v", err)
+		}
 		m.active[key] = j
 		m.stats.RunsStarted++
 		m.met.jobsStarted.Inc()
@@ -321,6 +420,36 @@ func (m *jobMgr) newJobLocked(key string, spec campaign.Spec, plan []campaign.Sh
 	return j
 }
 
+// openJobWALLocked creates a distributed job's journal and makes its
+// submission record durable. A nil m.wal (journaling disabled) is a
+// no-op. Callers hold m.mu.
+func (m *jobMgr) openJobWALLocked(j *job) error {
+	if m.wal == nil {
+		return nil
+	}
+	specBytes, err := j.spec.Canonical()
+	if err != nil {
+		return fmt.Errorf("server: journal: canonical spec: %w", err)
+	}
+	w, err := m.wal.create(j.id)
+	if err != nil {
+		return err
+	}
+	j.wal = w
+	if err := m.walAppend(j, &walRecord{
+		Type: walSubmit, Job: j.id, Key: j.key, Spec: specBytes, Time: m.now(),
+	}); err == nil {
+		err = m.walSync(j)
+	}
+	if err != nil {
+		j.wal.close()
+		j.wal = nil
+		_ = m.wal.remove(j.id)
+		return err
+	}
+	return nil
+}
+
 // failJob marks a job failed and releases its dedup slot. pool is true
 // when the job occupied a local run-queue worker (in-process
 // execution); distributed jobs never did.
@@ -333,6 +462,16 @@ func (m *jobMgr) failJob(j *job, err error, pool bool) {
 	m.stats.RunsFailed++
 	if pool {
 		m.running--
+	}
+	if j.wal != nil {
+		// The failure is terminal state worth surviving a restart: the
+		// journal keeps its file with a failed record so recovery
+		// re-surfaces the failure instead of re-running a poisoned merge.
+		if werr := m.walAppend(j, &walRecord{Type: walFailed, Error: j.err, Time: m.now()}); werr == nil {
+			_ = m.walSync(j)
+		}
+		j.wal.close()
+		j.wal = nil
 	}
 	m.mu.Unlock()
 	m.met.jobsFailed.Inc()

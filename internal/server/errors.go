@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/campaign"
 )
@@ -57,6 +58,10 @@ type apiFault struct {
 	code   string
 	msg    string
 	fields []campaign.FieldError
+	// retryAfter, when positive, is emitted as a Retry-After header (in
+	// seconds) — the server telling well-behaved workers how long to
+	// back off before re-sending (drain, queue_full).
+	retryAfter int
 }
 
 func (f *apiFault) Error() string { return f.msg }
@@ -66,12 +71,22 @@ func faultf(status int, code, format string, args ...any) *apiFault {
 	return &apiFault{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
+// faultRetryf builds an apiFault that advertises a Retry-After hint.
+func faultRetryf(status int, code string, retryAfter int, format string, args ...any) *apiFault {
+	f := faultf(status, code, format, args...)
+	f.retryAfter = retryAfter
+	return f
+}
+
 // writeFault renders any error in the unified envelope: apiFaults
 // carry their own status and code, spec validation failures are 400
 // spec_invalid with field detail, and anything unclassified is a 500.
 func writeFault(w http.ResponseWriter, err error) {
 	var f *apiFault
 	if errors.As(err, &f) {
+		if f.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(f.retryAfter))
+		}
 		writeJSON(w, f.status, ErrorBody{Error: ErrorDetail{
 			Code: f.code, Message: f.msg, Fields: f.fields,
 		}})

@@ -1,0 +1,99 @@
+package server_test
+
+// Compressed shard-result uploads: the worker gzips its wire payloads
+// by default, the server decodes transparently, and uncompressed
+// uploads keep working — the negotiation is per-request, invisible to
+// the merge, and byte-neutral to the dataset.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestGzipAndIdentityUploadsInterchangeable(t *testing.T) {
+	_, client, _ := newLeaseServer(t)
+	ctx := context.Background()
+
+	job, _, err := client.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := client.Claim(ctx, job.ID, "w1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+
+	// Shard 0 rides the default (gzip) path, the rest go uncompressed;
+	// the server must not care.
+	plain := client.WithUploadCompression(false)
+	for i, sh := range claim.Shards {
+		c := client
+		if i > 0 {
+			c = plain
+		}
+		ack, err := c.PushShardResult(ctx, job.ID, sh.Index, "w1", sh.Lease, wires[sh.Index])
+		if err != nil || ack.Status != "accepted" {
+			t.Fatalf("upload shard %d = %+v, %v", sh.Index, ack, err)
+		}
+	}
+	wantDatasetMatch(t, client, job.ID)
+
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`repro_shard_result_uploads_total{encoding="gzip"} 1`,
+		fmt.Sprintf(`repro_shard_result_uploads_total{encoding="identity"} %d`, len(claim.Shards)-1),
+	} {
+		if !contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestGzipUploadRejectsGarbage: a Content-Encoding: gzip body that is
+// not gzip is a 400 bad_request, not a 500 or a hang.
+func TestGzipUploadRejectsGarbage(t *testing.T) {
+	_, ts, client := startCrashServer(t, t.TempDir(), newFakeClock())
+	ctx := context.Background()
+
+	job, _, err := client.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := client.Claim(ctx, job.ID, "w1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url := fmt.Sprintf("%s/v1/jobs/%s/shards/%d/result", ts.URL, job.ID, claim.Shards[0].Index)
+	req, err := http.NewRequest("POST", url, bytes.NewReader([]byte("this is not gzip")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("garbage gzip upload = %d, want 400", resp.StatusCode)
+	}
+
+	// The shard is still serviceable after the bad upload.
+	wires := execWires(t, distSpec, claim.SpecHash)
+	for _, sh := range claim.Shards {
+		ack, err := client.PushShardResult(ctx, job.ID, sh.Index, "w1", sh.Lease, wires[sh.Index])
+		if err != nil || ack.Status != "accepted" {
+			t.Fatalf("upload after rejected garbage = %+v, %v", ack, err)
+		}
+	}
+	wantDatasetMatch(t, client, job.ID)
+}

@@ -15,6 +15,7 @@ import (
 // whose queue is saturated before submissions start failing.
 type healthResponse struct {
 	Status        string  `json:"status"`
+	Draining      bool    `json:"draining,omitempty"`
 	Version       string  `json:"version,omitempty"`
 	GoVersion     string  `json:"go_version,omitempty"`
 	VCSRevision   string  `json:"vcs_revision,omitempty"`
@@ -83,6 +84,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := http.StatusOK
 	if !resp.StoreWritable || resp.QueueDepth >= maxQueuedJobs {
 		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	if s.mgr.Draining() {
+		// Draining is deliberate unreadiness: load balancers stop
+		// routing, workers back off, in-flight uploads still land.
+		resp.Status = "draining"
+		resp.Draining = true
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)

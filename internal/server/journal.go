@@ -1,0 +1,327 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// The coordinator's write-ahead journal: the durable half of the
+// distributed job state that leases.go keeps in memory. Everything the
+// control plane promises a worker — "your submission is accepted",
+// "your lease is granted", and above all "your shard result is
+// accepted" — is appended to a per-job journal file and fsync'd
+// BEFORE the HTTP response carrying that promise is written. A crashed
+// coordinator therefore owns every acknowledged byte: replaying the
+// journals at startup reconstructs each running distributed job, its
+// accepted-shard set (full ShardResultWire payloads), and its lease
+// table, so only the genuinely pending shards are re-exposed for
+// claiming and no acknowledged work is ever re-executed.
+//
+// Layout: the journal lives beside the content-addressed store fan-out
+// under <data dir>/journal/ — a non-2-hex-char name, so OpenStore's
+// re-index skips it by construction. One append-only file per
+// distributed job:
+//
+//	<data dir>/journal/<jobID>.wal
+//
+// Each record is one line:
+//
+//	w1 <crc32-hex8> <compact JSON>\n
+//
+// where the checksum is CRC-32 (IEEE) of exactly the JSON bytes. The
+// prefix names the format version; the checksum turns "did this line
+// land whole?" into a yes/no question, which is what makes the replay
+// semantics clean:
+//
+//   - A damaged FINAL line is a torn tail — the crash interrupted an
+//     append whose record was never acknowledged (the fsync-before-ack
+//     discipline guarantees this). It is dropped, counted, and the job
+//     still recovers.
+//   - A damaged line with valid records AFTER it is real corruption —
+//     the disk lied. The job is surfaced as failed with code
+//     job_failed; it never panics the coordinator and never merges
+//     doubtful bytes.
+//
+// The journal records only distributed jobs. In-process jobs need no
+// durability: their submission is re-sendable, their run is atomic at
+// the store layer (Put's temp-dir rename), and a crash mid-run simply
+// re-simulates — determinism makes the retry byte-identical.
+//
+// Lifecycle: the journal file is created (submit record, fsync'd)
+// before the 202; grant/expiry records track the lease table (grants
+// fsync'd before the claim response, expiries lazily — they are
+// re-derivable from the clock); each accepted result is fsync'd before
+// its 200 (see shardResultLocked). When the merged run lands in the
+// store the file is deleted — the store entry, itself crash-atomic, is
+// now the durable record. A failed job keeps its journal with a
+// terminal "failed" record so restarts re-surface the failure instead
+// of re-running a poisoned merge.
+
+// walFormatPrefix versions the on-disk line format.
+const walFormatPrefix = "w1"
+
+// walRecord is one journal line. Type discriminates; the other fields
+// are a union over the record types:
+//
+//	submit: job, key, spec (canonical bytes), time
+//	lease:  idx, event ("grant"|"expire"), worker, seq, token, expires
+//	result: idx, worker, token, wire (full shard payload)
+//	failed: error, time
+type walRecord struct {
+	Type string `json:"t"`
+
+	Job  string          `json:"job,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+	Time time.Time       `json:"time,omitzero"`
+
+	Idx     int       `json:"idx,omitempty"`
+	Event   string    `json:"event,omitempty"`
+	Worker  string    `json:"worker,omitempty"`
+	Seq     int       `json:"seq,omitempty"`
+	Token   string    `json:"token,omitempty"`
+	Expires time.Time `json:"expires,omitzero"`
+
+	Wire *campaign.ShardResultWire `json:"wire,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+const (
+	walSubmit = "submit"
+	walLease  = "lease"
+	walResult = "result"
+	walFailed = "failed"
+
+	walGrant  = "grant"
+	walExpire = "expire"
+)
+
+const (
+	walSuffix           = ".wal"
+	cleanShutdownMarker = "clean-shutdown"
+)
+
+// walDir manages the journal directory. It is not itself locked: all
+// mutation happens under mgr.mu (appends) or before serving starts
+// (replay), matching the lease table it shadows.
+type walDir struct {
+	dir string
+}
+
+// openWALDir creates (if needed) the journal directory under the store
+// root.
+func openWALDir(root string) (*walDir, error) {
+	dir := filepath.Join(root, "journal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	return &walDir{dir: dir}, nil
+}
+
+func (d *walDir) path(jobID string) string {
+	return filepath.Join(d.dir, jobID+walSuffix)
+}
+
+// syncDir fsyncs the journal directory so file creations and removals
+// are themselves durable. Best-effort: not every filesystem supports
+// directory fsync, and the record-level fsync already carries the
+// correctness-critical promises.
+func (d *walDir) syncDir() {
+	if f, err := os.Open(d.dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// create opens a fresh journal for a job. Truncating an existing file
+// is deliberate: job IDs restart per-process only above the recovered
+// high-water mark (see recover), so a name collision means a stale
+// file from a deleted job.
+func (d *walDir) create(jobID string) (*jobWAL, error) {
+	f, err := os.OpenFile(d.path(jobID), os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	d.syncDir()
+	return &jobWAL{f: f}, nil
+}
+
+// openAppend reopens a recovered job's journal for continued appends.
+func (d *walDir) openAppend(jobID string) (*jobWAL, error) {
+	f, err := os.OpenFile(d.path(jobID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	return &jobWAL{f: f}, nil
+}
+
+// remove deletes a job's journal (after its run landed in the store,
+// or when a failed job is garbage-collected).
+func (d *walDir) remove(jobID string) error {
+	if err := os.Remove(d.path(jobID)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	d.syncDir()
+	return nil
+}
+
+// jobIDs lists the job IDs with journals on disk, sorted.
+func (d *walDir) jobIDs() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), walSuffix); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// markCleanShutdown journals that this process exited deliberately:
+// leases were drained, nothing was torn. The marker is informational —
+// recovery replays the same way either way — but it lets the next
+// startup log "clean restart" vs "recovering from crash" truthfully.
+func (d *walDir) markCleanShutdown(at time.Time) error {
+	p := filepath.Join(d.dir, cleanShutdownMarker)
+	if err := os.WriteFile(p, []byte(at.UTC().Format(time.RFC3339Nano)+"\n"), 0o644); err != nil {
+		return err
+	}
+	d.syncDir()
+	return nil
+}
+
+// consumeCleanShutdown reports and removes the clean-shutdown marker.
+func (d *walDir) consumeCleanShutdown() bool {
+	p := filepath.Join(d.dir, cleanShutdownMarker)
+	if _, err := os.Stat(p); err != nil {
+		return false
+	}
+	_ = os.Remove(p)
+	d.syncDir()
+	return true
+}
+
+// jobWAL is one job's open journal file. Appends are serialized by
+// mgr.mu, like the in-memory state they shadow.
+type jobWAL struct {
+	f *os.File
+}
+
+// append frames, checksums and writes one record, returning the bytes
+// written. It does NOT sync; callers batch appends and sync once
+// before releasing the promise the records carry.
+func (w *jobWAL) append(rec *walRecord) (int, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("server: journal: marshal %s record: %w", rec.Type, err)
+	}
+	var line bytes.Buffer
+	line.Grow(len(body) + 16)
+	fmt.Fprintf(&line, "%s %08x ", walFormatPrefix, crc32.ChecksumIEEE(body))
+	line.Write(body)
+	line.WriteByte('\n')
+	n, err := w.f.Write(line.Bytes())
+	if err != nil {
+		return n, fmt.Errorf("server: journal: append: %w", err)
+	}
+	return n, nil
+}
+
+// sync makes every append so far durable.
+func (w *jobWAL) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("server: journal: sync: %w", err)
+	}
+	return nil
+}
+
+func (w *jobWAL) close() {
+	if w != nil && w.f != nil {
+		_ = w.f.Close()
+	}
+}
+
+// walReplay is one journal's parsed content.
+type walReplay struct {
+	records []walRecord
+	// tornTail marks a damaged final line: a crash mid-append of a
+	// record nobody was ever promised. Dropped, not fatal.
+	tornTail bool
+	// corrupt is non-nil when a damaged line has valid records after it
+	// — disk corruption, not a torn append. The job must fail.
+	corrupt error
+}
+
+// readWAL parses one job's journal, classifying damage per the
+// torn-tail vs mid-file-corruption rules above.
+func (d *walDir) readWAL(jobID string) (walReplay, error) {
+	data, err := os.ReadFile(d.path(jobID))
+	if err != nil {
+		return walReplay{}, fmt.Errorf("server: journal: %w", err)
+	}
+	var rep walReplay
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue // the split artifact after the final newline (or empty file)
+		}
+		rec, perr := parseWALLine(line)
+		if perr != nil {
+			// Damage is a torn tail iff nothing valid follows it.
+			for _, rest := range lines[i+1:] {
+				if len(rest) > 0 {
+					rep.corrupt = fmt.Errorf("journal %s%s: line %d: %w (valid records follow — mid-file corruption)",
+						jobID, walSuffix, i+1, perr)
+					return rep, nil
+				}
+			}
+			rep.tornTail = true
+			return rep, nil
+		}
+		rep.records = append(rep.records, rec)
+	}
+	return rep, nil
+}
+
+// parseWALLine validates one line's framing and checksum and returns
+// its record.
+func parseWALLine(line []byte) (walRecord, error) {
+	var rec walRecord
+	rest, ok := bytes.CutPrefix(line, []byte(walFormatPrefix+" "))
+	if !ok {
+		return rec, fmt.Errorf("bad frame prefix")
+	}
+	if len(rest) < 9 || rest[8] != ' ' {
+		return rec, fmt.Errorf("bad checksum frame")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(rest[:8]), "%08x", &want); err != nil {
+		return rec, fmt.Errorf("bad checksum: %v", err)
+	}
+	body := rest[9:]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return rec, fmt.Errorf("checksum mismatch: line says %08x, content is %08x", want, got)
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("checksum valid but record unparseable: %v", err)
+	}
+	if rec.Type == "" {
+		return rec, fmt.Errorf("record has no type")
+	}
+	return rec, nil
+}

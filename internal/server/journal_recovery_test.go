@@ -1,0 +1,695 @@
+package server_test
+
+// Crash-recovery tests: every path through the write-ahead journal and
+// the startup replay, driven end to end through the HTTP API. A
+// "crash" abandons the first server instance without Close() — its
+// journal is exactly what a killed process would leave — and a second
+// instance is opened on the same data directory. The shared fake clock
+// survives the restart, so lease expiry across the crash is stepped,
+// never slept for.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/apiclient"
+	"repro/internal/campaign"
+	"repro/internal/dataset"
+	"repro/internal/failpoint"
+	"repro/internal/server"
+)
+
+// startCrashServer opens a coordinator on an existing data directory
+// with the shared fake clock. Unlike newLeaseServer it does NOT
+// register srv.Close as cleanup: tests that simulate a crash abandon
+// the instance (no clean-shutdown marker, journals left as-is) by
+// closing only the listener.
+func startCrashServer(t *testing.T, dir string, fc *fakeClock) (*server.Server, *httptest.Server, *apiclient.Client) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		DataDir:  dir,
+		Jobs:     1,
+		LeaseTTL: 30 * time.Second,
+		Clock:    fc.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, apiclient.New(ts.URL)
+}
+
+// directDataset computes the in-process engine's dataset bytes for
+// distSpec — the byte-identity oracle every recovery must hit.
+func directDataset(t *testing.T) []byte {
+	t.Helper()
+	spec, err := campaign.ParseSpec([]byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, res.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func walPath(dir, jobID string) string {
+	return filepath.Join(dir, "journal", jobID+".wal")
+}
+
+// wantDatasetMatch asserts the job is done and serves exactly the
+// bytes the in-process engine produces.
+func wantDatasetMatch(t *testing.T, client *apiclient.Client, jobID string) {
+	t.Helper()
+	ctx := context.Background()
+	job, err := client.Job(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" || job.ShardsDone != job.ShardsTotal {
+		t.Fatalf("job = state %s done %d/%d, want done", job.State, job.ShardsDone, job.ShardsTotal)
+	}
+	served, err := client.JobDataset(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directDataset(t); !bytes.Equal(served, want) {
+		t.Fatalf("recovered dataset (%d bytes) differs from campaign.Run (%d bytes)",
+			len(served), len(want))
+	}
+}
+
+// TestRecoveryResumesPartialJob is the recovery matrix over how many
+// shard results the crash had already journaled: none, and some. In
+// both cases the restarted coordinator re-exposes exactly the pending
+// shards, the accepted ones are never re-executed, and the final
+// dataset is byte-identical to the in-process engine.
+func TestRecoveryResumesPartialJob(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		accepted func(total int) int
+	}{
+		{"zero-accepted", func(int) int { return 0 }},
+		{"some-accepted", func(total int) int { return total / 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fc := newFakeClock()
+			ctx := context.Background()
+
+			_, ts1, c1 := startCrashServer(t, dir, fc)
+			job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wires := execWires(t, distSpec, claim.SpecHash)
+			n := tc.accepted(len(claim.Shards))
+			for _, sh := range claim.Shards[:n] {
+				if _, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ts1.Close() // crash: no drain, no clean-shutdown marker
+
+			_, _, c2 := startCrashServer(t, dir, fc)
+			st, err := c2.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Recovered != 1 {
+				t.Fatalf("stats.Recovered = %d, want 1", st.Recovered)
+			}
+			got, err := c2.Job(ctx, job.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State != "running" || got.ShardsDone != n {
+				t.Fatalf("recovered job = state %s done %d, want running with %d accepted",
+					got.State, got.ShardsDone, n)
+			}
+
+			// wA's restored leases still cover the pending shards until the
+			// clock passes their pre-crash expiry.
+			empty, err := c2.Claim(ctx, job.ID, "wB", 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(empty.Shards) != 0 {
+				t.Fatalf("claim before lease expiry got %d shards, want 0 (leases restored)",
+					len(empty.Shards))
+			}
+			fc.Advance(31 * time.Second)
+			reclaim, err := c2.Claim(ctx, job.ID, "wB", 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reclaim.Shards) != len(claim.Shards)-n {
+				t.Fatalf("re-exposed %d shards, want the %d pending ones",
+					len(reclaim.Shards), len(claim.Shards)-n)
+			}
+			for _, sh := range reclaim.Shards {
+				ack, err := c2.PushShardResult(ctx, job.ID, sh.Index, "wB", sh.Lease, wires[sh.Index])
+				if err != nil || ack.Status != "accepted" {
+					t.Fatalf("upload shard %d = %+v, %v", sh.Index, ack, err)
+				}
+			}
+			wantDatasetMatch(t, c2, job.ID)
+
+			text, err := c2.MetricsText(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{
+				`repro_recovery_jobs_total{outcome="resumed"} 1`,
+				fmt.Sprintf("repro_recovery_shards_total %d", n),
+			} {
+				if !contains(text, want) {
+					t.Errorf("metrics missing %q", want)
+				}
+			}
+			// The journal is deleted once the merged run files.
+			if _, err := os.Stat(walPath(dir, job.ID)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("journal still present after completed recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryOldTokenAcceptedSeqAdvances: a pre-crash worker still
+// executing can land its upload on the restarted coordinator under its
+// old token, and post-restart re-issues mint tokens strictly above the
+// recovered seq high-water so the old token goes stale the moment the
+// shard is re-leased.
+func TestRecoveryOldTokenAcceptedSeqAdvances(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+	ts1.Close() // crash with every shard leased, none uploaded
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+
+	// The old token is the restored lease: an upload under it lands.
+	first := claim.Shards[0]
+	ack, err := c2.PushShardResult(ctx, job.ID, first.Index, "wA", first.Lease, wires[first.Index])
+	if err != nil || ack.Status != "accepted" {
+		t.Fatalf("pre-crash token upload = %+v, %v", ack, err)
+	}
+
+	// Expire the rest; re-issue to wB. The new tokens must differ from
+	// the journaled ones (seq high-water restored), and the old token is
+	// now stale.
+	fc.Advance(31 * time.Second)
+	reclaim, err := c2.Claim(ctx, job.ID, "wB", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make(map[int]string, len(claim.Shards))
+	for _, sh := range claim.Shards {
+		old[sh.Index] = sh.Lease
+	}
+	for _, sh := range reclaim.Shards {
+		if sh.Lease == old[sh.Index] {
+			t.Fatalf("shard %d re-issued with the pre-crash token %q", sh.Index, sh.Lease)
+		}
+	}
+	stale := reclaim.Shards[0]
+	_, err = c2.PushShardResult(ctx, job.ID, stale.Index, "wA", old[stale.Index], wires[stale.Index])
+	wantCode(t, err, 409, "stale_result")
+
+	for _, sh := range reclaim.Shards {
+		if _, err := c2.PushShardResult(ctx, job.ID, sh.Index, "wB", sh.Lease, wires[sh.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDatasetMatch(t, c2, job.ID)
+}
+
+// TestRecoveryCompletesJournaledMerge: the crash hits after every
+// shard result is journaled but before the merge files in the store
+// (failpoint server.finalize:crash-before-store). The restarted
+// coordinator finishes the merge itself — no worker runs again.
+func TestRecoveryCompletesJournaledMerge(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	remove := failpoint.SetHook(failpoint.FinalizeBeforeStore, func() error {
+		return errors.New("injected: crash before store")
+	})
+	defer remove()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+	for _, sh := range claim.Shards {
+		ack, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index])
+		if err != nil || ack.Status != "accepted" {
+			t.Fatalf("upload shard %d = %+v, %v", sh.Index, ack, err)
+		}
+	}
+	// Every result is acknowledged and journaled, but the merge was cut
+	// down by the failpoint: the job never reached done.
+	mid, err := c1.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.State == "done" {
+		t.Fatal("finalize failpoint did not abort the merge")
+	}
+	ts1.Close()
+	remove()
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	wantDatasetMatch(t, c2, job.ID)
+	text, err := c2.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(text, `repro_recovery_jobs_total{outcome="completed"} 1`) {
+		t.Errorf("metrics missing the completed-recovery outcome:\n%s", text)
+	}
+}
+
+// TestRecoveryAlreadyDone: the crash hits between the store's atomic
+// rename and the journal removal, simulated by restoring a pre-merge
+// copy of the journal next to the filed run. Recovery tidies: the job
+// is done, the stale journal is deleted, nothing re-executes.
+func TestRecoveryAlreadyDone(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+	last := len(claim.Shards) - 1
+	for _, sh := range claim.Shards[:last] {
+		if _, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot the journal before the completing upload deletes it.
+	snap, err := os.ReadFile(walPath(dir, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := claim.Shards[last]
+	if _, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index]); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c1.Job(ctx, job.ID)
+	if err != nil || done.State != "done" {
+		t.Fatalf("job = %+v, %v, want done", done, err)
+	}
+	ts1.Close()
+	// The crash window: run filed, journal still on disk.
+	if err := os.WriteFile(walPath(dir, job.ID), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	wantDatasetMatch(t, c2, job.ID)
+	if _, err := os.Stat(walPath(dir, job.ID)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale journal survived already-done recovery: %v", err)
+	}
+	text, err := c2.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(text, `repro_recovery_jobs_total{outcome="already_done"} 1`) {
+		t.Errorf("metrics missing the already-done outcome:\n%s", text)
+	}
+}
+
+// TestRecoveryDuplicateResultRecords: the crash-between-journal-and-ack
+// window. The failpoint kills the request after the result record is
+// fsync'd but before it applies; the worker's idempotent retry appends
+// a second record for the same shard. Replay dedups first-wins — the
+// shard counts once, runs once, and the dataset is unchanged.
+func TestRecoveryDuplicateResultRecords(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+
+	// First upload: journaled, then the failpoint cuts the request down.
+	remove := failpoint.SetHook(failpoint.AcceptResultAfterJournal, func() error {
+		return errors.New("injected: crash after journal append")
+	})
+	first := claim.Shards[0]
+	_, err = c1.PushShardResult(ctx, job.ID, first.Index, "wA", first.Lease, wires[first.Index])
+	wantCode(t, err, 500, "internal")
+	remove()
+
+	// The idempotent retry lands and appends a second result record.
+	ack, err := c1.PushShardResult(ctx, job.ID, first.Index, "wA", first.Lease, wires[first.Index])
+	if err != nil || ack.Status != "accepted" {
+		t.Fatalf("retried upload = %+v, %v", ack, err)
+	}
+	// Leave exactly one shard pending and crash.
+	for _, sh := range claim.Shards[1 : len(claim.Shards)-1] {
+		if _, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts1.Close()
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	got, err := c2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(claim.Shards) - 1; got.ShardsDone != want {
+		t.Fatalf("recovered shardsDone = %d, want %d (duplicate record must count once)",
+			got.ShardsDone, want)
+	}
+	fc.Advance(31 * time.Second)
+	reclaim, err := c2.Claim(ctx, job.ID, "wB", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reclaim.Shards) != 1 {
+		t.Fatalf("re-exposed %d shards, want exactly the 1 pending", len(reclaim.Shards))
+	}
+	sh := reclaim.Shards[0]
+	if _, err := c2.PushShardResult(ctx, job.ID, sh.Index, "wB", sh.Lease, wires[sh.Index]); err != nil {
+		t.Fatal(err)
+	}
+	wantDatasetMatch(t, c2, job.ID)
+}
+
+// TestRecoveryTornTail: a crash mid-append leaves a damaged final line.
+// Nothing torn was ever acknowledged, so the tail is dropped, counted,
+// and the job recovers with every acknowledged shard intact.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+	if _, err := c1.PushShardResult(ctx, job.ID, claim.Shards[0].Index, "wA", claim.Shards[0].Lease, wires[claim.Shards[0].Index]); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// The torn append: a half-written record with no trailing newline.
+	f, err := os.OpenFile(walPath(dir, job.ID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`w1 00000000 {"t":"result","idx":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	got, err := c2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "running" || got.ShardsDone != 1 {
+		t.Fatalf("recovered job = state %s done %d, want running with 1 accepted", got.State, got.ShardsDone)
+	}
+	text, err := c2.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(text, "repro_journal_torn_tails_total 1") {
+		t.Errorf("metrics missing the torn-tail count:\n%s", text)
+	}
+
+	fc.Advance(31 * time.Second)
+	reclaim, err := c2.Claim(ctx, job.ID, "wB", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range reclaim.Shards {
+		if _, err := c2.PushShardResult(ctx, job.ID, sh.Index, "wB", sh.Lease, wires[sh.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDatasetMatch(t, c2, job.ID)
+}
+
+// TestRecoveryMidFileCorruption: a damaged line with valid records
+// after it is disk corruption, not a torn append. The job surfaces as
+// failed — job_failed in the envelope, never a panic, never a merge of
+// doubtful bytes — and the journal stays on disk as evidence.
+func TestRecoveryMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := c1.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+	for _, sh := range claim.Shards[:2] {
+		if _, err := c1.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts1.Close()
+
+	// Flip one byte in the middle of line 2; later lines stay valid.
+	path := walPath(dir, job.ID)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want >= 4", len(lines))
+	}
+	lines[1][len(lines[1])/2] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	got, err := c2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "failed" {
+		t.Fatalf("corrupted job state = %s, want failed", got.State)
+	}
+	_, err = c2.JobDataset(ctx, job.ID)
+	wantCode(t, err, 502, "job_failed")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("corrupt journal must stay on disk as evidence: %v", err)
+	}
+	text, err := c2.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(text, `repro_recovery_jobs_total{outcome="failed"} 1`) {
+		t.Errorf("metrics missing the failed-recovery outcome:\n%s", text)
+	}
+	// A damaged journal never takes the server down: fresh work runs.
+	if _, err := c2.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryTruncatedJournal: a journal truncated to nothing (the
+// submission record itself lost) fails the job cleanly instead of
+// panicking or silently dropping it.
+func TestRecoveryTruncatedJournal(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := os.Truncate(walPath(dir, job.ID), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	got, err := c2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "failed" {
+		t.Fatalf("truncated-journal job state = %s, want failed", got.State)
+	}
+	_, err = c2.JobReport(ctx, job.ID)
+	wantCode(t, err, 502, "job_failed")
+}
+
+// TestRecoveryFreshIDsAboveRecovered: a restarted coordinator must
+// never hand a new job an ID that collides with (and truncates) a
+// recovered journal.
+func TestRecoveryFreshIDsAboveRecovered(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	_, ts1, c1 := startCrashServer(t, dir, fc)
+	job, _, err := c1.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	_, _, c2 := startCrashServer(t, dir, fc)
+	// A different spec (seed differs) so it is a fresh job, not a cache
+	// hit on the recovered one.
+	other := `{"spec": 1, "scale": "small", "traces": 1, "seed": 2016, "stride": 0,
+	  "execution": "distributed"}`
+	fresh, created, err := c2.SubmitRaw(ctx, []byte(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || fresh.ID == job.ID {
+		t.Fatalf("fresh job = %s created %v; must not reuse recovered ID %s", fresh.ID, created, job.ID)
+	}
+}
+
+// TestDrainRejectsNewWorkAcceptsInFlight: the graceful-shutdown
+// half-close. BeginDrain refuses new submissions and claims with 503
+// unavailable + Retry-After, keeps heartbeats and in-flight uploads
+// landing, flips healthz to draining, and Close leaves a clean-shutdown
+// marker the next startup consumes.
+func TestDrainRejectsNewWorkAcceptsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	fc := newFakeClock()
+	ctx := context.Background()
+
+	srv, ts, client := startCrashServer(t, dir, fc)
+	job, _, err := client.SubmitRaw(ctx, []byte(distSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := client.Claim(ctx, job.ID, "wA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := execWires(t, distSpec, claim.SpecHash)
+
+	srv.BeginDrain()
+
+	// New work is refused with the retry hint...
+	_, _, err = client.SubmitRaw(ctx, []byte(`{"spec": 1, "scale": "small", "traces": 1,
+	  "seed": 2017, "stride": 0, "execution": "distributed"}`))
+	wantCode(t, err, 503, "unavailable")
+	var ae *apiclient.APIError
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		t.Fatalf("drain rejection carries no Retry-After: %+v", err)
+	}
+	_, err = client.Claim(ctx, job.ID, "wB", 1000)
+	wantCode(t, err, 503, "unavailable")
+
+	// ...while the in-flight lease stays serviceable end to end.
+	first := claim.Shards[0]
+	if _, err := client.Heartbeat(ctx, job.ID, first.Index, "wA", first.Lease); err != nil {
+		t.Fatalf("heartbeat during drain: %v", err)
+	}
+	for _, sh := range claim.Shards {
+		ack, err := client.PushShardResult(ctx, job.ID, sh.Index, "wA", sh.Lease, wires[sh.Index])
+		if err != nil || ack.Status != "accepted" {
+			t.Fatalf("upload during drain = %+v, %v", ack, err)
+		}
+	}
+	wantDatasetMatch(t, client, job.ID)
+
+	// healthz reports draining with 503 so load balancers rotate out.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	srv.Close()
+	marker := filepath.Join(dir, "journal", "clean-shutdown")
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("clean-shutdown marker not written: %v", err)
+	}
+	_, _, c2 := startCrashServer(t, dir, fc)
+	if _, err := c2.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(marker); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("clean-shutdown marker not consumed on restart: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/failpoint"
 	"repro/internal/telemetry"
 )
 
@@ -142,6 +143,11 @@ func (m *jobMgr) evictLeaseLocked(j *job, i int) {
 	l := &j.leases[i]
 	sh.State = "pending"
 	sh.Worker = ""
+	// Expiry records are appended without an fsync: nothing is promised
+	// to anyone by an eviction, and a lost record merely means recovery
+	// sees the shard as leased with a lapsed deadline — which the first
+	// post-restart claim sweep evicts again.
+	_ = m.walAppend(j, &walRecord{Type: walLease, Idx: i, Event: walExpire, Time: m.now()})
 	m.met.leaseExpiries.Inc()
 	m.met.journal.Append(telemetry.EventLeaseExpired, &j.id,
 		m.internWorkerLocked(l.worker), int32(sh.Shard), int32(sh.Slice))
@@ -161,6 +167,13 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 	j, err := m.distributedJobLocked(jobID)
 	if err != nil {
 		return ClaimResponse{}, err
+	}
+	if m.draining {
+		// The drain window refuses new leases (workers back off per
+		// Retry-After) but keeps accepting heartbeats and uploads for
+		// leases already out — in-flight work lands, nothing new starts.
+		return ClaimResponse{}, faultRetryf(http.StatusServiceUnavailable, codeUnavailable,
+			drainRetryAfterSeconds, "server: draining for shutdown; no new leases")
 	}
 	resp := ClaimResponse{
 		Job:             j.id,
@@ -199,6 +212,29 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 				Lease:     l.token,
 				ExpiresAt: l.expires,
 			})
+		}
+		// Journal the batch's grants — token, seq, holder, deadline —
+		// and sync once before the tokens leave the building. Restoring
+		// grants at recovery keeps the per-shard seq monotonic across
+		// restarts (a re-grant can never mint a token string an earlier
+		// process already handed out) and lets a pre-crash worker's
+		// upload land under its old token instead of re-executing.
+		// Failure here is logged, not fatal: a lost grant record only
+		// costs a post-restart re-execution, never correctness.
+		if len(resp.Shards) > 0 && j.wal != nil {
+			for _, sc := range resp.Shards {
+				if err := m.walAppend(j, &walRecord{
+					Type: walLease, Idx: sc.Index, Event: walGrant, Worker: worker,
+					Seq: j.leases[sc.Index].seq, Token: sc.Lease, Expires: sc.ExpiresAt,
+					Time: now,
+				}); err != nil {
+					m.logger.Error("journal lease grant", "job", j.id, "shard", sc.Index, "error", err)
+					break
+				}
+			}
+			if err := m.walSync(j); err != nil {
+				m.logger.Error("journal lease grants", "job", j.id, "error", err)
+			}
 		}
 	}
 	resp.State = j.state
@@ -312,6 +348,33 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 	// Accept. Note no expiry check: a lapsed lease that was never
 	// evicted is still the shard's current lease, and determinism
 	// makes the slow worker's bytes as good as anyone's.
+	//
+	// WAL discipline: the accept is durable before it is visible. The
+	// full wire payload is journaled and fsync'd here, before any
+	// in-memory state changes and before the 200 — so a crash at any
+	// later instant leaves a coordinator that still owns this result.
+	// A journal failure refuses the upload (500, internal); the worker
+	// retries and the re-journaled duplicate replays first-wins.
+	if j.wal != nil {
+		if err := m.walAppend(j, &walRecord{
+			Type: walResult, Idx: idx, Worker: worker, Token: token, Wire: wire, Time: m.now(),
+		}); err != nil {
+			return ResultResponse{}, false, faultf(http.StatusInternalServerError, codeInternal,
+				"server: journal shard result: %v", err)
+		}
+		if err := m.walSync(j); err != nil {
+			return ResultResponse{}, false, faultf(http.StatusInternalServerError, codeInternal,
+				"server: journal shard result: %v", err)
+		}
+	}
+	if err := failpoint.Check(failpoint.AcceptResultAfterJournal); err != nil {
+		// Hook-simulated crash: the result is journaled but the worker
+		// gets an error instead of its ack — the crash-between-journal-
+		// and-ack window. Its retry appends a duplicate journal record,
+		// which replay deduplicates.
+		return ResultResponse{}, false, faultf(http.StatusInternalServerError, codeInternal,
+			"failpoint %s: %v", failpoint.AcceptResultAfterJournal, err)
+	}
 	j.wires[idx] = wire
 	l.doneToken = token
 	sh.State = "done"
@@ -339,6 +402,14 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 // filing path the in-process runner uses, so the stored artifacts are
 // indistinguishable.
 func (m *jobMgr) finalizeDistributed(j *job) {
+	if err := failpoint.Check(failpoint.FinalizeBeforeStore); err != nil {
+		// Hook-simulated crash between the last accepted shard and the
+		// store write: leave the job exactly as a dead process would —
+		// finalizing latched, journal complete on disk, store entry
+		// absent. Only restart recovery on this data dir finishes it.
+		m.logger.Error("failpoint abort before finalize", "job", j.id, "error", err)
+		return
+	}
 	res, err := campaign.MergeWire(j.wires)
 	if err != nil {
 		m.failJob(j, err, false)
@@ -355,6 +426,15 @@ func (m *jobMgr) finalizeDistributed(j *job) {
 	j.finished = m.now()
 	j.wires = nil // uploaded shard data is merged and filed; release it
 	delete(m.active, j.key)
+	if j.wal != nil {
+		// The crash-atomic store entry is now the durable record; the
+		// journal has nothing left to protect.
+		j.wal.close()
+		j.wal = nil
+		if err := m.wal.remove(j.id); err != nil {
+			m.logger.Error("journal remove", "job", j.id, "error", err)
+		}
+	}
 	m.mu.Unlock()
 	m.met.jobsDone.Inc()
 	m.met.jobsRunning.Add(-1)

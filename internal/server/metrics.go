@@ -43,6 +43,24 @@ type serverMetrics struct {
 	resultsAccepted  *telemetry.Counter
 	resultsDuplicate *telemetry.Counter
 	resultsStale     *telemetry.Counter
+
+	// Crash-tolerance instruments: write-ahead journal traffic, what
+	// restart recovery reconstructed, and upload encodings. The
+	// crash-smoke CI job asserts recovery series are non-zero after a
+	// kill -9 mid-campaign.
+	journalRecords *telemetry.Counter
+	journalBytes   *telemetry.Counter
+	journalSyncs   *telemetry.Counter
+	journalTorn    *telemetry.Counter
+
+	recoveryResumed   *telemetry.Counter
+	recoveryCompleted *telemetry.Counter
+	recoveryDone      *telemetry.Counter
+	recoveryFailed    *telemetry.Counter
+	recoveryShards    *telemetry.Counter
+
+	uploadsGzip     *telemetry.Counter
+	uploadsIdentity *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -95,6 +113,34 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		resultsStale: reg.Counter("repro_shard_results_total",
 			"Shard result uploads, by disposition.",
 			telemetry.Label{Name: "result", Value: "stale"}),
+		journalRecords: reg.Counter("repro_journal_records_total",
+			"Records appended to the coordinator write-ahead journal."),
+		journalBytes: reg.Counter("repro_journal_bytes_total",
+			"Bytes appended to the coordinator write-ahead journal."),
+		journalSyncs: reg.Counter("repro_journal_syncs_total",
+			"Journal fsync batches (one per durably acknowledged response)."),
+		journalTorn: reg.Counter("repro_journal_torn_tails_total",
+			"Torn (crash-interrupted, unacknowledged) journal tail lines dropped at recovery."),
+		recoveryResumed: reg.Counter("repro_recovery_jobs_total",
+			"Distributed jobs reconstructed from the journal at startup, by outcome.",
+			telemetry.Label{Name: "outcome", Value: "resumed"}),
+		recoveryCompleted: reg.Counter("repro_recovery_jobs_total",
+			"Distributed jobs reconstructed from the journal at startup, by outcome.",
+			telemetry.Label{Name: "outcome", Value: "completed"}),
+		recoveryDone: reg.Counter("repro_recovery_jobs_total",
+			"Distributed jobs reconstructed from the journal at startup, by outcome.",
+			telemetry.Label{Name: "outcome", Value: "already_done"}),
+		recoveryFailed: reg.Counter("repro_recovery_jobs_total",
+			"Distributed jobs reconstructed from the journal at startup, by outcome.",
+			telemetry.Label{Name: "outcome", Value: "failed"}),
+		recoveryShards: reg.Counter("repro_recovery_shards_total",
+			"Accepted shard results restored from the journal at startup."),
+		uploadsGzip: reg.Counter("repro_shard_result_uploads_total",
+			"Shard result uploads received, by content encoding.",
+			telemetry.Label{Name: "encoding", Value: "gzip"}),
+		uploadsIdentity: reg.Counter("repro_shard_result_uploads_total",
+			"Shard result uploads received, by content encoding.",
+			telemetry.Label{Name: "encoding", Value: "identity"}),
 	}
 }
 

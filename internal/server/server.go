@@ -43,6 +43,7 @@
 package server
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +55,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
@@ -82,6 +84,11 @@ type Config struct {
 	// driven entirely by this clock, so tests inject a fake and step it
 	// instead of sleeping. Nil means time.Now.
 	Clock func() time.Time
+	// DisableJournal turns off the distributed-job write-ahead journal
+	// (journal.go) and startup recovery. Journaling is on by default —
+	// disabling it exists for the journal-overhead benchmark baseline
+	// and for callers that treat the coordinator as strictly ephemeral.
+	DisableJournal bool
 }
 
 // Server routes the control-plane API. It is an http.Handler; callers
@@ -122,6 +129,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Clock != nil {
 		s.mgr.now = cfg.Clock
+	}
+	if !cfg.DisableJournal {
+		wd, err := openWALDir(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.mgr.wal = wd
+		// Replay before any route is reachable: recovered jobs exist —
+		// with their accepted shards and lease table — from the first
+		// request the restarted coordinator answers.
+		if err := s.mgr.recover(); err != nil {
+			return nil, err
+		}
 	}
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
@@ -193,8 +213,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the job pool; in-flight campaigns finish and are cached.
+// Close drains the job pool; in-flight campaigns finish and are
+// cached, and a clean-shutdown marker is journaled.
 func (s *Server) Close() { s.mgr.Close() }
+
+// BeginDrain opens the graceful-shutdown window: new submissions and
+// shard claims are refused with 503 unavailable + Retry-After,
+// heartbeats and in-flight shard uploads keep landing, and healthz
+// reports "draining". Call on SIGTERM, before the HTTP server stops
+// accepting, then Close.
+func (s *Server) BeginDrain() { s.mgr.BeginDrain() }
 
 // Store exposes the result store (read paths are used by tooling).
 func (s *Server) Store() *Store { return s.store }
@@ -208,16 +236,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // decodeBody reads and unmarshals a bounded JSON request body into v,
-// classifying failures as bad_request faults.
+// classifying failures as bad_request faults. A Content-Encoding: gzip
+// body is decoded transparently (net/http does not decompress request
+// bodies); the byte budget applies to the decompressed stream too, so
+// a compression bomb is a 400, not an allocation.
 func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	var reader io.Reader = http.MaxBytesReader(w, r.Body, limit)
+	if gzipRequest(r) {
+		gz, err := gzip.NewReader(reader)
+		if err != nil {
+			return faultf(http.StatusBadRequest, codeBadRequest, "gzip body: %v", err)
+		}
+		defer gz.Close()
+		reader = io.LimitReader(gz, limit+1)
+	}
+	body, err := io.ReadAll(reader)
 	if err != nil {
 		return faultf(http.StatusBadRequest, codeBadRequest, "read body: %v", err)
+	}
+	if int64(len(body)) > limit {
+		return faultf(http.StatusBadRequest, codeBadRequest,
+			"decompressed body exceeds the %d-byte limit", limit)
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return faultf(http.StatusBadRequest, codeBadRequest, "parse body: %v", err)
 	}
 	return nil
+}
+
+// gzipRequest reports whether the request body is gzip-compressed.
+func gzipRequest(r *http.Request) bool {
+	return strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip")
 }
 
 // submitResponse is POST /v1/campaigns' body: the job serving the spec
@@ -544,6 +593,11 @@ func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeFault(w, err)
 		return
+	}
+	if gzipRequest(r) {
+		s.metrics.uploadsGzip.Inc()
+	} else {
+		s.metrics.uploadsIdentity.Inc()
 	}
 	var req leaseRequest
 	if err := decodeBody(w, r, maxResultBytes, &req); err != nil {

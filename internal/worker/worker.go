@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apiclient"
@@ -47,6 +48,17 @@ type Config struct {
 	ExitAfterResults int
 	// Logger receives per-shard progress. Nil discards.
 	Logger *slog.Logger
+
+	// Resilience knobs (retry.go). MaxRetries bounds transparent
+	// retries of each transient failure (zero means 8); RetryBase and
+	// RetryCap shape the capped exponential backoff (zero means
+	// 100ms/5s); RequestTimeout bounds each coordinator request so a
+	// hung connection becomes a retryable error (zero means no
+	// per-request bound beyond the caller's context).
+	MaxRetries     int
+	RetryBase      time.Duration
+	RetryCap       time.Duration
+	RequestTimeout time.Duration
 }
 
 // Stats summarizes one worker run.
@@ -58,6 +70,14 @@ type Stats struct {
 	// Rejected counts uploads the coordinator refused (stale_result,
 	// lease_expired) — work lost to eviction, not an error.
 	Rejected int `json:"rejected"`
+	// Retries counts transient failures absorbed by backoff-and-retry;
+	// the crash-smoke CI job asserts workers rode through the
+	// coordinator restart by this being non-zero.
+	Retries int `json:"retries"`
+	// Abandoned counts shards executed but never uploaded because the
+	// lease died under them (heartbeat loss) — uploading on a dead
+	// lease would only be rejected as stale.
+	Abandoned int `json:"abandoned"`
 }
 
 // errExitAfterResults signals the deliberate mid-run abandonment that
@@ -87,6 +107,9 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
 	}
+	if cfg.RequestTimeout > 0 {
+		cfg.Client = cfg.Client.WithTimeout(cfg.RequestTimeout)
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -95,7 +118,12 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	var stats Stats
 	compiled := make(map[string]*compiledJob)
 	for {
-		jobs, err := discoverJobs(ctx, cfg)
+		var jobs []string
+		err := retry(ctx, cfg, logger, &stats, "discover", func() error {
+			var derr error
+			jobs, derr = discoverJobs(ctx, cfg)
+			return derr
+		})
 		if err != nil {
 			return stats, err
 		}
@@ -161,7 +189,12 @@ func discoverJobs(ctx context.Context, cfg Config) ([]string, error) {
 // workJob claims and executes one batch for one job, returning the
 // number of shards leased to us.
 func workJob(ctx context.Context, cfg Config, logger *slog.Logger, jobID string, compiled map[string]*compiledJob, stats *Stats) (int, error) {
-	claim, err := cfg.Client.Claim(ctx, jobID, cfg.ID, cfg.Batch)
+	var claim apiclient.Claim
+	err := retry(ctx, cfg, logger, stats, "claim", func() error {
+		var cerr error
+		claim, cerr = cfg.Client.Claim(ctx, jobID, cfg.ID, cfg.Batch)
+		return cerr
+	})
 	if err != nil {
 		// The job may have finished, or be a local-execution job named
 		// explicitly; neither ends the worker.
@@ -209,22 +242,38 @@ func compileFor(claim apiclient.Claim, compiled map[string]*compiledJob) (*compi
 
 // executeAndUpload runs one leased shard and uploads its result, with
 // a heartbeat goroutine extending the lease at a third of its TTL
-// while the shard executes.
+// while the shard executes. The goroutine also watches for lease
+// death: a terminal heartbeat rejection (evicted, superseded, job
+// gone), or a coordinator unreachable for a full TTL — after which the
+// lease has certainly lapsed server-side. Either way the shard is
+// abandoned rather than uploaded: a dead lease's upload would only be
+// rejected as stale, and the shard's next holder re-executes it to the
+// same bytes anyway.
 func executeAndUpload(ctx context.Context, cfg Config, logger *slog.Logger, claim apiclient.Claim, cj *compiledJob, sh apiclient.ClaimedShard, ttl time.Duration, stats *Stats) error {
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
+	var leaseDead atomic.Bool
 	if interval := ttl / 3; interval > 0 {
 		go func() {
 			t := time.NewTicker(interval)
 			defer t.Stop()
+			lastOK := time.Now()
 			for {
 				select {
 				case <-hbCtx.Done():
 					return
 				case <-t.C:
-					if _, err := cfg.Client.Heartbeat(hbCtx, claim.Job, sh.Index, cfg.ID, sh.Lease); err != nil {
-						// Lease lost (or job done): stop beating. The
-						// upload path reports the definitive outcome.
+					_, err := cfg.Client.Heartbeat(hbCtx, claim.Job, sh.Index, cfg.ID, sh.Lease)
+					switch {
+					case err == nil:
+						lastOK = time.Now()
+					case hbCtx.Err() != nil:
+						return // execution finished; the upload path decides
+					case !apiclient.IsTransient(err):
+						leaseDead.Store(true)
+						return
+					case time.Since(lastOK) > ttl:
+						leaseDead.Store(true)
 						return
 					}
 				}
@@ -240,7 +289,22 @@ func executeAndUpload(ctx context.Context, cfg Config, logger *slog.Logger, clai
 	wire.SpecHash = claim.SpecHash
 	stopHB()
 
-	ack, err := cfg.Client.PushShardResult(ctx, claim.Job, sh.Index, cfg.ID, sh.Lease, wire)
+	if leaseDead.Load() {
+		stats.Abandoned++
+		logger.Info("lease died during execution; abandoning shard",
+			"job", claim.Job, "shard", sh.Index)
+		return nil
+	}
+
+	// The upload retries through transient failures: it is idempotent
+	// under the coordinator's first-writer-wins dedup, so the ambiguous
+	// applied-but-unacked case resolves to a harmless "duplicate".
+	var ack apiclient.ResultAck
+	err = retry(ctx, cfg, logger, stats, "upload", func() error {
+		var uerr error
+		ack, uerr = cfg.Client.PushShardResult(ctx, claim.Job, sh.Index, cfg.ID, sh.Lease, wire)
+		return uerr
+	})
 	if err != nil {
 		if apiclient.IsCode(err, "stale_result") || apiclient.IsCode(err, "lease_expired") {
 			stats.Rejected++
