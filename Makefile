@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke distributed-smoke crash-smoke check
+.PHONY: all build test race bench fmt vet lint determinism perf-gate serve smoke distributed-smoke crash-smoke chaos-smoke check
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # Benchmark smoke: one iteration of every benchmark on the small world,
 # exercising the full artefact pipeline (campaign engine, analysis,
 # extensions, ablations) without paper-scale cost. Also writes
-# BENCH_9.json — campaign wall-clock for all three scenarios under both
+# BENCH_10.json — campaign wall-clock for all three scenarios under both
 # cross-traffic drives (lazy replay vs event-per-phantom-boundary, with
 # the phantom/replayed event split) with instrumented twins of the lazy
 # rows (full flight-recorder Metrics attached, for the telemetry
@@ -30,11 +30,14 @@ race:
 # packet-build cost, telemetry write path (all with allocs/op), and
 # control-plane rows (cold submit vs direct campaign.Run vs cache hit
 # vs the lease/worker protocol with four in-process workers, with and
-# without the write-ahead journal — the journal-overhead pair) — which
-# CI uploads as the perf-trajectory artifact.
+# without the write-ahead journal — the journal-overhead pair — and the
+# straggler pair: the same fan-out with a dead two-shard claimant, with
+# straggler speculation on vs off), plus journal-footprint rows
+# (segmented-with-compaction vs single-file, same job) — which CI
+# uploads as the perf-trajectory artifact.
 bench:
 	REPRO_SCALE=small $(GO) test -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchreport -o BENCH_9.json
+	$(GO) run ./cmd/benchreport -o BENCH_10.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -95,6 +98,15 @@ distributed-smoke:
 # non-zero worker-retry and journal-recovery telemetry.
 crash-smoke:
 	./scripts/crash_smoke.sh
+
+# chaos-smoke runs a distributed campaign with one deliberately wedged
+# worker (claims, heartbeats, never executes) and two healthy workers
+# behind the deterministic fault-injecting chaosproxy. The job must
+# complete via straggler speculation, the wedged worker must end up
+# quarantined on /v1/workers, and the dataset's SHA-256 must equal
+# cmd/determinism's hash.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # perf-gate benchmarks the working tree against PERF_GATE_BASE
 # (default origin/main) and fails on >10% campaign wall-clock

@@ -1,6 +1,6 @@
 // Command benchreport measures the repository's performance trajectory
 // and writes it as JSON. CI runs it via `make bench` and uploads the
-// output (BENCH_9.json) as a build artifact, so regressions in campaign
+// output (BENCH_10.json) as a build artifact, so regressions in campaign
 // wall-clock or packet hot-path throughput are visible across PRs.
 //
 // Five metric families:
@@ -36,7 +36,17 @@
 //     runs twice — with the write-ahead journal (the production
 //     default) and without (service/distributed-w4-nojournal) — and
 //     the journal row carries the fsync cost of crash tolerance as
-//     journal_overhead_vs_nojournal, budgeted under 5%.
+//     journal_overhead_vs_nojournal, budgeted under 5%. A second
+//     distributed pair injects a straggler that claims a batch and
+//     dies: with straggler speculation on, healthy workers race
+//     speculative twins of the dead worker's shards and finish early;
+//     with it off, the job waits out the full lease TTL — the pair's
+//     wall-clock gap is what speculation buys;
+//   - journal footprint: the same ≥32-shard distributed job journaled
+//     under the segmented write-ahead log with compaction (the
+//     production default) vs a single never-sealed segment (the
+//     PR 9 layout), with the on-disk byte ratio — the O(pending) vs
+//     O(history) claim, measured.
 //
 // Campaign knobs come from the shared spec flag surface
 // (campaign.BindSpecFlags): explicit flags > REPRO_* env > the small
@@ -44,7 +54,7 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_9.json] [-seed N] [-traces N] [-scale S]
+//	benchreport [-o BENCH_10.json] [-seed N] [-traces N] [-scale S]
 package main
 
 import (
@@ -57,7 +67,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -128,16 +140,28 @@ type serviceRow struct {
 	JournalOverheadVsNoJournal float64 `json:"journal_overhead_vs_nojournal,omitempty"`
 }
 
+// journalRow records one journal layout's on-disk footprint for the
+// same almost-complete distributed job.
+type journalRow struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	Bytes  int64  `json:"bytes"`
+	// RatioVsSingleFile, on the segmented row, is segmented bytes /
+	// single-file bytes; the compaction acceptance keeps it under 0.5.
+	RatioVsSingleFile float64 `json:"ratio_vs_single_file,omitempty"`
+}
+
 type report struct {
 	Schema     string        `json:"schema"`
 	GoMaxProcs int           `json:"go_max_procs"`
 	Campaigns  []campaignRow `json:"campaigns"`
 	HotPaths   []hotPathRow  `json:"hot_paths"`
 	Service    []serviceRow  `json:"service"`
+	Journal    []journalRow  `json:"journal"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_9.json", "output path (- for stdout)")
+	out := flag.String("o", "BENCH_10.json", "output path (- for stdout)")
 	base := campaign.DefaultSpec()
 	base.Scale = "small"
 	base.Traces = 2
@@ -149,7 +173,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	rep := report{Schema: "repro-bench/9", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro-bench/10", GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	// Hot paths run first, in a clean heap: the campaigns below leave
 	// hundreds of megabytes of dataset behind, and measuring
@@ -188,6 +212,10 @@ func main() {
 	// service vs direct through the engine, then resubmitted for the
 	// cache-hit path.
 	rep.Service = benchService(spec)
+
+	// Journal-footprint rows: segmented-with-compaction vs the single
+	// never-sealed segment, same job, byte for byte.
+	rep.Journal = benchJournalFootprint(spec)
 
 	w := os.Stdout
 	if *out != "-" {
@@ -472,13 +500,204 @@ func benchService(spec campaign.Spec) []serviceRow {
 	journaled := benchDistributed(spec, direct, false)
 	journaled.JournalOverheadVsNoJournal =
 		(journaled.WallSeconds - noJournal.WallSeconds) / noJournal.WallSeconds
+
+	// The straggler pair: same fan-out with a worker that claims a
+	// batch and dies. Speculation on, healthy workers race twins of
+	// the dead shards; off, the job waits out the lease TTL.
+	specOn := benchStraggler(spec, direct, true)
+	specOff := benchStraggler(spec, direct, false)
 	return []serviceRow{
 		{Name: "service/direct-run", WallSeconds: direct},
 		{Name: "service/cold-submit", WallSeconds: cold, OverheadVsDirect: (cold - direct) / direct},
 		{Name: "service/cache-hit", WallSeconds: hit, Cached: true},
 		journaled,
 		noJournal,
+		specOn,
+		specOff,
 	}
+}
+
+// benchStraggler farms the campaign out to four workers plus one
+// straggler that claims a two-shard batch and dies without uploading
+// or heartbeating. With speculation on (speculate-after 1.5) the
+// healthy workers are handed speculative twins of the dead shards as
+// soon as the duration history says they straggled; with it off the
+// job stalls until the straggler's leases run out the full TTL. The
+// wall-clock gap between the pair is speculation's straggler-recovery
+// win.
+func benchStraggler(spec campaign.Spec, direct float64, speculateOn bool) serviceRow {
+	const workers = 4
+	const leaseTTL = 3 * time.Second
+	dspec := spec.Normalized()
+	dspec.Execution = campaign.ExecutionDistributed
+
+	dir, err := os.MkdirTemp("", "benchreport-straggler-*")
+	if err != nil {
+		fatal("straggler: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	speculateAfter := 1.5
+	if !speculateOn {
+		speculateAfter = -1
+	}
+	srv, err := server.New(server.Config{
+		DataDir:        dir,
+		Jobs:           1,
+		LeaseTTL:       leaseTTL,
+		SpeculateAfter: speculateAfter,
+	})
+	if err != nil {
+		fatal("straggler: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx := context.Background()
+	client := apiclient.New(ts.URL)
+	start := time.Now()
+	job, _, err := client.Submit(ctx, dspec)
+	if err != nil {
+		fatal("straggler submit: %v", err)
+	}
+	// The straggler: claim two shards, then nothing — no heartbeat, no
+	// upload, no release.
+	if _, err := client.Claim(ctx, job.ID, "bench-straggler", 2); err != nil {
+		fatal("straggler claim: %v", err)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// No ExitWhenIdle: the pool can look empty while the dead
+			// shards wait on speculation or expiry; keep polling until
+			// the job is done and the context is cut.
+			_, _ = worker.Run(wctx, worker.Config{
+				Client: client,
+				ID:     fmt.Sprintf("bench-w%d", i),
+				Batch:  2,
+				Poll:   5 * time.Millisecond,
+			})
+		}(i)
+	}
+	if _, err := client.AwaitJob(ctx, job.ID, 5*time.Millisecond); err != nil {
+		fatal("straggler await: %v", err)
+	}
+	wall := time.Since(start).Seconds()
+	cancel()
+	wg.Wait()
+	name := fmt.Sprintf("service/distributed-w%d-straggler-speculation", workers)
+	if !speculateOn {
+		name = fmt.Sprintf("service/distributed-w%d-straggler-nospeculation", workers)
+	}
+	return serviceRow{
+		Name:             name,
+		WallSeconds:      wall,
+		OverheadVsDirect: (wall - direct) / direct,
+	}
+}
+
+// benchJournalFootprint journals the same almost-complete ≥32-shard
+// distributed job twice — under the segmented layout with compaction
+// (small segment cap, the production mechanism) and as one never-
+// sealed segment (the pre-compaction layout) — and reports the on-disk
+// bytes of each. The job is left one shard short of done so the
+// journal is still alive to measure.
+func benchJournalFootprint(spec campaign.Spec) []journalRow {
+	dspec := spec.Normalized()
+	dspec.Execution = campaign.ExecutionDistributed
+	if dspec.SlicesPerVantage < 3 {
+		dspec.SlicesPerVantage = 3 // 13 vantages × 3 slices ≥ the 32-shard floor
+	}
+	if dspec.Traces < dspec.SlicesPerVantage {
+		dspec.Traces = dspec.SlicesPerVantage
+	}
+
+	run := func(name string, segBytes int64) journalRow {
+		dir, err := os.MkdirTemp("", "benchreport-journal-*")
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		srv, err := server.New(server.Config{
+			DataDir:             dir,
+			Jobs:                1,
+			JournalSegmentBytes: segBytes,
+		})
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+
+		ctx := context.Background()
+		client := apiclient.New(ts.URL)
+		job, _, err := client.Submit(ctx, dspec)
+		if err != nil {
+			fatal("journal submit: %v", err)
+		}
+		claim, err := client.Claim(ctx, job.ID, "bench-journal", job.ShardsTotal)
+		if err != nil {
+			fatal("journal claim: %v", err)
+		}
+		cfg, err := claim.Spec.Config()
+		if err != nil {
+			fatal("journal spec: %v", err)
+		}
+		bp, err := cfg.CompileBlueprint()
+		if err != nil {
+			fatal("journal blueprint: %v", err)
+		}
+		for _, s := range claim.Shards[:len(claim.Shards)-1] {
+			w, err := campaign.ExecuteShard(cfg, bp, s.Shard, s.Slice)
+			if err != nil {
+				fatal("journal shard %d: %v", s.Index, err)
+			}
+			w.SpecHash = claim.SpecHash
+			if _, err := client.PushShardResult(ctx, job.ID, s.Index, "bench-journal", s.Lease, w); err != nil {
+				fatal("journal upload %d: %v", s.Index, err)
+			}
+		}
+		// Compaction is asynchronous: settle on a stable footprint.
+		size := journalBytes(dir, job.ID)
+		for settle := 0; settle < 40; settle++ {
+			time.Sleep(50 * time.Millisecond)
+			if next := journalBytes(dir, job.ID); next != size {
+				size, settle = next, -1
+			}
+		}
+		return journalRow{Name: name, Shards: job.ShardsTotal, Bytes: size}
+	}
+
+	single := run("journal/single-file", 1<<40)
+	segmented := run("journal/segmented", 64<<10)
+	if single.Bytes > 0 {
+		segmented.RatioVsSingleFile = float64(segmented.Bytes) / float64(single.Bytes)
+	}
+	return []journalRow{single, segmented}
+}
+
+// journalBytes sums one job's journal segment sizes under the store's
+// journal directory.
+func journalBytes(dataDir, jobID string) int64 {
+	entries, err := os.ReadDir(filepath.Join(dataDir, "journal"))
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), jobID+".") {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
 }
 
 // benchDistributed farms the same campaign out over the worker

@@ -1,0 +1,58 @@
+package main
+
+// reprod chaosproxy: the internal/chaos fault-injecting proxy as a
+// standalone process, for smoke tests that park real worker processes
+// behind a deterministically hostile network. Faults fire on request
+// counters, never randomness, so a failing chaos-smoke run reproduces
+// exactly.
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func runChaosProxy(args []string) {
+	fs := flag.NewFlagSet("reprod chaosproxy", flag.ExitOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:8071", "proxy listen address")
+		target     = fs.String("target", "http://127.0.0.1:8070", "coordinator base URL to forward to")
+		dropEvery  = fs.Int("drop-every", 0, "sever every Nth request without forwarding (0 disables)")
+		delayEvery = fs.Int("delay-every", 0, "delay every Nth request by -delay (0 disables)")
+		delay      = fs.Duration("delay", 100*time.Millisecond, "delay injected by -delay-every")
+		dupEvery   = fs.Int("dup-every", 0, "forward every Nth request twice (0 disables)")
+	)
+	fs.Parse(args)
+
+	u, err := url.Parse(*target)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		fmt.Fprintf(os.Stderr, "reprod chaosproxy: invalid -target %q\n", *target)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	proxy := &chaos.Proxy{
+		Target:     u,
+		DropEvery:  *dropEvery,
+		DelayEvery: *delayEvery,
+		Delay:      *delay,
+		DupEvery:   *dupEvery,
+	}
+	logger.Info("chaos proxy serving", "listen", *listen, "target", *target,
+		"drop_every", *dropEvery, "delay_every", *delayEvery, "delay", *delay,
+		"dup_every", *dupEvery)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           proxy,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("listen", "error", err)
+		os.Exit(1)
+	}
+}

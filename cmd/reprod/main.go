@@ -1,5 +1,5 @@
 // Command reprod is the distributed campaign toolchain in one binary,
-// split into three subcommands:
+// split into four subcommands:
 //
 //	reprod serve   — the coordinator: the campaign-as-a-service HTTP
 //	                 control plane with the content-addressed run cache
@@ -12,6 +12,10 @@
 //	reprod run     — a client: submit a spec, await the job, and write
 //	                 the merged dataset to a file, whether the
 //	                 coordinator ran it in-process or farmed it out.
+//	reprod chaosproxy — a deterministic fault-injecting proxy for the
+//	                 worker↔coordinator path: drops, delays, and
+//	                 duplicates requests on fixed counters, for smoke
+//	                 tests that must reproduce exactly.
 //
 // Quickstart for a two-machine campaign (see README.md):
 //
@@ -35,7 +39,7 @@ func main() {
 	cmd := "serve"
 	if len(args) > 0 {
 		switch args[0] {
-		case "serve", "worker", "run":
+		case "serve", "worker", "run", "chaosproxy":
 			cmd, args = args[0], args[1:]
 		case "help", "-h", "-help", "--help":
 			usage(os.Stdout)
@@ -56,6 +60,8 @@ func main() {
 		runWorker(args)
 	case "run":
 		runRun(args)
+	case "chaosproxy":
+		runChaosProxy(args)
 	}
 }
 
@@ -63,9 +69,10 @@ func usage(w *os.File) {
 	fmt.Fprint(w, `usage: reprod <command> [flags]
 
 commands:
-  serve    start the coordinator (default when only flags are given)
-  worker   execute leased shards against a coordinator
-  run      submit a spec, await the job, fetch the dataset
+  serve       start the coordinator (default when only flags are given)
+  worker      execute leased shards against a coordinator
+  run         submit a spec, await the job, fetch the dataset
+  chaosproxy  fault-injecting proxy for the worker<->coordinator path
 
 run "reprod <command> -h" for per-command flags.
 `)

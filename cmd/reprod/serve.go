@@ -46,6 +46,10 @@ func runServe(args []string) {
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		journal   = fs.Bool("journal", true, "write-ahead journal for distributed jobs (crash recovery)")
 		drainFor  = fs.Duration("drain", 30*time.Second, "graceful-shutdown window for in-flight work")
+		speculate = fs.Float64("speculate-after", 3.0, "re-expose a leased shard after this multiple of the job's typical shard duration (0 disables straggler speculation)")
+		quarAfter = fs.Int("quarantine-threshold", 3, "wasteful-event strikes before a worker's claims are refused (0 disables quarantine)")
+		segBytes  = fs.Int64("journal-segment-bytes", 1<<20, "journal active-segment cap before a seal-and-compact cycle")
+		maxOpen   = fs.Int("max-open-shards", 4096, "shed new submissions once queued jobs plus running distributed shards reach this watermark (0 disables shedding)")
 	)
 	fs.Parse(args)
 
@@ -61,13 +65,25 @@ func runServe(args []string) {
 	}
 	logger := slog.New(handler)
 
+	// Flag zero means "off"; the Config encodes off as negative (its
+	// zero keeps the server default).
+	disableZero := func(v float64) float64 {
+		if v == 0 {
+			return -1
+		}
+		return v
+	}
 	srv, err := server.New(server.Config{
-		DataDir:        *data,
-		Jobs:           *jobs,
-		LeaseTTL:       *leaseTTL,
-		Logger:         logger,
-		EnablePprof:    *pprofOn,
-		DisableJournal: !*journal,
+		DataDir:             *data,
+		Jobs:                *jobs,
+		LeaseTTL:            *leaseTTL,
+		Logger:              logger,
+		EnablePprof:         *pprofOn,
+		DisableJournal:      !*journal,
+		SpeculateAfter:      disableZero(*speculate),
+		QuarantineThreshold: int(disableZero(float64(*quarAfter))),
+		JournalSegmentBytes: *segBytes,
+		MaxOpenShards:       int(disableZero(float64(*maxOpen))),
 	})
 	if err != nil {
 		logger.Error("startup", "error", err)

@@ -31,6 +31,7 @@ func runWorker(args []string) {
 		poll        = fs.Duration("poll", 500*time.Millisecond, "idle re-scan interval")
 		exitIdle    = fs.Bool("exit-when-idle", false, "exit once no distributed work remains")
 		exitAfter   = fs.Int("exit-after-results", 0, "abandon the run after N accepted uploads (crash-test hook; 0 = never)")
+		wedge       = fs.Bool("wedge", false, "claim batches and heartbeat forever without executing (straggler chaos hook)")
 		logFormat   = fs.String("log-format", "text", "log output format: text or json")
 		retryMax    = fs.Int("retry-max", 8, "retries per transient coordinator failure")
 		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles, capped)")
@@ -74,6 +75,7 @@ func runWorker(args []string) {
 		Jobs:             jobIDs,
 		ExitWhenIdle:     *exitIdle,
 		ExitAfterResults: *exitAfter,
+		WedgeAfterClaim:  *wedge,
 		Logger:           logger,
 		MaxRetries:       *retryMax,
 		RetryBase:        *retryBase,

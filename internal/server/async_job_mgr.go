@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sync"
 	"time"
 
@@ -123,6 +124,16 @@ type job struct {
 	leases     []shardLease
 	wires      []*campaign.ShardResultWire
 	finalizing bool
+	// Shard-duration statistics (seconds) from accepted uploads: the
+	// straggler detector's baseline and the adaptive claim sizer's
+	// input. durEWMA is the smoothed typical duration, durMax the
+	// slowest accepted shard, durCount the sample count.
+	durEWMA  float64
+	durMax   float64
+	durCount int
+	// compacting latches while a checkpoint for this job is queued or
+	// being written, so seals never stack concurrent compactions.
+	compacting bool
 	// wal is the job's open write-ahead journal (journal.go); nil for
 	// in-process jobs and when journaling is disabled. Appends are
 	// serialized by mgr.mu like the state they shadow.
@@ -167,6 +178,15 @@ type jobMgr struct {
 	now      func() time.Time
 	leaseTTL time.Duration
 
+	// Self-healing tunables (see leases.go, workers.go): speculateAfter
+	// is the straggler multiple (≤0 disables speculation), quarThreshold
+	// the scoreboard strike limit (≤0 disables quarantine), and
+	// maxOpenShards the admission watermark over queue depth + running
+	// distributed shards (≤0 disables shedding).
+	speculateAfter float64
+	quarThreshold  int
+	maxOpenShards  int
+
 	// wal is the write-ahead journal directory for distributed jobs;
 	// nil disables journaling (Config.DisableJournal, and benchmarks
 	// that want the no-durability baseline).
@@ -187,9 +207,17 @@ type jobMgr struct {
 	// workerNames interns worker IDs so journal appends can carry a
 	// heap-stable *string without allocating per event.
 	workerNames map[string]*string
+	// workers is the health scoreboard (workers.go), keyed by worker ID.
+	workers map[string]*workerHealth
+	// openShards counts distributed shards submitted but not yet
+	// accepted — the admission watermark's running half.
+	openShards int
 
 	queue chan *job
-	wg    sync.WaitGroup
+	// compactCh feeds the single compactor goroutine (compact.go) the
+	// checkpoint segments reserved by seals.
+	compactCh chan compactReq
+	wg        sync.WaitGroup
 }
 
 // newJobMgr starts a manager draining its queue with `workers`
@@ -199,15 +227,20 @@ func newJobMgr(store *Store, workers int, met *serverMetrics, logger *slog.Logge
 		workers = 1
 	}
 	m := &jobMgr{
-		store:       store,
-		met:         met,
-		logger:      logger,
-		now:         time.Now,
-		leaseTTL:    defaultLeaseTTL,
-		jobs:        make(map[string]*job),
-		active:      make(map[string]*job),
-		workerNames: make(map[string]*string),
-		queue:       make(chan *job, maxQueuedJobs),
+		store:          store,
+		met:            met,
+		logger:         logger,
+		now:            time.Now,
+		leaseTTL:       defaultLeaseTTL,
+		speculateAfter: defaultSpeculateAfter,
+		quarThreshold:  defaultQuarantineThreshold,
+		maxOpenShards:  defaultMaxOpenShards,
+		jobs:           make(map[string]*job),
+		active:         make(map[string]*job),
+		workerNames:    make(map[string]*string),
+		workers:        make(map[string]*workerHealth),
+		queue:          make(chan *job, maxQueuedJobs),
+		compactCh:      make(chan compactReq, maxCompactBacklog),
 	}
 	for w := 0; w < workers; w++ {
 		m.wg.Add(1)
@@ -218,6 +251,13 @@ func newJobMgr(store *Store, workers int, met *serverMetrics, logger *slog.Logge
 			}
 		}()
 	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for req := range m.compactCh {
+			m.compactJob(req)
+		}
+	}()
 	return m
 }
 
@@ -233,6 +273,7 @@ func (m *jobMgr) Close() {
 	m.closed = true
 	m.mu.Unlock()
 	close(m.queue)
+	close(m.compactCh)
 	m.wg.Wait()
 
 	m.mu.Lock()
@@ -358,6 +399,21 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 	}
 	m.met.storeMisses.Inc()
 
+	// Admission watermark — PCN-style early shedding: refuse new work
+	// with 429 + Retry-After while the backlog (queued jobs plus
+	// distributed shards not yet accepted) is past the high-water mark,
+	// instead of queueing until a hard queue_full. Joins and cache hits
+	// were served above — they add no load and are never shed.
+	if m.maxOpenShards > 0 {
+		if load := len(m.queue) + m.openShards; load >= m.maxOpenShards {
+			m.met.submitShed.Inc()
+			return JobView{}, false, faultRetryf(http.StatusTooManyRequests, codeOverloaded,
+				drainRetryAfterSeconds,
+				"server: %d jobs/shards already open (watermark %d); resubmit shortly",
+				load, m.maxOpenShards)
+		}
+	}
+
 	j := m.newJobLocked(key, norm, plan)
 	if norm.Execution == campaign.ExecutionDistributed {
 		// Distributed jobs never enter the local run queue: they are
@@ -379,6 +435,7 @@ func (m *jobMgr) Submit(spec campaign.Spec) (view JobView, created bool, err err
 			return JobView{}, false, faultf(500, codeInternal, "%v", err)
 		}
 		m.active[key] = j
+		m.openShards += len(j.shards)
 		m.stats.RunsStarted++
 		m.met.jobsStarted.Inc()
 		m.met.jobsRunning.Add(1)
@@ -462,6 +519,13 @@ func (m *jobMgr) failJob(j *job, err error, pool bool) {
 	m.stats.RunsFailed++
 	if pool {
 		m.running--
+	}
+	if j.execution == campaign.ExecutionDistributed {
+		// Release the failed job's unaccepted shards from the admission
+		// watermark.
+		if open := len(j.shards) - j.shardsDone; open > 0 && m.openShards >= open {
+			m.openShards -= open
+		}
 	}
 	if j.wal != nil {
 		// The failure is terminal state worth surviving a restart: the

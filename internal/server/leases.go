@@ -37,18 +37,42 @@ import (
 // server config does not override it.
 const defaultLeaseTTL = 30 * time.Second
 
+// defaultSpeculateAfter is the straggler threshold as a multiple of
+// the job's observed typical (EWMA) shard duration, scaled by the
+// straggler's claim batch size (a worker executes its batch serially,
+// so a batch of k legitimately needs ~k typical durations before its
+// last shard even starts). A leased shard is never speculated before
+// the slowest successful shard's duration has passed.
+const defaultSpeculateAfter = 3.0
+
+// durEWMAAlpha weights the newest shard duration into the job's
+// running estimate.
+const durEWMAAlpha = 0.3
+
 // shardLease is one shard's lease slot (meaningful while the shard is
 // "leased", plus the doneToken once it is "done").
 type shardLease struct {
 	token   string
 	worker  string
 	expires time.Time
-	// seq counts issuances for this shard; a grant with seq > 1 is a
-	// re-issue after an eviction.
+	// granted is when the current primary lease was issued and batchN
+	// how many shards were granted alongside it — together the
+	// straggler detector's inputs.
+	granted time.Time
+	batchN  int
+	// seq counts token issuances for this shard (primary and
+	// speculative); a grant with seq > 1 is a re-issue or twin.
 	seq int
 	// doneToken is the token whose upload won the shard; duplicate
 	// uploads presenting it are idempotent successes.
 	doneToken string
+	// Speculative twin lease (straggler re-issue): a second live token
+	// for the same shard, held by a different worker, racing the
+	// primary. Whichever upload lands first wins; determinism makes the
+	// bytes identical either way. Empty specToken means no twin.
+	specToken   string
+	specWorker  string
+	specExpires time.Time
 }
 
 // ShardClaim is one leased shard in a claim response.
@@ -61,6 +85,9 @@ type ShardClaim struct {
 	// and upload; ExpiresAt is its deadline on the coordinator's clock.
 	Lease     string    `json:"lease"`
 	ExpiresAt time.Time `json:"expires_at"`
+	// Speculative marks a straggler re-issue: another worker still
+	// holds a live lease on this shard, and the first upload wins.
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // ClaimResponse is POST /v1/jobs/{id}/shards/claim's body. It carries
@@ -125,33 +152,93 @@ func (m *jobMgr) internWorkerLocked(worker string) *string {
 }
 
 // sweepExpiredLocked evicts every lapsed lease in the job — shards
-// return to "pending" and the eviction is counted and journaled.
+// return to "pending" (or their speculative twin is promoted) and the
+// eviction is counted, journaled, and held against the lapsed worker.
 // Callers hold m.mu.
 func (m *jobMgr) sweepExpiredLocked(j *job, now time.Time) {
 	for i := range j.shards {
 		sh := &j.shards[i]
-		if sh.State != "leased" || j.leases[i].expires.After(now) {
+		if sh.State != "leased" {
 			continue
 		}
-		m.evictLeaseLocked(j, i)
+		l := &j.leases[i]
+		// A lapsed speculative twin expires first, so a dead twin is
+		// never promoted by the primary eviction below.
+		if l.specToken != "" && !l.specExpires.After(now) {
+			m.expireSpecLocked(j, i)
+		}
+		if !l.expires.After(now) {
+			m.evictLeaseLocked(j, i)
+		}
 	}
 }
 
-// evictLeaseLocked returns one leased shard to the pending pool.
+// expireSpecLocked drops one lapsed speculative twin; the primary
+// lease is untouched.
+func (m *jobMgr) expireSpecLocked(j *job, i int) {
+	l := &j.leases[i]
+	_ = m.walAppend(j, &walRecord{Type: walLease, Idx: i, Event: walSpecExpire, Time: m.now()})
+	m.met.leaseExpiries.Inc()
+	m.strikeLocked(l.specWorker, "lease-expiry")
+	m.logger.Info("speculative lease expired", "job", j.id, "shard", i, "worker", l.specWorker)
+	l.specToken, l.specWorker, l.specExpires = "", "", time.Time{}
+}
+
+// evictLeaseLocked removes one shard's lapsed primary lease. With a
+// live speculative twin the twin is promoted to primary — the shard
+// stays leased to the speculating worker; otherwise the shard returns
+// to the pending pool. Either way the lapsed holder takes a strike.
 func (m *jobMgr) evictLeaseLocked(j *job, i int) {
 	sh := &j.shards[i]
 	l := &j.leases[i]
-	sh.State = "pending"
-	sh.Worker = ""
+	expired := l.worker
 	// Expiry records are appended without an fsync: nothing is promised
 	// to anyone by an eviction, and a lost record merely means recovery
 	// sees the shard as leased with a lapsed deadline — which the first
-	// post-restart claim sweep evicts again.
+	// post-restart claim sweep evicts again. Replay mirrors the
+	// promotion below (see replayLocked), so the journal needs no
+	// separate promote record.
 	_ = m.walAppend(j, &walRecord{Type: walLease, Idx: i, Event: walExpire, Time: m.now()})
 	m.met.leaseExpiries.Inc()
 	m.met.journal.Append(telemetry.EventLeaseExpired, &j.id,
-		m.internWorkerLocked(l.worker), int32(sh.Shard), int32(sh.Slice))
-	m.logger.Info("lease expired", "job", j.id, "shard", i, "worker", l.worker)
+		m.internWorkerLocked(expired), int32(sh.Shard), int32(sh.Slice))
+	if l.specToken != "" {
+		l.token, l.worker, l.expires = l.specToken, l.specWorker, l.specExpires
+		l.granted, l.batchN = m.now(), 1
+		l.specToken, l.specWorker, l.specExpires = "", "", time.Time{}
+		sh.Worker = l.worker
+		m.logger.Info("lease expired; speculative twin promoted",
+			"job", j.id, "shard", i, "worker", expired, "promoted", l.worker)
+	} else {
+		sh.State = "pending"
+		sh.Worker = ""
+		m.logger.Info("lease expired", "job", j.id, "shard", i, "worker", expired)
+	}
+	m.strikeLocked(expired, "lease-expiry")
+}
+
+// speculationDueLocked reports whether a leased shard has straggled
+// past the point where re-exposing it is cheaper than waiting: elapsed
+// time since its grant exceeds speculate-after × EWMA × batch size,
+// and also the slowest successful shard so far. Requires at least one
+// completed shard — there is no "typical duration" before that.
+func (m *jobMgr) speculationDueLocked(j *job, i int, now time.Time) bool {
+	if m.speculateAfter <= 0 || j.durCount == 0 || j.durEWMA <= 0 {
+		return false
+	}
+	l := &j.leases[i]
+	if l.granted.IsZero() {
+		return false
+	}
+	batch := l.batchN
+	if batch < 1 {
+		batch = 1
+	}
+	threshold := m.speculateAfter * j.durEWMA * float64(batch)
+	if threshold < j.durMax {
+		threshold = j.durMax
+	}
+	return now.Sub(l.granted).Seconds() > threshold
 }
 
 // Claim leases up to max pending shards of a distributed job to one
@@ -183,8 +270,28 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 	}
 	now := m.now()
 	m.sweepExpiredLocked(j, now)
+	// Health gate AFTER the sweep: strikes the sweep just charged this
+	// worker count against this very claim.
+	if err := m.admitClaimLocked(worker); err != nil {
+		return ClaimResponse{}, err
+	}
 	if j.state == JobRunning {
+		// Adaptive batch sizing: a worker executes its batch serially
+		// while only the executing shard's lease is heartbeat-extended,
+		// so the batch must fit comfortably inside one TTL — slow shards
+		// mean smaller batches, not mid-work expiries.
+		if j.durCount > 0 && j.durEWMA > 0 {
+			limit := int(m.leaseTTL.Seconds() / (2 * j.durEWMA))
+			if limit < 1 {
+				limit = 1
+			}
+			if limit < max {
+				max = limit
+				m.met.claimsCapped.Inc()
+			}
+		}
 		wp := m.internWorkerLocked(worker)
+		var granted []int
 		for i := range j.shards {
 			if len(resp.Shards) == max {
 				break
@@ -198,6 +305,7 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 			l.token = fmt.Sprintf("%s.%d.%d", j.id, i, l.seq)
 			l.worker = worker
 			l.expires = now.Add(m.leaseTTL)
+			l.granted = now
 			sh.State = "leased"
 			sh.Worker = worker
 			m.met.leaseGrants.Inc()
@@ -212,22 +320,69 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 				Lease:     l.token,
 				ExpiresAt: l.expires,
 			})
+			granted = append(granted, i)
+		}
+		for _, i := range granted {
+			j.leases[i].batchN = len(granted)
+		}
+		// Straggler speculation: with the pending pool drained, re-expose
+		// leased shards whose holders have straggled past the threshold.
+		// The primary lease is NOT revoked — this worker races it with a
+		// twin token, first upload wins, and determinism makes either
+		// winner's bytes correct.
+		for i := range j.shards {
+			if len(resp.Shards) == max {
+				break
+			}
+			sh := &j.shards[i]
+			if sh.State != "leased" {
+				continue
+			}
+			l := &j.leases[i]
+			if l.worker == worker || l.specToken != "" || !m.speculationDueLocked(j, i, now) {
+				continue
+			}
+			l.seq++
+			l.specToken = fmt.Sprintf("%s.%d.%d", j.id, i, l.seq)
+			l.specWorker = worker
+			l.specExpires = now.Add(m.leaseTTL)
+			m.met.leaseGrants.Inc()
+			m.met.specIssued.Inc()
+			m.met.journal.Append(telemetry.EventShardLeased, &j.id, wp,
+				int32(sh.Shard), int32(sh.Slice))
+			m.logger.Info("speculative lease issued", "job", j.id, "shard", i,
+				"straggler", l.worker, "speculator", worker)
+			resp.Shards = append(resp.Shards, ShardClaim{
+				Index:       i,
+				ShardInfo:   sh.ShardInfo,
+				Lease:       l.specToken,
+				ExpiresAt:   l.specExpires,
+				Speculative: true,
+			})
 		}
 		// Journal the batch's grants — token, seq, holder, deadline —
 		// and sync once before the tokens leave the building. Restoring
 		// grants at recovery keeps the per-shard seq monotonic across
 		// restarts (a re-grant can never mint a token string an earlier
 		// process already handed out) and lets a pre-crash worker's
-		// upload land under its old token instead of re-executing.
+		// upload land under its old token instead of re-executing;
+		// restoring spec-grants keeps the post-restart race honest (the
+		// original upload still acks "duplicate", never stale).
 		// Failure here is logged, not fatal: a lost grant record only
 		// costs a post-restart re-execution, never correctness.
 		if len(resp.Shards) > 0 && j.wal != nil {
 			for _, sc := range resp.Shards {
-				if err := m.walAppend(j, &walRecord{
+				rec := &walRecord{
 					Type: walLease, Idx: sc.Index, Event: walGrant, Worker: worker,
 					Seq: j.leases[sc.Index].seq, Token: sc.Lease, Expires: sc.ExpiresAt,
 					Time: now,
-				}); err != nil {
+				}
+				if sc.Speculative {
+					rec.Event = walSpecGrant
+				} else {
+					rec.BatchN = j.leases[sc.Index].batchN
+				}
+				if err := m.walAppend(j, rec); err != nil {
 					m.logger.Error("journal lease grant", "job", j.id, "shard", sc.Index, "error", err)
 					break
 				}
@@ -235,6 +390,7 @@ func (m *jobMgr) Claim(jobID, worker string, max int) (ClaimResponse, error) {
 			if err := m.walSync(j); err != nil {
 				m.logger.Error("journal lease grants", "job", j.id, "error", err)
 			}
+			m.maybeSealLocked(j)
 		}
 	}
 	resp.State = j.state
@@ -260,11 +416,23 @@ func (m *jobMgr) Heartbeat(jobID string, idx int, token string) (HeartbeatRespon
 	}
 	sh := &j.shards[idx]
 	l := &j.leases[idx]
-	if sh.State != "leased" || l.token != token {
+	if sh.State != "leased" || (l.token != token && (l.specToken == "" || l.specToken != token)) {
 		return HeartbeatResponse{}, faultf(http.StatusConflict, codeLeaseExpired,
 			"lease is not current for shard %d of job %s", idx, jobID)
 	}
 	now := m.now()
+	if token == l.specToken && l.specToken != "" && token != l.token {
+		// A speculative twin heartbeats its own deadline; the primary's
+		// lease is untouched either way.
+		if !l.specExpires.After(now) {
+			expired := now.Sub(l.specExpires)
+			m.expireSpecLocked(j, idx)
+			return HeartbeatResponse{}, faultf(http.StatusConflict, codeLeaseExpired,
+				"lease for shard %d of job %s expired %s ago", idx, jobID, expired)
+		}
+		l.specExpires = now.Add(m.leaseTTL)
+		return HeartbeatResponse{Job: j.id, Index: idx, ExpiresAt: l.specExpires}, nil
+	}
 	if !l.expires.After(now) {
 		m.evictLeaseLocked(j, idx)
 		return HeartbeatResponse{}, faultf(http.StatusConflict, codeLeaseExpired,
@@ -327,7 +495,12 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 	}
 	resp := ResultResponse{Job: j.id, Index: idx, ShardsTotal: len(j.shards)}
 	if sh.State == "done" {
-		if token != "" && token == l.doneToken {
+		// Idempotent duplicates: the winning token, and either side of a
+		// settled speculation race (the tokens are left in place when the
+		// shard completes exactly so the loser's in-flight upload acks
+		// "duplicate" — its bytes were identical, its work wasted but
+		// harmless).
+		if token != "" && (token == l.doneToken || token == l.token || token == l.specToken) {
 			m.met.resultsDuplicate.Inc()
 			resp.Status = "duplicate"
 			resp.ShardsDone = j.shardsDone
@@ -335,13 +508,16 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 			return resp, false, nil
 		}
 		m.met.resultsStale.Inc()
+		m.strikeLocked(worker, "stale-upload")
 		return ResultResponse{}, false, faultf(http.StatusConflict, codeStaleResult,
 			"shard %d of job %s already has a result from %s", idx, j.id, sh.Worker)
 	}
-	if sh.State != "leased" || l.token != token {
+	speculative := l.specToken != "" && token == l.specToken && token != l.token
+	if sh.State != "leased" || (l.token != token && !speculative) {
 		// Pending (evicted) or leased to a successor: the uploader lost
 		// its lease and someone else owns — or will own — the shard.
 		m.met.resultsStale.Inc()
+		m.strikeLocked(worker, "stale-upload")
 		return ResultResponse{}, false, faultf(http.StatusConflict, codeStaleResult,
 			"lease is not current for shard %d of job %s", idx, j.id)
 	}
@@ -366,6 +542,7 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 			return ResultResponse{}, false, faultf(http.StatusInternalServerError, codeInternal,
 				"server: journal shard result: %v", err)
 		}
+		m.maybeSealLocked(j)
 	}
 	if err := failpoint.Check(failpoint.AcceptResultAfterJournal); err != nil {
 		// Hook-simulated crash: the result is journaled but the worker
@@ -383,6 +560,37 @@ func (m *jobMgr) shardResultLocked(j *job, idx int, worker, token string, wire *
 	sh.ElapsedSeconds = wire.Stats.Elapsed.Seconds()
 	j.shardsDone++
 	j.tracesDone += sh.Traces
+	// Settle the speculation race, if one was open: the winning side's
+	// counter ticks and the loser takes a speculation-loss strike — this
+	// is the signal that catches a wedged-but-heartbeating worker, whose
+	// leases never lapse but whose twins beat every upload.
+	if l.specToken != "" {
+		if speculative {
+			m.met.specWon.Inc()
+			m.strikeLocked(l.worker, "speculation-loss")
+			m.logger.Info("speculation won", "job", j.id, "shard", idx,
+				"winner", worker, "straggler", l.worker)
+		} else {
+			m.met.specWasted.Inc()
+			m.strikeLocked(l.specWorker, "speculation-loss")
+		}
+	}
+	m.creditLocked(worker)
+	// Fold the shard's duration into the job's straggler baseline.
+	if d := wire.Stats.Elapsed.Seconds(); d > 0 {
+		if j.durCount == 0 {
+			j.durEWMA = d
+		} else {
+			j.durEWMA = durEWMAAlpha*d + (1-durEWMAAlpha)*j.durEWMA
+		}
+		if d > j.durMax {
+			j.durMax = d
+		}
+	}
+	j.durCount++
+	if m.openShards > 0 {
+		m.openShards--
+	}
 	m.met.resultsAccepted.Inc()
 	m.met.workerShardSeconds(worker).Observe(wire.Stats.Elapsed.Seconds())
 	m.met.journal.Append(telemetry.EventShardDone, &j.id,

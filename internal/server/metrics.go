@@ -53,6 +53,27 @@ type serverMetrics struct {
 	journalSyncs   *telemetry.Counter
 	journalTorn    *telemetry.Counter
 
+	// Self-healing instruments: straggler speculation dispositions,
+	// worker health-scoreboard transitions, adaptive claim caps, shed
+	// submissions, and journal compaction. The chaos-smoke CI job
+	// asserts speculation and quarantine series are non-zero after a
+	// wedged-worker run.
+	specIssued *telemetry.Counter
+	specWon    *telemetry.Counter
+	specWasted *telemetry.Counter
+
+	workerStrikes      *telemetry.Counter
+	workerQuarantines  *telemetry.Counter
+	workerProbations   *telemetry.Counter
+	workerReadmits     *telemetry.Counter
+	workersQuarantined *telemetry.Gauge
+
+	claimsCapped *telemetry.Counter
+	submitShed   *telemetry.Counter
+
+	journalCompactions     *telemetry.Counter
+	journalCheckpointBytes *telemetry.Counter
+
 	recoveryResumed   *telemetry.Counter
 	recoveryCompleted *telemetry.Counter
 	recoveryDone      *telemetry.Counter
@@ -121,6 +142,37 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"Journal fsync batches (one per durably acknowledged response)."),
 		journalTorn: reg.Counter("repro_journal_torn_tails_total",
 			"Torn (crash-interrupted, unacknowledged) journal tail lines dropped at recovery."),
+		specIssued: reg.Counter("repro_speculation_total",
+			"Straggler speculation events, by event.",
+			telemetry.Label{Name: "event", Value: "issued"}),
+		specWon: reg.Counter("repro_speculation_total",
+			"Straggler speculation events, by event.",
+			telemetry.Label{Name: "event", Value: "won"}),
+		specWasted: reg.Counter("repro_speculation_total",
+			"Straggler speculation events, by event.",
+			telemetry.Label{Name: "event", Value: "wasted"}),
+		workerStrikes: reg.Counter("repro_worker_health_events_total",
+			"Worker health-scoreboard transitions, by event.",
+			telemetry.Label{Name: "event", Value: "strike"}),
+		workerQuarantines: reg.Counter("repro_worker_health_events_total",
+			"Worker health-scoreboard transitions, by event.",
+			telemetry.Label{Name: "event", Value: "quarantine"}),
+		workerProbations: reg.Counter("repro_worker_health_events_total",
+			"Worker health-scoreboard transitions, by event.",
+			telemetry.Label{Name: "event", Value: "probation"}),
+		workerReadmits: reg.Counter("repro_worker_health_events_total",
+			"Worker health-scoreboard transitions, by event.",
+			telemetry.Label{Name: "event", Value: "readmit"}),
+		workersQuarantined: reg.Gauge("repro_workers_quarantined",
+			"Workers currently quarantined by the health scoreboard."),
+		claimsCapped: reg.Counter("repro_claims_capped_total",
+			"Claim batches shrunk by adaptive sizing (observed shard duration vs lease TTL)."),
+		submitShed: reg.Counter("repro_submissions_shed_total",
+			"Submissions refused 429 overloaded by the admission watermark."),
+		journalCompactions: reg.Counter("repro_journal_compactions_total",
+			"Journal checkpoint segments durably written (superseded segments unlinked)."),
+		journalCheckpointBytes: reg.Counter("repro_journal_checkpoint_bytes_total",
+			"Bytes written as journal checkpoint segments."),
 		recoveryResumed: reg.Counter("repro_recovery_jobs_total",
 			"Distributed jobs reconstructed from the journal at startup, by outcome.",
 			telemetry.Label{Name: "outcome", Value: "resumed"}),

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/telemetry"
@@ -44,6 +46,9 @@ func (m *jobMgr) recover() error {
 		return nil
 	}
 	clean := m.wal.consumeCleanShutdown()
+	// A crash before a checkpoint's rename abandons its temp file; the
+	// journal reads correctly without it.
+	m.wal.tidyTemp()
 	ids, err := m.wal.jobIDs()
 	if err != nil {
 		return err
@@ -91,45 +96,79 @@ func (m *jobMgr) recoverJob(id string) (j *job, complete bool, err error) {
 		m.met.journalTorn.Inc()
 		m.logger.Warn("dropped torn journal tail", "job", id)
 	}
+	if len(rep.stale) > 0 {
+		// Segments below the replay base: a renamed checkpoint made them
+		// redundant before the crash could unlink them (the mid-swap
+		// window). Finish the unlink the compactor started.
+		m.logger.Info("tidying segments superseded by checkpoint",
+			"job", id, "segments", len(rep.stale))
+		for _, p := range rep.stale {
+			_ = os.Remove(p)
+		}
+		m.wal.syncDir()
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.bumpNextIDLocked(id)
 
-	// The first record must be this job's submission; it carries the
-	// canonical spec from which the shard plan is rebuilt.
+	// The replay base's first record carries everything the plan rebuild
+	// needs: a submission record (canonical spec) or a checkpoint record
+	// (spec inside the snapshot, plus the summarized state to seed).
 	var (
 		spec campaign.Spec
 		key  string
 		plan []campaign.ShardInfo
+		cp   *cpState
 	)
 	var cause error
-	if len(rep.records) == 0 || rep.records[0].Type != walSubmit || rep.records[0].Job != id {
-		cause = fmt.Errorf("journal truncated: no submission record for %s", id)
-	} else {
-		sub := rep.records[0]
-		parsed, perr := campaign.ParseSpec(sub.Spec)
+	parseSpecPlan := func(raw []byte, what string) {
+		parsed, perr := campaign.ParseSpec(raw)
 		if perr != nil {
-			cause = fmt.Errorf("journal submission record: %w", perr)
+			cause = fmt.Errorf("journal %s record: %w", what, perr)
+			return
+		}
+		spec = parsed.Normalized()
+		cfg, cerr := spec.Config()
+		if cerr != nil {
+			cause = fmt.Errorf("journal %s record: %w", what, cerr)
+			return
+		}
+		plan = cfg.Shards()
+		if key == "" || len(plan) == 0 {
+			cause = fmt.Errorf("journal %s record: empty key or plan", what)
+		}
+	}
+	switch {
+	case len(rep.records) == 0 || rep.records[0].Job != id:
+		cause = fmt.Errorf("journal truncated: no submission record for %s", id)
+	case rep.records[0].Type == walSubmit:
+		key = rep.records[0].Key
+		parseSpecPlan(rep.records[0].Spec, "submission")
+	case rep.records[0].Type == walCheckpoint:
+		st, derr := decodeCheckpoint(rep.records[0].Snap)
+		if derr != nil {
+			cause = fmt.Errorf("journal %s: %w", id, derr)
 		} else {
-			spec = parsed.Normalized()
-			cfg, cerr := spec.Config()
-			if cerr != nil {
-				cause = fmt.Errorf("journal submission record: %w", cerr)
-			} else {
-				key = sub.Key
-				plan = cfg.Shards()
-				if key == "" || len(plan) == 0 {
-					cause = fmt.Errorf("journal submission record: empty key or plan")
-				}
+			cp = st
+			key = st.Key
+			parseSpecPlan(st.Spec, "checkpoint")
+			if cause == nil && len(st.Shards) != len(plan) {
+				cause = fmt.Errorf("journal checkpoint record: %d shards, plan has %d",
+					len(st.Shards), len(plan))
 			}
 		}
+	default:
+		cause = fmt.Errorf("journal truncated: no submission record for %s", id)
 	}
 	if cause == nil && rep.corrupt != nil {
 		cause = rep.corrupt
 	}
 
 	j = m.registerRecoveredLocked(id, key, spec, plan)
+	if cause == nil && cp != nil {
+		m.applyCheckpointLocked(j, cp)
+	}
 	if cause == nil {
 		cause = m.replayLocked(j, rep.records[1:])
 	}
@@ -188,10 +227,50 @@ func (m *jobMgr) recoverJob(id string) (j *job, complete bool, err error) {
 	}
 	// Pending shards will be claimed and executed: this process runs
 	// (part of) a campaign.
+	m.openShards += len(j.shards) - j.shardsDone
 	m.stats.RunsStarted++
 	m.met.jobsStarted.Inc()
 	m.met.recoveryResumed.Inc()
 	return j, false, nil
+}
+
+// applyCheckpointLocked seeds a freshly registered job with a
+// checkpoint's summarized state: shard states, the full lease table
+// (primary and speculative tokens, seq high-water, grant timestamps),
+// accepted wires, and the duration statistics feeding speculation.
+// Tail records replay on top, idempotently. Callers hold m.mu.
+func (m *jobMgr) applyCheckpointLocked(j *job, st *cpState) {
+	j.durEWMA = st.DurEWMA
+	j.durMax = st.DurMax
+	j.durCount = st.DurCount
+	for i := range st.Shards {
+		cs := &st.Shards[i]
+		sh, l := &j.shards[i], &j.leases[i]
+		l.seq = cs.Seq
+		l.token = cs.Token
+		l.worker = cs.Worker
+		l.expires = cs.Expires
+		l.granted = cs.Granted
+		l.batchN = cs.BatchN
+		l.doneToken = cs.DoneToken
+		l.specToken = cs.SpecToken
+		l.specWorker = cs.SpecWorker
+		l.specExpires = cs.SpecExpires
+		switch {
+		case cs.Wire != nil:
+			j.wires[i] = cs.Wire
+			sh.State = "done"
+			sh.Worker = cs.Worker
+			sh.Events = cs.Wire.Stats.Events
+			sh.ElapsedSeconds = cs.Wire.Stats.Elapsed.Seconds()
+			j.shardsDone++
+			j.tracesDone += sh.Traces
+			m.met.recoveryShards.Inc()
+		case cs.State == "leased":
+			sh.State = "leased"
+			sh.Worker = cs.Worker
+		}
+	}
 }
 
 // replayLocked applies the post-submission records to a freshly
@@ -217,12 +296,34 @@ func (m *jobMgr) replayLocked(j *job, recs []walRecord) error {
 				l.token = rec.Token
 				l.worker = rec.Worker
 				l.expires = rec.Expires
+				l.granted = rec.Time
+				l.batchN = rec.BatchN
 				if rec.Seq > l.seq {
 					l.seq = rec.Seq
 				}
 			case walExpire:
-				sh.State = "pending"
-				sh.Worker = ""
+				// Mirror the live eviction (evictLeaseLocked): a live
+				// speculative twin at expiry was promoted to primary, not
+				// returned to the pool.
+				if l.specToken != "" {
+					l.token, l.worker, l.expires = l.specToken, l.specWorker, l.specExpires
+					l.granted, l.batchN = rec.Time, 1
+					l.specToken, l.specWorker, l.specExpires = "", "", time.Time{}
+					sh.Worker = l.worker
+				} else {
+					sh.State = "pending"
+					sh.Worker = ""
+					l.token, l.worker = "", ""
+				}
+			case walSpecGrant:
+				l.specToken = rec.Token
+				l.specWorker = rec.Worker
+				l.specExpires = rec.Expires
+				if rec.Seq > l.seq {
+					l.seq = rec.Seq
+				}
+			case walSpecExpire:
+				l.specToken, l.specWorker, l.specExpires = "", "", time.Time{}
 			}
 		case walResult:
 			if rec.Idx < 0 || rec.Idx >= len(j.shards) {

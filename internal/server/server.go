@@ -16,6 +16,7 @@
 //	GET  /v1/runs                 cached run keys, sorted; limit/cursor pagination
 //	GET  /v1/runs/{key}           one cached run's RunMeta
 //	GET  /v1/runs/{key}/dataset   cached dataset, JSON lines
+//	GET  /v1/workers              worker health scoreboard: states, strikes
 //	GET  /v1/stats                job-manager lifetime counters
 //	GET  /v1/healthz              readiness: build info, store writability, queue depth
 //	GET  /v1/metrics              flight-recorder metrics, Prometheus text format
@@ -89,6 +90,22 @@ type Config struct {
 	// disabling it exists for the journal-overhead benchmark baseline
 	// and for callers that treat the coordinator as strictly ephemeral.
 	DisableJournal bool
+	// SpeculateAfter is the straggler-speculation threshold as a
+	// multiple of the job's observed typical shard duration (leases.go).
+	// Zero means the 3.0 default; negative disables speculation.
+	SpeculateAfter float64
+	// QuarantineThreshold is the worker health scoreboard's strike
+	// limit (workers.go). Zero means the default of 3; negative
+	// disables quarantine.
+	QuarantineThreshold int
+	// JournalSegmentBytes caps the journal's active segment before it
+	// is sealed and compacted (journal.go, compact.go). Zero means the
+	// 1 MiB default.
+	JournalSegmentBytes int64
+	// MaxOpenShards is the submission admission watermark over queued
+	// jobs plus running distributed shards. Zero means the default of
+	// 4096; negative disables shedding.
+	MaxOpenShards int
 }
 
 // Server routes the control-plane API. It is an http.Handler; callers
@@ -130,10 +147,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock != nil {
 		s.mgr.now = cfg.Clock
 	}
+	// Self-healing knobs: zero keeps the default, negative disables.
+	if cfg.SpeculateAfter != 0 {
+		s.mgr.speculateAfter = cfg.SpeculateAfter
+	}
+	if cfg.QuarantineThreshold != 0 {
+		s.mgr.quarThreshold = cfg.QuarantineThreshold
+	}
+	if cfg.MaxOpenShards != 0 {
+		s.mgr.maxOpenShards = cfg.MaxOpenShards
+	}
 	if !cfg.DisableJournal {
 		wd, err := openWALDir(cfg.DataDir)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.JournalSegmentBytes > 0 {
+			wd.segmentCap = cfg.JournalSegmentBytes
 		}
 		s.mgr.wal = wd
 		// Replay before any route is reachable: recovered jobs exist —
@@ -159,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 	handle("GET /v1/runs", s.handleRuns)
 	handle("GET /v1/runs/{key}", s.handleRun)
 	handle("GET /v1/runs/{key}/dataset", s.handleRunDataset)
+	handle("GET /v1/workers", s.handleWorkers)
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/healthz", s.handleHealthz)
 	handle("GET /v1/metrics", s.handleMetrics)
@@ -481,6 +512,14 @@ func (s *Server) handleRunDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.StatsSnapshot())
+}
+
+// handleWorkers serves the worker health scoreboard (workers.go):
+// every worker that ever claimed, its state, and its strike history.
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": s.mgr.WorkersSnapshot(),
+	})
 }
 
 func (s *Server) serveMeta(w http.ResponseWriter, key string) {

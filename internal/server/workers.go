@@ -1,0 +1,204 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+)
+
+// The worker health scoreboard: the control plane's view of which
+// workers are pulling their weight. Every worker that ever claims is
+// tracked with rolling counters of the ways it can waste coordinator
+// work — leases it let expire, uploads rejected as stale, speculation
+// races it lost (the signature of a wedged-but-heartbeating worker:
+// its leases never lapse, but a speculative twin beats every upload).
+// Each such event is a strike; at the threshold the worker is
+// QUARANTINED: its claims are answered 429 worker_quarantined with a
+// Retry-After covering the quarantine window, so it stops draining
+// shards it will not finish. This is the same closed-loop idea the
+// simulated AQM queues apply to packets — detect degradation early,
+// signal the source, shed its load — applied to the control plane
+// itself.
+//
+// State machine:
+//
+//	healthy ──strikes ≥ threshold──▶ quarantined
+//	   ▲                                  │ window lapses
+//	   │                                  ▼
+//	   └──────accepted upload──────── probation
+//
+// Probation re-admits claims but keeps the strike memory: one more
+// strike re-quarantines immediately, one accepted upload clears the
+// record. Accepted uploads also decay strikes for healthy workers, so
+// an occasional expiry in a long run never accumulates to a ban.
+//
+// The scoreboard is deliberately soft state: it is NOT journaled, so a
+// coordinator restart paroles everyone. A genuinely sick worker
+// re-earns its quarantine within one lease TTL; a healthy one is not
+// punished for the coordinator's own crash.
+
+// defaultQuarantineThreshold is the strike count that quarantines a
+// worker when the server config does not override it.
+const defaultQuarantineThreshold = 3
+
+// quarantineWindowTTLs sizes the quarantine window in lease TTLs: long
+// enough for in-flight damage to age out of the lease table, short
+// enough that a recovered worker rejoins within a campaign.
+const quarantineWindowTTLs = 4
+
+// Worker states as exposed by GET /v1/workers.
+const (
+	workerHealthy     = "healthy"
+	workerQuarantined = "quarantined"
+	workerProbation   = "probation"
+)
+
+// workerHealth is one worker's scoreboard entry; guarded by mgr.mu.
+type workerHealth struct {
+	id    string
+	state string
+
+	strikes       int
+	leaseExpiries int
+	staleUploads  int
+	specLosses    int
+
+	claims   int
+	accepted int
+
+	lastSeen time.Time
+	until    time.Time // quarantine end, meaningful while quarantined
+}
+
+// WorkerView is one scoreboard entry as served by GET /v1/workers.
+type WorkerView struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Strikes int    `json:"strikes"`
+
+	LeaseExpiries     int `json:"lease_expiries"`
+	StaleUploads      int `json:"stale_uploads"`
+	SpeculationLosses int `json:"speculation_losses"`
+
+	Claims   int `json:"claims"`
+	Accepted int `json:"accepted"`
+
+	LastSeen         time.Time  `json:"last_seen"`
+	QuarantinedUntil *time.Time `json:"quarantined_until,omitempty"`
+}
+
+// workerLocked returns (creating on demand) a worker's scoreboard
+// entry; callers hold m.mu.
+func (m *jobMgr) workerLocked(id string) *workerHealth {
+	w, ok := m.workers[id]
+	if !ok {
+		w = &workerHealth{id: id, state: workerHealthy}
+		m.workers[id] = w
+	}
+	w.lastSeen = m.now()
+	return w
+}
+
+// strikeLocked records one wasteful event against a worker and
+// quarantines it at the threshold. A strike during probation
+// re-quarantines immediately — the worker had its second chance.
+// Callers hold m.mu.
+func (m *jobMgr) strikeLocked(id, reason string) {
+	if m.quarThreshold <= 0 || id == "" {
+		return
+	}
+	w := m.workerLocked(id)
+	w.strikes++
+	switch reason {
+	case "lease-expiry":
+		w.leaseExpiries++
+	case "stale-upload":
+		w.staleUploads++
+	case "speculation-loss":
+		w.specLosses++
+	}
+	m.met.workerStrikes.Inc()
+	if w.state == workerQuarantined {
+		return
+	}
+	if w.strikes >= m.quarThreshold || w.state == workerProbation {
+		w.state = workerQuarantined
+		w.until = m.now().Add(time.Duration(quarantineWindowTTLs) * m.leaseTTL)
+		m.met.workerQuarantines.Inc()
+		m.met.workersQuarantined.Add(1)
+		m.logger.Warn("worker quarantined", "worker", id, "strikes", w.strikes,
+			"reason", reason, "until", w.until)
+	}
+}
+
+// admitClaimLocked gates a claim on the worker's health: quarantined
+// workers are refused with 429 + Retry-After until the window lapses,
+// after which they enter probation. Callers hold m.mu.
+func (m *jobMgr) admitClaimLocked(id string) error {
+	w := m.workerLocked(id)
+	w.claims++
+	if w.state != workerQuarantined {
+		return nil
+	}
+	now := m.now()
+	if now.Before(w.until) {
+		retryAfter := int(w.until.Sub(now).Seconds()) + 1
+		return faultRetryf(http.StatusTooManyRequests, codeWorkerQuarantined, retryAfter,
+			"worker %q is quarantined for %s (strikes: %d expiries, %d stale uploads, %d speculation losses)",
+			id, w.until.Sub(now).Round(time.Second), w.leaseExpiries, w.staleUploads, w.specLosses)
+	}
+	w.state = workerProbation
+	m.met.workerProbations.Inc()
+	m.met.workersQuarantined.Add(-1)
+	m.logger.Info("worker paroled to probation", "worker", id, "strikes", w.strikes)
+	return nil
+}
+
+// creditLocked records an accepted upload: probationers are fully
+// re-admitted, and healthy workers decay one strike — good work pays
+// down a noisy history. Callers hold m.mu.
+func (m *jobMgr) creditLocked(id string) {
+	if id == "" {
+		return
+	}
+	w := m.workerLocked(id)
+	w.accepted++
+	if w.state == workerProbation {
+		w.state = workerHealthy
+		w.strikes = 0
+		m.met.workerReadmits.Inc()
+		m.logger.Info("worker re-admitted", "worker", id)
+		return
+	}
+	if w.strikes > 0 {
+		w.strikes--
+	}
+}
+
+// WorkersSnapshot returns every tracked worker's scoreboard entry,
+// sorted by ID (GET /v1/workers).
+func (m *jobMgr) WorkersSnapshot() []WorkerView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	views := make([]WorkerView, 0, len(m.workers))
+	for _, w := range m.workers {
+		v := WorkerView{
+			ID:                w.id,
+			State:             w.state,
+			Strikes:           w.strikes,
+			LeaseExpiries:     w.leaseExpiries,
+			StaleUploads:      w.staleUploads,
+			SpeculationLosses: w.specLosses,
+			Claims:            w.claims,
+			Accepted:          w.accepted,
+			LastSeen:          w.lastSeen,
+		}
+		if w.state == workerQuarantined {
+			t := w.until
+			v.QuarantinedUntil = &t
+		}
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	return views
+}

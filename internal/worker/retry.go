@@ -37,6 +37,16 @@ const (
 	defaultRetryCap   = 5 * time.Second
 )
 
+// jitterFrac hashes a worker ID to a deterministic fraction in [0, 1)
+// — the one per-worker phase source shared by the retry backoff and
+// the heartbeat interval, so a fleet started by one script
+// de-synchronizes identically run after run.
+func jitterFrac(workerID string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(workerID))
+	return float64(h.Sum64()%1024) / 1024
+}
+
 // backoff computes the delay schedule: base·2^attempt, capped, scaled
 // by the worker's jitter factor in [0.5, 1.0).
 type backoff struct {
@@ -51,9 +61,7 @@ func newBackoff(workerID string, base, ceil time.Duration) backoff {
 	if ceil <= 0 {
 		ceil = defaultRetryCap
 	}
-	h := fnv.New64a()
-	h.Write([]byte(workerID))
-	return backoff{base: base, cap: ceil, jitter: 0.5 + float64(h.Sum64()%1024)/2048}
+	return backoff{base: base, cap: ceil, jitter: 0.5 + jitterFrac(workerID)/2}
 }
 
 func (b backoff) delay(attempt int) time.Duration {
@@ -78,6 +86,13 @@ func retry(ctx context.Context, cfg Config, logger *slog.Logger, stats *Stats, w
 	}
 	for attempt := 0; ; attempt++ {
 		err := op()
+		if apiclient.IsCode(err, "worker_quarantined") {
+			// Not a failure to grind through: the coordinator has benched
+			// this worker for its quarantine window. Surface immediately so
+			// the caller can back off for the full Retry-After instead of
+			// burning the retry budget.
+			return err
+		}
 		if err == nil || !apiclient.IsTransient(err) || attempt >= max {
 			return err
 		}

@@ -46,6 +46,11 @@ type Config struct {
 	// the rest of the claimed batch. It exists to exercise the
 	// crash/lease-expiry path in tests and the distributed-smoke job.
 	ExitAfterResults int
+	// WedgeAfterClaim turns the worker into a deliberate straggler: it
+	// claims batches and heartbeats its leases forever without ever
+	// executing or uploading — the pathology straggler speculation and
+	// the quarantine scoreboard exist to beat. Chaos-smoke only.
+	WedgeAfterClaim bool
 	// Logger receives per-shard progress. Nil discards.
 	Logger *slog.Logger
 
@@ -78,6 +83,9 @@ type Stats struct {
 	// lease died under them (heartbeat loss) — uploading on a dead
 	// lease would only be rejected as stale.
 	Abandoned int `json:"abandoned"`
+	// Quarantined counts claims the coordinator refused with 429
+	// worker_quarantined — this worker is benched and backing off.
+	Quarantined int `json:"quarantined"`
 }
 
 // errExitAfterResults signals the deliberate mid-run abandonment that
@@ -201,11 +209,31 @@ func workJob(ctx context.Context, cfg Config, logger *slog.Logger, jobID string,
 		if apiclient.IsCode(err, "job_not_found") || apiclient.IsCode(err, "job_not_distributed") {
 			return 0, nil
 		}
+		if apiclient.IsCode(err, "worker_quarantined") {
+			// Benched by the health scoreboard: honor the Retry-After (the
+			// quarantine window), then resume claiming — probation re-admits
+			// a worker that behaves.
+			stats.Quarantined++
+			wait := apiclient.RetryAfter(err)
+			if wait <= 0 {
+				wait = cfg.Poll
+			}
+			logger.Warn("quarantined by coordinator; backing off", "job", jobID, "wait", wait)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(wait):
+			}
+			return 0, nil
+		}
 		return 0, err
 	}
 	stats.Claims++
 	if len(claim.Shards) == 0 {
 		return 0, nil
+	}
+	if cfg.WedgeAfterClaim {
+		return len(claim.Shards), wedgeHold(ctx, cfg, logger, claim, stats)
 	}
 	cj, err := compileFor(claim, compiled)
 	if err != nil {
@@ -218,6 +246,57 @@ func workJob(ctx context.Context, cfg Config, logger *slog.Logger, jobID string,
 		}
 	}
 	return len(claim.Shards), nil
+}
+
+// wedgeHold is WedgeAfterClaim's body: sit on the claimed batch,
+// heartbeating every lease so none ever lapses, and never upload. The
+// coordinator sees a live worker making zero progress — exactly the
+// straggler that speculation must race and the scoreboard must
+// eventually quarantine (each speculation loss is a strike). Returns
+// once every held lease has been rejected (shards completed by the
+// speculating winners) or the context ends.
+func wedgeHold(ctx context.Context, cfg Config, logger *slog.Logger, claim apiclient.Claim, stats *Stats) error {
+	ttl := time.Duration(claim.LeaseTTLSeconds * float64(time.Second))
+	interval := heartbeatInterval(ttl, cfg.ID)
+	if interval <= 0 {
+		interval = cfg.Poll
+	}
+	logger.Warn("wedged: holding leases without executing",
+		"job", claim.Job, "shards", len(claim.Shards))
+	live := make(map[int]string, len(claim.Shards))
+	for _, sh := range claim.Shards {
+		live[sh.Index] = sh.Lease
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for len(live) > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		for idx, lease := range live {
+			_, err := cfg.Client.Heartbeat(ctx, claim.Job, idx, cfg.ID, lease)
+			if err != nil && !apiclient.IsTransient(err) {
+				// Evicted or completed by someone else; the wedge lost this one.
+				delete(live, idx)
+				stats.Abandoned++
+			}
+		}
+	}
+	return nil
+}
+
+// heartbeatInterval spaces lease heartbeats: a third of the TTL scaled
+// by a deterministic per-worker phase in [0.70, 1.0), so a fleet
+// started in the same second does not heartbeat in lockstep. Three
+// beats still fit in one TTL with margin to ride out one failure.
+func heartbeatInterval(ttl time.Duration, workerID string) time.Duration {
+	base := ttl / 3
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(float64(base) * (0.70 + 0.30*jitterFrac(workerID)))
 }
 
 // compileFor returns the job's cached execution state, deriving the
@@ -253,7 +332,7 @@ func executeAndUpload(ctx context.Context, cfg Config, logger *slog.Logger, clai
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	var leaseDead atomic.Bool
-	if interval := ttl / 3; interval > 0 {
+	if interval := heartbeatInterval(ttl, cfg.ID); interval > 0 {
 		go func() {
 			t := time.NewTicker(interval)
 			defer t.Stop()
